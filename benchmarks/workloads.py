@@ -1,0 +1,31 @@
+"""Workload construction helpers shared by the benchmark modules.
+
+Problem generation is cached and kept *outside* of the measured benchmark
+bodies: the paper times the analysis algorithms on pre-generated random DAGs,
+not the DAG generator itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import AnalysisProblem
+from repro.generators import fixed_ls_workload, fixed_nl_workload
+
+#: seed used throughout the benchmark suite (one derived seed per configuration+size)
+BENCH_SEED = 2020
+
+_cache: Dict[Tuple[str, int, int], AnalysisProblem] = {}
+
+
+def build_problem(mode: str, parameter: int, tasks: int) -> AnalysisProblem:
+    """Build (and cache) the benchmark problem for one configuration point."""
+    key = (mode.upper(), parameter, tasks)
+    if key not in _cache:
+        seed = BENCH_SEED * 1_000_003 + tasks
+        if mode.upper() == "LS":
+            workload = fixed_ls_workload(tasks, parameter, seed=seed)
+        else:
+            workload = fixed_nl_workload(tasks, parameter, seed=seed)
+        _cache[key] = workload.to_problem()
+    return _cache[key]

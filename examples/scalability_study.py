@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scalability study: a scaled-down, self-contained rerun of Section V.
+
+Generates Tobita–Kasahara random DAGs of growing size (LS64 and NL64, the two
+configurations behind the paper's headline numbers), times the incremental
+algorithm and the fixed-point baseline on the same problems, fits the
+empirical complexity exponents on a log–log scale exactly like Figure 3, and
+finishes with the >8000-task scaling claim of the conclusion.
+
+Runtime is a couple of minutes; pass ``--quick`` for a faster, smaller sweep.
+
+Run with::
+
+    python examples/scalability_study.py [--quick]
+"""
+
+import argparse
+
+from repro.bench import (
+    PAPER_EXPONENTS,
+    PAPER_HEADLINE,
+    SweepConfig,
+    format_panel_report,
+    format_scaling_report,
+    run_comparison,
+    run_scaling_study,
+)
+
+
+def run_panel(mode: str, parameter: int, sizes, baseline_sizes) -> None:
+    config = SweepConfig(mode=mode, parameter=parameter, sizes=tuple(sizes), seed=2020,
+                         timeout_seconds=120.0)
+    result = run_comparison(config, baseline_sizes=tuple(baseline_sizes))
+    print(format_panel_report(result))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep (seconds instead of minutes)")
+    args = parser.parse_args()
+
+    if args.quick:
+        sizes = (64, 128, 256)
+        baseline_sizes = (64, 128, 256)
+        scaling_sizes = (512, 1024, 2048)
+        target = 2048
+    else:
+        sizes = (64, 128, 256, 512, 1024)
+        baseline_sizes = (64, 128, 256, 512)
+        scaling_sizes = (1024, 2048, 4096, 8192)
+        target = 8000
+
+    print("=== Figure 3, panels LS64 and NL64 (scaled-down rerun) ===\n")
+    run_panel("LS", 64, sizes, baseline_sizes)
+    run_panel("NL", 64, sizes, baseline_sizes)
+
+    print("paper reference exponents:")
+    for label, (new_exp, old_exp) in PAPER_EXPONENTS.items():
+        print(f"  {label:5s}: new O(n^{new_exp:.2f})   old O(n^{old_exp:.2f})")
+    print()
+    print("paper headline cases (C++ baseline vs Python incremental, authors' machine):")
+    for label, (tasks, old_s, new_s, speedup) in PAPER_HEADLINE.items():
+        print(f"  {label}: {tasks} tasks, {old_s:.2f}s vs {new_s:.2f}s  ({speedup:.0f}x)")
+    print()
+
+    print("=== scaling claim of the conclusion (Section VI) ===\n")
+    report = run_scaling_study(sizes=scaling_sizes, target_size=target, seed=2020)
+    print(format_scaling_report(report))
+
+
+if __name__ == "__main__":
+    main()

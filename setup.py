@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The project is fully described in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (legacy editable install) works on
+environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Scalable memory interference analysis for hard real-time many-core systems "
+        "(DATE 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+    entry_points={"console_scripts": ["repro-rta = repro.cli.main:main"]},
+)

@@ -1,0 +1,126 @@
+"""repro — scalable memory-interference analysis for hard real-time many-core systems.
+
+Reproduction of *"Scaling Up the Memory Interference Analysis for Hard
+Real-Time Many-Core Systems"* (Dupont de Dinechin, Schuh, Moy, Maïza —
+DATE 2020).  The library computes a static time-triggered schedule — a release
+date and a worst-case response time for every task of a DAG mapped onto a
+many-core platform — while accounting for the interference tasks inflict on
+each other through the shared memory bus.
+
+Quick start
+-----------
+>>> from repro import analyze
+>>> from repro.examples_data import figure1_problem
+>>> schedule = analyze(figure1_problem())            # incremental O(n^2) algorithm
+>>> schedule.makespan
+7
+
+The main subpackages are:
+
+* :mod:`repro.model` — tasks, task graphs, mappings;
+* :mod:`repro.platform` — cores and memory banks (incl. a Kalray MPPA-256 model);
+* :mod:`repro.arbiter` — bus arbitration policies (round-robin, FIFO, TDM, ...);
+* :mod:`repro.core` — the incremental analysis (the paper's contribution) and
+  the fixed-point baseline it replaces;
+* :mod:`repro.generators` — random DAG generators (Tobita–Kasahara layer-by-layer);
+* :mod:`repro.mapping` — mapping & ordering heuristics;
+* :mod:`repro.dataflow` — a small synchronous-dataflow front-end;
+* :mod:`repro.wcet` — a synthetic WCET/memory-demand estimation substrate;
+* :mod:`repro.simulation` — discrete-event execution simulator used to
+  validate the analysis bounds;
+* :mod:`repro.analysis` — schedulability, sensitivity and complexity studies;
+* :mod:`repro.viz`, :mod:`repro.io`, :mod:`repro.cli`, :mod:`repro.bench` —
+  reporting, persistence, command line and the benchmark harness reproducing
+  the paper's figures.
+"""
+
+from .arbiter import (
+    BusArbiter,
+    FifoArbiter,
+    FixedPriorityArbiter,
+    MultiLevelRoundRobinArbiter,
+    RoundRobinArbiter,
+    TdmArbiter,
+    WeightedRoundRobinArbiter,
+    create_arbiter,
+)
+from .core import (
+    AnalysisProblem,
+    AnalysisTrace,
+    FixedPointAnalyzer,
+    IncrementalAnalyzer,
+    Schedule,
+    ScheduledTask,
+    analyze,
+    analyze_fixedpoint,
+    analyze_incremental,
+    analyze_or_raise,
+    available_algorithms,
+    compare_schedules,
+    validate_schedule,
+)
+from .errors import (
+    AnalysisError,
+    ConvergenceError,
+    DeadlockError,
+    GraphError,
+    MappingError,
+    ModelError,
+    PlatformError,
+    ReproError,
+    UnschedulableError,
+    ValidationError,
+)
+from .model import Mapping, MemoryDemand, Task, TaskGraph, TaskGraphBuilder
+from .platform import Core, MemoryBank, Platform, mppa256_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "Task",
+    "MemoryDemand",
+    "TaskGraph",
+    "TaskGraphBuilder",
+    "Mapping",
+    # platform
+    "Core",
+    "MemoryBank",
+    "Platform",
+    "mppa256_cluster",
+    # arbiters
+    "BusArbiter",
+    "RoundRobinArbiter",
+    "WeightedRoundRobinArbiter",
+    "FifoArbiter",
+    "FixedPriorityArbiter",
+    "TdmArbiter",
+    "MultiLevelRoundRobinArbiter",
+    "create_arbiter",
+    # analyses
+    "AnalysisProblem",
+    "Schedule",
+    "ScheduledTask",
+    "AnalysisTrace",
+    "IncrementalAnalyzer",
+    "FixedPointAnalyzer",
+    "analyze",
+    "analyze_or_raise",
+    "analyze_incremental",
+    "analyze_fixedpoint",
+    "available_algorithms",
+    "compare_schedules",
+    "validate_schedule",
+    # errors
+    "ReproError",
+    "ModelError",
+    "GraphError",
+    "MappingError",
+    "PlatformError",
+    "AnalysisError",
+    "UnschedulableError",
+    "ConvergenceError",
+    "DeadlockError",
+    "ValidationError",
+]

@@ -1,0 +1,45 @@
+"""Higher-level analyses: schedulability, sensitivity, statistics and empirical complexity."""
+
+from .complexity import (
+    ComplexityFit,
+    TimingPoint,
+    TimingSeries,
+    fit_exponent,
+    measure_algorithm,
+)
+from .schedulability import (
+    DeadlineMiss,
+    SchedulabilityReport,
+    check_schedulability,
+    minimal_horizon,
+    task_slack,
+)
+from .sensitivity import (
+    SensitivityResult,
+    memory_sensitivity,
+    scale_memory_demand,
+    scale_wcets,
+    wcet_sensitivity,
+)
+from .statistics import ScheduleStatistics, interference_cost, schedule_statistics
+
+__all__ = [
+    "DeadlineMiss",
+    "SchedulabilityReport",
+    "check_schedulability",
+    "task_slack",
+    "minimal_horizon",
+    "SensitivityResult",
+    "memory_sensitivity",
+    "wcet_sensitivity",
+    "scale_memory_demand",
+    "scale_wcets",
+    "ScheduleStatistics",
+    "schedule_statistics",
+    "interference_cost",
+    "TimingPoint",
+    "TimingSeries",
+    "ComplexityFit",
+    "fit_exponent",
+    "measure_algorithm",
+]

@@ -1,0 +1,166 @@
+"""Empirical complexity measurement (the log–log regressions of Figure 3).
+
+The paper validates the theoretical O(n²) / O(n⁴) complexities by timing both
+algorithms on growing random DAGs and fitting a line to ``log(time)`` versus
+``log(n)``: the slope is the empirical complexity exponent reported in the
+legend of Figure 3 (e.g. ``O(n^1.03)`` for the new algorithm on LS4 and
+``O(n^3.71)`` for the old one).  This module provides exactly that machinery:
+
+* :class:`TimingPoint` / :class:`TimingSeries` — measured (n, seconds) pairs;
+* :func:`fit_exponent` — least-squares slope on the log–log scale;
+* :func:`measure_algorithm` — run one algorithm over a size sweep, honouring a
+  per-point timeout like the paper's benchmark (which the C++ baseline "easily
+  reaches for more than 256 tasks").
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import AnalysisProblem, analyze
+from ..errors import AnalysisError
+
+__all__ = [
+    "TimingPoint",
+    "TimingSeries",
+    "ComplexityFit",
+    "fit_exponent",
+    "measure_algorithm",
+]
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """One measurement: a problem of ``size`` tasks analysed in ``seconds``."""
+
+    size: int
+    seconds: float
+    makespan: int = 0
+    timed_out: bool = False
+
+
+@dataclass
+class TimingSeries:
+    """A size sweep for one (algorithm, workload family) pair."""
+
+    label: str
+    algorithm: str
+    points: List[TimingPoint] = field(default_factory=list)
+
+    def add(self, point: TimingPoint) -> None:
+        self.points.append(point)
+
+    def completed_points(self) -> List[TimingPoint]:
+        return [point for point in self.points if not point.timed_out]
+
+    def sizes(self) -> List[int]:
+        return [point.size for point in self.points]
+
+    def seconds(self) -> List[float]:
+        return [point.seconds for point in self.points]
+
+    def fit(self) -> "ComplexityFit":
+        return fit_exponent(
+            [(point.size, point.seconds) for point in self.completed_points()]
+        )
+
+    def speedup_against(self, other: "TimingSeries") -> List[Tuple[int, float]]:
+        """Per-size speedup ``other.seconds / self.seconds`` on the common sizes."""
+        mine = {point.size: point.seconds for point in self.completed_points()}
+        theirs = {point.size: point.seconds for point in other.completed_points()}
+        result = []
+        for size in sorted(set(mine) & set(theirs)):
+            if mine[size] > 0:
+                result.append((size, theirs[size] / mine[size]))
+        return result
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """Least-squares fit ``seconds ≈ coefficient * n**exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    point_count: int
+
+    def predict(self, size: int) -> float:
+        """Predicted runtime (seconds) for a problem of ``size`` tasks."""
+        return self.coefficient * (size**self.exponent)
+
+    def describe(self) -> str:
+        return f"O(n^{self.exponent:.2f}) (R²={self.r_squared:.3f}, {self.point_count} points)"
+
+
+def fit_exponent(points: Sequence[Tuple[int, float]]) -> ComplexityFit:
+    """Fit a power law to (size, seconds) pairs by linear regression in log–log space.
+
+    Points with non-positive size or time are skipped (a timer can return 0.0
+    for very small inputs).  At least two usable points are required.
+    """
+    usable = [(n, t) for n, t in points if n > 0 and t > 0.0]
+    if len(usable) < 2:
+        raise AnalysisError("complexity fit needs at least two positive measurements")
+    xs = [math.log(n) for n, _ in usable]
+    ys = [math.log(t) for _, t in usable]
+    count = len(usable)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0.0:
+        raise AnalysisError("complexity fit needs at least two distinct sizes")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    predictions = [intercept + slope * x for x in xs]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ComplexityFit(
+        exponent=slope,
+        coefficient=math.exp(intercept),
+        r_squared=r_squared,
+        point_count=count,
+    )
+
+
+def measure_algorithm(
+    problems: Iterable[Tuple[int, AnalysisProblem]],
+    algorithm: str,
+    *,
+    label: str = "",
+    timeout_seconds: Optional[float] = None,
+    repetitions: int = 1,
+) -> TimingSeries:
+    """Time ``algorithm`` on a sweep of problems.
+
+    ``problems`` yields ``(size, problem)`` pairs in increasing size order.
+    Like the paper's benchmark, the sweep honours a timeout: once one point
+    exceeds ``timeout_seconds`` the remaining (larger) points are recorded as
+    timed out without being run, so a slow baseline cannot stall the whole
+    harness.  With ``repetitions > 1`` the minimum of the runs is kept (the
+    usual way to suppress measurement noise).
+    """
+    if repetitions < 1:
+        raise AnalysisError("repetitions must be at least 1")
+    series = TimingSeries(label=label or algorithm, algorithm=algorithm)
+    timed_out = False
+    for size, problem in problems:
+        if timed_out:
+            series.add(TimingPoint(size=size, seconds=float("nan"), timed_out=True))
+            continue
+        best = math.inf
+        makespan = 0
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            schedule = analyze(problem, algorithm)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            makespan = schedule.makespan
+        series.add(TimingPoint(size=size, seconds=best, makespan=makespan))
+        if timeout_seconds is not None and best > timeout_seconds:
+            timed_out = True
+    return series

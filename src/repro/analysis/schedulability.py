@@ -1,0 +1,129 @@
+"""Schedulability verdicts and slack analysis on computed schedules.
+
+The response-time analyses return a schedule with a raw ``schedulable`` flag
+(horizon respected, no deadlock).  This module adds the finer-grained
+questions a system integrator asks next:
+
+* which individual task deadlines are missed, and by how much;
+* how much slack each task and the whole graph has;
+* what the tightest horizon is under which the task set remains schedulable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import AnalysisProblem, Schedule, analyze
+from ..errors import AnalysisError
+
+__all__ = [
+    "DeadlineMiss",
+    "SchedulabilityReport",
+    "check_schedulability",
+    "task_slack",
+    "minimal_horizon",
+]
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """One violated deadline: the task finishes ``lateness`` cycles too late."""
+
+    task: str
+    deadline: int
+    finish: int
+
+    @property
+    def lateness(self) -> int:
+        return self.finish - self.deadline
+
+
+@dataclass
+class SchedulabilityReport:
+    """Outcome of :func:`check_schedulability`."""
+
+    schedulable: bool
+    makespan: int
+    horizon: Optional[int]
+    misses: List[DeadlineMiss] = field(default_factory=list)
+    unscheduled: List[str] = field(default_factory=list)
+
+    @property
+    def worst_lateness(self) -> int:
+        """Largest lateness over all missed deadlines (0 when none missed)."""
+        return max((miss.lateness for miss in self.misses), default=0)
+
+    def summary(self) -> str:
+        verdict = "SCHEDULABLE" if self.schedulable else "NOT SCHEDULABLE"
+        lines = [f"{verdict}: makespan {self.makespan}"]
+        if self.horizon is not None:
+            lines.append(f"horizon: {self.horizon} (margin {self.horizon - self.makespan})")
+        if self.misses:
+            lines.append(f"missed task deadlines: {len(self.misses)} (worst lateness {self.worst_lateness})")
+        if self.unscheduled:
+            lines.append(f"unscheduled tasks: {len(self.unscheduled)}")
+        return "\n".join(lines)
+
+
+def check_schedulability(problem: AnalysisProblem, schedule: Schedule) -> SchedulabilityReport:
+    """Combine the analysis verdict with per-task deadline checks."""
+    misses: List[DeadlineMiss] = []
+    for task in problem.graph:
+        if task.deadline is None or task.name not in schedule:
+            continue
+        finish = schedule.entry(task.name).finish
+        if finish > task.deadline:
+            misses.append(DeadlineMiss(task=task.name, deadline=task.deadline, finish=finish))
+    horizon = problem.horizon
+    makespan = schedule.makespan
+    schedulable = (
+        schedule.schedulable
+        and not misses
+        and (horizon is None or makespan <= horizon)
+        and not schedule.unscheduled
+    )
+    return SchedulabilityReport(
+        schedulable=schedulable,
+        makespan=makespan,
+        horizon=horizon,
+        misses=sorted(misses, key=lambda miss: -miss.lateness),
+        unscheduled=list(schedule.unscheduled),
+    )
+
+
+def task_slack(problem: AnalysisProblem, schedule: Schedule) -> Dict[str, int]:
+    """Slack of every task: cycles before its own deadline (or the horizon) it finishes.
+
+    Tasks without a deadline use the problem horizon; tasks without either get
+    the slack to the makespan (0 for the tasks that define the makespan).
+    """
+    slack: Dict[str, int] = {}
+    reference = problem.horizon if problem.horizon is not None else schedule.makespan
+    for entry in schedule:
+        if entry.name in problem.graph and problem.graph.task(entry.name).deadline is not None:
+            bound = problem.graph.task(entry.name).deadline
+        else:
+            bound = reference
+        slack[entry.name] = bound - entry.finish
+    return slack
+
+
+def minimal_horizon(
+    problem: AnalysisProblem,
+    *,
+    algorithm: str = "incremental",
+) -> int:
+    """Smallest horizon under which the problem is schedulable.
+
+    For the time-triggered model this is simply the makespan of the analysis
+    run without a horizon; the function exists to make that explicit (and to
+    fail loudly when even the unconstrained problem deadlocks).
+    """
+    unconstrained = analyze(problem.with_horizon(None), algorithm)
+    if not unconstrained.schedulable:
+        raise AnalysisError(
+            f"problem {problem.name!r} cannot be scheduled at all "
+            "(the per-core order probably contradicts the dependencies)"
+        )
+    return unconstrained.makespan

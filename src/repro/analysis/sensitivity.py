@@ -1,0 +1,149 @@
+"""Sensitivity analysis: how much load can the system absorb before breaking.
+
+Given an analysis problem with a horizon (global deadline), these helpers scale
+one dimension of the workload — memory demand or execution time — and search
+for the largest scaling factor that keeps the task set schedulable.  This is
+the kind of design-space question the fast incremental analysis makes
+practical at many-core scale (the motivation of Section I of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import AnalysisProblem, analyze
+from ..errors import AnalysisError
+from ..model import MemoryDemand, TaskGraph
+
+__all__ = [
+    "scale_memory_demand",
+    "scale_wcets",
+    "SensitivityResult",
+    "memory_sensitivity",
+    "wcet_sensitivity",
+]
+
+
+def scale_memory_demand(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Copy of ``graph`` with every task's per-bank demand multiplied by ``factor``."""
+    if factor < 0:
+        raise AnalysisError("scaling factor must be non-negative")
+    scaled = graph.copy()
+    for task in graph:
+        demand = MemoryDemand({bank: int(round(count * factor)) for bank, count in task.demand.items()})
+        scaled.replace_task(task.with_demand(demand))
+    return scaled
+
+
+def scale_wcets(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Copy of ``graph`` with every task's WCET multiplied by ``factor`` (min 1 cycle)."""
+    if factor <= 0:
+        raise AnalysisError("scaling factor must be positive")
+    scaled = graph.copy()
+    for task in graph:
+        scaled.replace_task(task.with_wcet(max(int(round(task.wcet * factor)), 1)))
+    return scaled
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of a sensitivity search."""
+
+    #: largest factor found schedulable (0.0 when even the unscaled problem fails)
+    breaking_factor: float
+    #: makespan at the breaking factor (None when nothing was schedulable)
+    makespan_at_break: Optional[int]
+    #: every factor probed with its verdict, in probing order
+    probes: Tuple[Tuple[float, bool], ...]
+
+    def probed_factors(self) -> List[float]:
+        return [factor for factor, _ in self.probes]
+
+
+def _sensitivity_search(
+    problem: AnalysisProblem,
+    rebuild: Callable[[float], AnalysisProblem],
+    *,
+    algorithm: str,
+    max_factor: float,
+    tolerance: float,
+) -> SensitivityResult:
+    if problem.horizon is None:
+        raise AnalysisError("sensitivity analysis needs a problem with a horizon (global deadline)")
+    probes: List[Tuple[float, bool]] = []
+
+    def feasible(factor: float) -> Tuple[bool, Optional[int]]:
+        candidate = rebuild(factor)
+        schedule = analyze(candidate, algorithm)
+        ok = schedule.schedulable
+        probes.append((factor, ok))
+        return ok, schedule.makespan if ok else None
+
+    ok, makespan = feasible(1.0)
+    if not ok:
+        return SensitivityResult(0.0, None, tuple(probes))
+    best_factor, best_makespan = 1.0, makespan
+
+    low, high = 1.0, max_factor
+    ok_high, makespan_high = feasible(high)
+    if ok_high:
+        return SensitivityResult(high, makespan_high, tuple(probes))
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        ok_mid, makespan_mid = feasible(mid)
+        if ok_mid:
+            low, best_factor, best_makespan = mid, mid, makespan_mid
+        else:
+            high = mid
+    return SensitivityResult(best_factor, best_makespan, tuple(probes))
+
+
+def memory_sensitivity(
+    problem: AnalysisProblem,
+    *,
+    algorithm: str = "incremental",
+    max_factor: float = 16.0,
+    tolerance: float = 0.05,
+) -> SensitivityResult:
+    """Largest memory-demand scaling that stays within the problem's horizon."""
+
+    def rebuild(factor: float) -> AnalysisProblem:
+        return AnalysisProblem(
+            graph=scale_memory_demand(problem.graph, factor),
+            mapping=problem.mapping,
+            platform=problem.platform,
+            arbiter=problem.arbiter,
+            horizon=problem.horizon,
+            name=f"{problem.name}-mem-x{factor:.2f}",
+            validate=False,
+        )
+
+    return _sensitivity_search(
+        problem, rebuild, algorithm=algorithm, max_factor=max_factor, tolerance=tolerance
+    )
+
+
+def wcet_sensitivity(
+    problem: AnalysisProblem,
+    *,
+    algorithm: str = "incremental",
+    max_factor: float = 16.0,
+    tolerance: float = 0.05,
+) -> SensitivityResult:
+    """Largest WCET scaling that stays within the problem's horizon."""
+
+    def rebuild(factor: float) -> AnalysisProblem:
+        return AnalysisProblem(
+            graph=scale_wcets(problem.graph, factor),
+            mapping=problem.mapping,
+            platform=problem.platform,
+            arbiter=problem.arbiter,
+            horizon=problem.horizon,
+            name=f"{problem.name}-wcet-x{factor:.2f}",
+            validate=False,
+        )
+
+    return _sensitivity_search(
+        problem, rebuild, algorithm=algorithm, max_factor=max_factor, tolerance=tolerance
+    )

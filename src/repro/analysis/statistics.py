@@ -1,0 +1,101 @@
+"""Schedule statistics and interference-cost metrics.
+
+These helpers turn a raw schedule into the quantities typically reported when
+evaluating an interference analysis: how much of the makespan is caused by
+interference, how busy each core is, and how pessimistic one schedule is
+relative to another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arbiter import NullArbiter
+from ..core import AnalysisProblem, Schedule, analyze
+from ..model.properties import longest_path_length
+
+__all__ = ["ScheduleStatistics", "schedule_statistics", "interference_cost"]
+
+
+@dataclass(frozen=True)
+class ScheduleStatistics:
+    """Aggregate metrics of one schedule."""
+
+    task_count: int
+    makespan: int
+    total_wcet: int
+    total_interference: int
+    max_task_interference: int
+    average_interference: float
+    critical_path_length: int
+    core_utilization: Dict[int, float]
+
+    @property
+    def interference_ratio(self) -> float:
+        """Total interference relative to total isolation WCET."""
+        return self.total_interference / self.total_wcet if self.total_wcet else 0.0
+
+    @property
+    def makespan_stretch(self) -> float:
+        """Makespan relative to the critical-path lower bound (≥ 1.0)."""
+        if self.critical_path_length == 0:
+            return 1.0
+        return self.makespan / self.critical_path_length
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task_count": self.task_count,
+            "makespan": self.makespan,
+            "total_wcet": self.total_wcet,
+            "total_interference": self.total_interference,
+            "max_task_interference": self.max_task_interference,
+            "average_interference": self.average_interference,
+            "interference_ratio": self.interference_ratio,
+            "critical_path_length": self.critical_path_length,
+            "makespan_stretch": self.makespan_stretch,
+            "core_utilization": dict(self.core_utilization),
+        }
+
+
+def schedule_statistics(problem: AnalysisProblem, schedule: Schedule) -> ScheduleStatistics:
+    """Compute :class:`ScheduleStatistics` for a schedule of ``problem``."""
+    interferences = [entry.interference for entry in schedule]
+    return ScheduleStatistics(
+        task_count=len(schedule),
+        makespan=schedule.makespan,
+        total_wcet=schedule.total_wcet,
+        total_interference=schedule.total_interference,
+        max_task_interference=max(interferences, default=0),
+        average_interference=(sum(interferences) / len(interferences)) if interferences else 0.0,
+        critical_path_length=longest_path_length(problem.graph),
+        core_utilization=schedule.core_utilization(),
+    )
+
+
+def interference_cost(
+    problem: AnalysisProblem,
+    schedule: Optional[Schedule] = None,
+    *,
+    algorithm: str = "incremental",
+) -> Dict[str, float]:
+    """Cost of interference: makespan with interference vs interference ignored.
+
+    This reproduces the comparison of the two timing diagrams of Figure 1 of
+    the paper (t = 7 with interference vs t = 6 without).  Returns a dict with
+    the two makespans and their ratio.
+    """
+    if schedule is None:
+        schedule = analyze(problem, algorithm)
+    reference = analyze(problem.with_arbiter(NullArbiter()), algorithm)
+    with_interference = schedule.makespan
+    without_interference = reference.makespan
+    ratio = (
+        with_interference / without_interference if without_interference else float("inf")
+    )
+    return {
+        "makespan_with_interference": float(with_interference),
+        "makespan_without_interference": float(without_interference),
+        "ratio": ratio,
+        "absolute_overhead": float(with_interference - without_interference),
+    }

@@ -1,0 +1,46 @@
+"""Worst-case FIFO (first-come first-served) bus arbiter.
+
+A work-conserving FIFO bus serves requests in arrival order.  Without any
+assumption on arrival phasing, every access of every competitor may be queued
+in front of every access of the destination is too pessimistic (that would be
+``d * sum_k c_k``); the standard bound — each competitor access delays the
+destination at most once — is::
+
+    interference = latency * sum_k c_k
+
+i.e. the destination may have to wait behind the *entire* backlog of every
+other core, but each competing access is only counted once.  FIFO is therefore
+never better than round-robin for the destination (``c_k >= min(d, c_k)``),
+which the ablation benchmark A2 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..platform import MemoryBank
+from .base import BusArbiter, check_request
+
+__all__ = ["FifoArbiter"]
+
+
+class FifoArbiter(BusArbiter):
+    """First-come first-served bus: the destination waits behind every queued access."""
+
+    name = "fifo"
+
+    def interference(
+        self,
+        dest_core: int,
+        dest_accesses: int,
+        competitors: Mapping[int, int],
+        bank: MemoryBank,
+    ) -> int:
+        check_request(dest_core, dest_accesses, competitors)
+        if dest_accesses == 0:
+            return 0
+        backlog = sum(demand for demand in competitors.values() if demand > 0)
+        return backlog * bank.access_latency
+
+    def describe(self) -> str:
+        return "worst-case FIFO: the destination waits behind every access of every competitor"

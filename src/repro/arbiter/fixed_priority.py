@@ -1,0 +1,88 @@
+"""Fixed-priority (non-preemptive) bus arbiter.
+
+Each core has a static priority (lower number = higher priority, taken from
+:class:`repro.platform.Core.priority` unless overridden).  A pending
+higher-priority access is always granted before the destination, while a
+lower-priority access can only delay the destination by the one transaction
+already in flight (the bus is non-preemptive at the granularity of one word).
+
+Worst-case interference for a destination performing ``d`` accesses::
+
+    interference = latency * ( sum_{k higher prio} c_k            # all of them
+                             + min(d, sum_{k lower prio} c_k) )   # one blocking per access
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import ArbiterError
+from ..platform import MemoryBank, Platform
+from .base import BusArbiter, check_request
+
+__all__ = ["FixedPriorityArbiter"]
+
+
+class FixedPriorityArbiter(BusArbiter):
+    """Static per-core priorities; ties resolved in favour of the destination.
+
+    Parameters
+    ----------
+    priorities:
+        ``{core: priority}`` with lower values meaning higher priority.  Cores
+        absent from the mapping get a priority equal to their identifier.
+    platform:
+        Convenience alternative: read the priorities from the platform's
+        :class:`~repro.platform.Core` records.
+    """
+
+    name = "fixed-priority"
+
+    def __init__(
+        self,
+        priorities: Optional[Mapping[int, int]] = None,
+        *,
+        platform: Optional[Platform] = None,
+    ) -> None:
+        if priorities is not None and platform is not None:
+            raise ArbiterError("give either explicit priorities or a platform, not both")
+        self._priorities = {}
+        if platform is not None:
+            self._priorities = {core.identifier: core.priority for core in platform.cores()}
+        elif priorities is not None:
+            self._priorities = {int(core): int(prio) for core, prio in priorities.items()}
+
+    def priority_of(self, core: int) -> int:
+        return self._priorities.get(core, core)
+
+    def interference(
+        self,
+        dest_core: int,
+        dest_accesses: int,
+        competitors: Mapping[int, int],
+        bank: MemoryBank,
+    ) -> int:
+        check_request(dest_core, dest_accesses, competitors)
+        if dest_accesses == 0:
+            return 0
+        my_priority = self.priority_of(dest_core)
+        higher = 0
+        lower = 0
+        for core, demand in competitors.items():
+            if demand <= 0:
+                continue
+            if self.priority_of(core) < my_priority:
+                higher += demand
+            else:
+                lower += demand
+        delayed = higher + min(dest_accesses, lower)
+        return delayed * bank.access_latency
+
+    def describe(self) -> str:
+        return (
+            "fixed-priority non-preemptive bus: all higher-priority accesses plus "
+            "one lower-priority blocking per destination access"
+        )
+
+    def __repr__(self) -> str:
+        return f"FixedPriorityArbiter(priorities={self._priorities!r})"

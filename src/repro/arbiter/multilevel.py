@@ -1,0 +1,94 @@
+"""Multi-level round-robin arbiter (Kalray MPPA-256 style bus tree).
+
+On the MPPA-256 compute cluster the cores do not arbitrate directly against
+each other: cores are paired behind first-level round-robin arbiters, whose
+outputs are arbitrated again by a second-level round-robin stage before
+reaching an SMEM bank (see Rihani's thesis [6] for the detailed bus tree).
+
+The worst-case delay of one destination access is then:
+
+* one access from every *other core of its own group* (first-level RR), and
+* one access from every *other group* (second-level RR) — whichever core of
+  that group happens to be selected, so the per-group delay is bounded by the
+  group's total demand.
+
+For a destination performing ``d`` accesses::
+
+    interference = latency * ( sum_{k in same group, k != dest} min(d, c_k)
+                             + sum_{other groups g}             min(d, C_g) )
+
+where ``C_g`` is the summed demand of group ``g``.  With ``group_size = 1``
+(every core alone in its group) this reduces to the flat
+:class:`~repro.arbiter.round_robin.RoundRobinArbiter`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..errors import ArbiterError
+from ..platform import MemoryBank
+from .base import BusArbiter, check_request
+
+__all__ = ["MultiLevelRoundRobinArbiter"]
+
+
+class MultiLevelRoundRobinArbiter(BusArbiter):
+    """Two-level round-robin bus tree.
+
+    Parameters
+    ----------
+    group_size:
+        Number of cores behind each first-level arbiter; core ``k`` belongs to
+        group ``k // group_size``.  Ignored for cores listed in ``groups``.
+    groups:
+        Optional explicit ``{core: group}`` assignment overriding ``group_size``.
+    """
+
+    name = "multilevel-round-robin"
+
+    def __init__(self, group_size: int = 2, groups: Optional[Mapping[int, int]] = None) -> None:
+        if group_size < 1:
+            raise ArbiterError("group_size must be at least 1")
+        self._group_size = int(group_size)
+        self._groups = {int(core): int(group) for core, group in (groups or {}).items()}
+
+    def group_of(self, core: int) -> int:
+        if core in self._groups:
+            return self._groups[core]
+        return core // self._group_size
+
+    def interference(
+        self,
+        dest_core: int,
+        dest_accesses: int,
+        competitors: Mapping[int, int],
+        bank: MemoryBank,
+    ) -> int:
+        check_request(dest_core, dest_accesses, competitors)
+        if dest_accesses == 0:
+            return 0
+        my_group = self.group_of(dest_core)
+        same_group_delay = 0
+        other_groups: Dict[int, int] = {}
+        for core, demand in competitors.items():
+            if demand <= 0:
+                continue
+            group = self.group_of(core)
+            if group == my_group:
+                same_group_delay += min(dest_accesses, demand)
+            else:
+                other_groups[group] = other_groups.get(group, 0) + demand
+        other_group_delay = sum(min(dest_accesses, total) for total in other_groups.values())
+        return (same_group_delay + other_group_delay) * bank.access_latency
+
+    def describe(self) -> str:
+        return (
+            f"two-level round-robin (groups of {self._group_size} cores): one access per "
+            "sibling core plus one access per other group, per destination access"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiLevelRoundRobinArbiter(group_size={self._group_size}, groups={self._groups!r})"
+        )

@@ -1,0 +1,36 @@
+"""Null arbiter: pretend interference does not exist.
+
+Used to compute the *interference-free* reference schedule — the top timing
+diagram of Figure 1 of the paper (makespan 6 instead of 7).  It is obviously
+unsound on a real shared-memory platform; its purpose is to quantify how much
+of the makespan is due to interference (see
+:func:`repro.analysis.statistics.interference_cost`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..platform import MemoryBank
+from .base import BusArbiter, check_request
+
+__all__ = ["NullArbiter"]
+
+
+class NullArbiter(BusArbiter):
+    """Always returns zero interference (isolation / interference-ignored analysis)."""
+
+    name = "null"
+
+    def interference(
+        self,
+        dest_core: int,
+        dest_accesses: int,
+        competitors: Mapping[int, int],
+        bank: MemoryBank,
+    ) -> int:
+        check_request(dest_core, dest_accesses, competitors)
+        return 0
+
+    def describe(self) -> str:
+        return "null arbiter: interference is ignored (isolation reference, unsound on real hardware)"

@@ -1,0 +1,106 @@
+"""Registry of bus arbitration policies, keyed by name.
+
+The registry lets the CLI, the JSON problem format and the benchmark harness
+refer to arbiters by a short string (``"round-robin"``, ``"fifo"`` ...).
+Third-party policies can be plugged in with :func:`register_arbiter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ArbiterError
+from ..platform import Platform
+from .base import BusArbiter
+from .fifo import FifoArbiter
+from .fixed_priority import FixedPriorityArbiter
+from .multilevel import MultiLevelRoundRobinArbiter
+from .null import NullArbiter
+from .round_robin import RoundRobinArbiter, WeightedRoundRobinArbiter
+from .tdm import TdmArbiter
+
+__all__ = ["register_arbiter", "create_arbiter", "available_arbiters", "default_arbiter"]
+
+#: factory signature: ``factory(platform) -> BusArbiter``
+ArbiterFactory = Callable[[Optional[Platform]], BusArbiter]
+
+_REGISTRY: Dict[str, ArbiterFactory] = {}
+
+
+def register_arbiter(name: str, factory: ArbiterFactory, *, overwrite: bool = False) -> None:
+    """Register a named arbiter factory.
+
+    The factory receives the platform (or ``None``) so policies that need
+    platform data (priorities, core count) can extract it.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ArbiterError("arbiter name must be a non-empty string")
+    if key in _REGISTRY and not overwrite:
+        raise ArbiterError(f"arbiter {key!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_arbiter(name: str, platform: Optional[Platform] = None) -> BusArbiter:
+    """Instantiate a registered arbiter by name."""
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ArbiterError(
+            f"unknown arbiter {name!r}; available: {', '.join(available_arbiters())}"
+        ) from None
+    return factory(platform)
+
+
+def available_arbiters() -> List[str]:
+    """Names of all registered arbitration policies, sorted."""
+    return sorted(_REGISTRY)
+
+
+def default_arbiter(platform: Optional[Platform] = None) -> BusArbiter:
+    """The arbiter used by the paper's evaluation (flat round-robin)."""
+    return RoundRobinArbiter()
+
+
+def _make_round_robin(_platform: Optional[Platform]) -> BusArbiter:
+    return RoundRobinArbiter()
+
+
+def _make_weighted_round_robin(_platform: Optional[Platform]) -> BusArbiter:
+    return WeightedRoundRobinArbiter()
+
+
+def _make_fifo(_platform: Optional[Platform]) -> BusArbiter:
+    return FifoArbiter()
+
+
+def _make_fixed_priority(platform: Optional[Platform]) -> BusArbiter:
+    if platform is not None:
+        return FixedPriorityArbiter(platform=platform)
+    return FixedPriorityArbiter()
+
+
+def _make_tdm(platform: Optional[Platform]) -> BusArbiter:
+    cores = platform.core_count if platform is not None else 2
+    return TdmArbiter(total_cores=cores)
+
+
+def _make_multilevel(_platform: Optional[Platform]) -> BusArbiter:
+    return MultiLevelRoundRobinArbiter(group_size=2)
+
+
+def _make_null(_platform: Optional[Platform]) -> BusArbiter:
+    return NullArbiter()
+
+
+register_arbiter("null", _make_null)
+register_arbiter("none", _make_null)
+register_arbiter("round-robin", _make_round_robin)
+register_arbiter("rr", _make_round_robin)
+register_arbiter("weighted-round-robin", _make_weighted_round_robin)
+register_arbiter("fifo", _make_fifo)
+register_arbiter("fixed-priority", _make_fixed_priority)
+register_arbiter("tdm", _make_tdm)
+register_arbiter("multilevel-round-robin", _make_multilevel)
+register_arbiter("mppa", _make_multilevel)

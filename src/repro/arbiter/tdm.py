@@ -1,0 +1,114 @@
+"""Time-Division-Multiplexing (TDM) bus arbiter.
+
+A TDM bus divides time into a fixed frame of slots; each core owns a fixed
+number of slots per frame and may only issue accesses in its own slots,
+whether or not the other cores are requesting (the bus is *not*
+work-conserving).  The worst-case extra delay of one access is therefore the
+remainder of the frame — all slots owned by other cores — independently of
+the actual competitor demand::
+
+    interference = latency * dest_accesses * (frame_slots - own_slots)
+
+Because the delay does not depend on the competitor set, the value returned
+for a non-empty competitor set equals the value for any other non-empty set
+(monotonicity holds trivially).  With an *empty* competitor set the arbiter
+still returns 0, which keeps the library-wide convention that interference is
+only charged while at least one other task is alive; a fully sound TDM budget
+for the isolated portions of a task should instead be folded into its WCET
+(see :func:`tdm_isolation_penalty`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import ArbiterError
+from ..platform import MemoryBank
+from .base import BusArbiter, check_request
+
+__all__ = ["TdmArbiter", "tdm_isolation_penalty"]
+
+
+class TdmArbiter(BusArbiter):
+    """Static TDM frame: ``slots[core]`` slots per frame (default 1 per core).
+
+    ``total_cores`` fixes the frame length when per-core slot counts are not
+    given explicitly; it is required because a TDM frame reserves slots even
+    for cores that are currently idle.
+    """
+
+    name = "tdm"
+
+    def __init__(
+        self,
+        total_cores: int,
+        slots: Optional[Mapping[int, int]] = None,
+        *,
+        default_slots: int = 1,
+    ) -> None:
+        if total_cores < 1:
+            raise ArbiterError("total_cores must be at least 1")
+        if default_slots < 1:
+            raise ArbiterError("default_slots must be at least 1")
+        self._total_cores = int(total_cores)
+        self._default_slots = int(default_slots)
+        self._slots = {}
+        for core, count in (slots or {}).items():
+            if count < 1:
+                raise ArbiterError(f"slot count of core {core} must be at least 1, got {count}")
+            self._slots[int(core)] = int(count)
+
+    def slots_of(self, core: int) -> int:
+        return self._slots.get(core, self._default_slots)
+
+    @property
+    def frame_slots(self) -> int:
+        """Total number of slots in one TDM frame."""
+        explicit = sum(self._slots.values())
+        implicit = (self._total_cores - len(self._slots)) * self._default_slots
+        return explicit + implicit
+
+    def interference(
+        self,
+        dest_core: int,
+        dest_accesses: int,
+        competitors: Mapping[int, int],
+        bank: MemoryBank,
+    ) -> int:
+        check_request(dest_core, dest_accesses, competitors)
+        if dest_accesses == 0:
+            return 0
+        if not any(demand > 0 for demand in competitors.values()):
+            return 0
+        foreign_slots = self.frame_slots - self.slots_of(dest_core)
+        if foreign_slots < 0:
+            raise ArbiterError(
+                f"core {dest_core} owns more slots ({self.slots_of(dest_core)}) "
+                f"than the frame contains ({self.frame_slots})"
+            )
+        return dest_accesses * foreign_slots * bank.access_latency
+
+    def describe(self) -> str:
+        return (
+            f"TDM frame of {self.frame_slots} slots: every access waits for the slots "
+            "owned by the other cores"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TdmArbiter(total_cores={self._total_cores}, slots={self._slots!r}, "
+            f"default_slots={self._default_slots})"
+        )
+
+
+def tdm_isolation_penalty(arbiter: TdmArbiter, core: int, accesses: int, bank: MemoryBank) -> int:
+    """Extra cycles a task pays under TDM even when running alone.
+
+    TDM reserves slots for idle cores, so a task accessing memory in isolation
+    still waits for the foreign part of the frame.  Callers who want a fully
+    static TDM analysis add this penalty to the task's WCET before running the
+    interference analysis (the analysis itself only charges interference while
+    competitors are alive).
+    """
+    foreign_slots = arbiter.frame_slots - arbiter.slots_of(core)
+    return accesses * foreign_slots * bank.access_latency

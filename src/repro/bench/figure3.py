@@ -1,0 +1,139 @@
+"""Reproduction of Figure 3: runtime vs task count for the six panels.
+
+Figure 3 of the paper shows, for six workload configurations (LS4, NL4, LS16,
+NL16, LS64, NL64), the runtime of the original fixed-point algorithm and of
+the new incremental algorithm as a function of the number of tasks, on a
+log–log scale, together with the fitted complexity exponents.
+
+The paper's reference exponents (its legend) are recorded in
+:data:`PAPER_EXPONENTS` so the harness can print "paper vs measured" rows.
+Absolute runtimes are *not* comparable — the paper times a C++ baseline on the
+authors' machine, we time a Python baseline here — but the qualitative shape
+(incremental ≈ linear-to-quadratic, baseline clearly super-quadratic, gap
+widening with size) is what the reproduction checks.
+
+Two sweep profiles are provided:
+
+* ``quick`` — small sizes, used by the pytest-benchmark suite so the whole
+  harness stays in CI-friendly time;
+* ``full`` — larger sizes closer to the paper's axes (minutes of runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..viz.report import format_table
+from .runner import ComparisonResult, SweepConfig, run_comparison
+
+__all__ = [
+    "PANELS",
+    "PAPER_EXPONENTS",
+    "panel_config",
+    "run_panel",
+    "run_all_panels",
+    "format_panel_report",
+]
+
+#: the six panels of Figure 3: label -> (mode, parameter)
+PANELS: Dict[str, Tuple[str, int]] = {
+    "LS4": ("LS", 4),
+    "NL4": ("NL", 4),
+    "LS16": ("LS", 16),
+    "NL16": ("NL", 16),
+    "LS64": ("LS", 64),
+    "NL64": ("NL", 64),
+}
+
+#: complexity exponents printed in the legend of Figure 3 of the paper
+#: label -> (new algorithm exponent, old algorithm exponent)
+PAPER_EXPONENTS: Dict[str, Tuple[float, float]] = {
+    "LS4": (1.03, 3.71),
+    "NL4": (1.75, 4.52),
+    "LS16": (1.02, 4.39),
+    "NL16": (1.89, 4.64),
+    "LS64": (1.10, 5.09),
+    "NL64": (1.91, 4.94),
+}
+
+#: size sweeps per profile; the baseline runs only on the prefix whose largest
+#: size stays tractable in Python (the paper applies a timeout the same way)
+_QUICK_SIZES: Tuple[int, ...] = (32, 64, 128, 256)
+_QUICK_BASELINE_SIZES: Tuple[int, ...] = (32, 64, 128, 256)
+_FULL_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096)
+_FULL_BASELINE_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+
+def panel_config(
+    label: str,
+    *,
+    profile: str = "quick",
+    timeout_seconds: Optional[float] = 60.0,
+    seed: int = 2020,
+) -> SweepConfig:
+    """Sweep configuration of one Figure 3 panel."""
+    mode, parameter = PANELS[label.upper()]
+    sizes = _QUICK_SIZES if profile == "quick" else _FULL_SIZES
+    # a panel cannot contain graphs smaller than its layer parameter in a
+    # meaningful way; keep sizes >= parameter so every layer holds >= 1 task
+    sizes = tuple(size for size in sizes if size >= parameter) or (parameter,)
+    return SweepConfig(
+        mode=mode,
+        parameter=parameter,
+        sizes=sizes,
+        timeout_seconds=timeout_seconds,
+        seed=seed,
+    )
+
+
+def run_panel(
+    label: str,
+    *,
+    profile: str = "quick",
+    timeout_seconds: Optional[float] = 60.0,
+    seed: int = 2020,
+) -> ComparisonResult:
+    """Run one panel (both algorithms) and return the comparison result."""
+    config = panel_config(label, profile=profile, timeout_seconds=timeout_seconds, seed=seed)
+    baseline_sizes = _QUICK_BASELINE_SIZES if profile == "quick" else _FULL_BASELINE_SIZES
+    baseline_sizes = tuple(size for size in baseline_sizes if size in config.sizes)
+    return run_comparison(config, baseline_sizes=baseline_sizes or None)
+
+
+def run_all_panels(
+    *,
+    profile: str = "quick",
+    timeout_seconds: Optional[float] = 60.0,
+    seed: int = 2020,
+) -> Dict[str, ComparisonResult]:
+    """Run every Figure 3 panel; returns ``{label: result}`` in the paper's order."""
+    return {
+        label: run_panel(label, profile=profile, timeout_seconds=timeout_seconds, seed=seed)
+        for label in PANELS
+    }
+
+
+def format_panel_report(result: ComparisonResult) -> str:
+    """Human-readable report of one panel: timings, speedups and exponents."""
+    label = result.label
+    lines = [f"Figure 3 panel {label}"]
+    lines.append(format_table(["tasks", "new (s)", "old (s)", "speedup"], result.rows()))
+    try:
+        new_fit = result.new_fit()
+        old_fit = result.old_fit()
+        paper_new, paper_old = PAPER_EXPONENTS.get(label, (float("nan"), float("nan")))
+        lines.append("")
+        lines.append(
+            f"measured exponents: new {new_fit.describe()}, old {old_fit.describe()}"
+        )
+        lines.append(
+            f"paper exponents   : new O(n^{paper_new:.2f}), old O(n^{paper_old:.2f}) "
+            "(C++ baseline on the authors' machine)"
+        )
+    except Exception:  # not enough completed points for a fit
+        lines.append("(not enough completed points to fit the complexity exponents)")
+    size, speedup = result.best_speedup()
+    if speedup:
+        lines.append(f"largest measured speedup: {speedup:.1f}x at {size} tasks")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Command line interface package (``repro-rta``)."""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

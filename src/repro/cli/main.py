@@ -1,0 +1,178 @@
+"""Command line interface: ``repro-rta`` (or ``python -m repro.cli.main``).
+
+Sub-commands
+------------
+``generate``   generate a random layer-by-layer problem and save it as JSON
+``analyze``    run an analysis algorithm on a problem file and report/save the schedule
+``compare``    run both algorithms on a problem file and compare their schedules
+``figure3``    reproduce one or all panels of Figure 3 of the paper
+``headline``   reproduce the headline speedup table of Section V
+``scaling``    reproduce the >8000-task scaling claim of Section VI
+``info``       list available algorithms and arbitration policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .. import __version__
+from ..arbiter import available_arbiters, create_arbiter
+from ..bench import (
+    PANELS,
+    format_headline_table,
+    format_panel_report,
+    format_scaling_report,
+    run_headline_table,
+    run_panel,
+    run_scaling_study,
+)
+from ..core import analyze, available_algorithms, compare_schedules
+from ..errors import ReproError
+from ..generators import fixed_ls_workload, fixed_nl_workload
+from ..io import load_problem, save_problem, save_schedule, write_schedule_csv
+from ..viz import analysis_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rta",
+        description=(
+            "Memory interference analysis for hard real-time many-core systems "
+            "(DATE 2020 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a random problem (JSON)")
+    generate.add_argument("--mode", choices=["LS", "NL"], default="LS", help="fixed layer size or fixed layer count")
+    generate.add_argument("--parameter", type=int, default=16, help="layer size (LS) or layer count (NL)")
+    generate.add_argument("--tasks", type=int, default=128, help="number of tasks")
+    generate.add_argument("--cores", type=int, default=16, help="number of cores")
+    generate.add_argument("--banks", type=int, default=1, help="number of memory banks")
+    generate.add_argument("--seed", type=int, default=2020)
+    generate.add_argument("--arbiter", default="round-robin", choices=available_arbiters())
+    generate.add_argument("--output", required=True, help="problem JSON file to write")
+
+    analyze_cmd = subparsers.add_parser("analyze", help="analyse a problem file")
+    analyze_cmd.add_argument("problem", help="problem JSON file")
+    analyze_cmd.add_argument("--algorithm", default="incremental", choices=available_algorithms())
+    analyze_cmd.add_argument("--output", help="write the schedule as JSON to this path")
+    analyze_cmd.add_argument("--csv", help="write the schedule as CSV to this path")
+    analyze_cmd.add_argument("--no-gantt", action="store_true", help="omit the ASCII Gantt chart")
+
+    compare = subparsers.add_parser("compare", help="run both algorithms and compare")
+    compare.add_argument("problem", help="problem JSON file")
+
+    figure3 = subparsers.add_parser("figure3", help="reproduce Figure 3 panels")
+    figure3.add_argument("--panel", choices=sorted(PANELS), help="run a single panel (default: all)")
+    figure3.add_argument("--profile", choices=["quick", "full"], default="quick")
+    figure3.add_argument("--timeout", type=float, default=60.0, help="per-point timeout in seconds")
+    figure3.add_argument("--seed", type=int, default=2020)
+
+    headline = subparsers.add_parser("headline", help="reproduce the Section V headline table")
+    headline.add_argument("--seed", type=int, default=2020)
+
+    scaling = subparsers.add_parser("scaling", help="reproduce the >8000-task scaling claim")
+    scaling.add_argument("--target", type=int, default=8192, help="largest task count to analyse")
+    scaling.add_argument("--seed", type=int, default=2020)
+
+    subparsers.add_parser("info", help="list algorithms and arbiters")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.mode == "LS":
+        workload = fixed_ls_workload(
+            args.tasks, args.parameter, core_count=args.cores, seed=args.seed, bank_count=args.banks
+        )
+    else:
+        workload = fixed_nl_workload(
+            args.tasks, args.parameter, core_count=args.cores, seed=args.seed, bank_count=args.banks
+        )
+    problem = workload.to_problem()
+    problem = problem.with_arbiter(create_arbiter(args.arbiter, problem.platform))
+    path = save_problem(problem, args.output)
+    print(f"wrote {problem.task_count}-task problem {problem.name!r} to {path}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    schedule = analyze(problem, args.algorithm)
+    print(analysis_report(problem, schedule, include_gantt=not args.no_gantt))
+    if args.output:
+        save_schedule(schedule, args.output)
+        print(f"\nschedule written to {args.output}")
+    if args.csv:
+        write_schedule_csv(schedule, args.csv)
+        print(f"schedule CSV written to {args.csv}")
+    return 0 if schedule.schedulable else 2
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    incremental = analyze(problem, "incremental")
+    baseline = analyze(problem, "fixedpoint")
+    comparison = compare_schedules(incremental, baseline)
+    print(comparison.summary())
+    return 0
+
+
+def _command_figure3(args: argparse.Namespace) -> int:
+    labels = [args.panel] if args.panel else list(PANELS)
+    for label in labels:
+        result = run_panel(label, profile=args.profile, timeout_seconds=args.timeout, seed=args.seed)
+        print(format_panel_report(result))
+        print()
+    return 0
+
+
+def _command_headline(args: argparse.Namespace) -> int:
+    rows = run_headline_table(seed=args.seed)
+    print(format_headline_table(rows))
+    return 0
+
+
+def _command_scaling(args: argparse.Namespace) -> int:
+    sizes = tuple(sorted({512, 1024, 2048, 4096, max(args.target, 512)}))
+    report = run_scaling_study(sizes=sizes, target_size=args.target, seed=args.seed)
+    print(format_scaling_report(report))
+    return 0
+
+
+def _command_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print("algorithms : " + ", ".join(available_algorithms()))
+    print("arbiters   : " + ", ".join(available_arbiters()))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "analyze": _command_analyze,
+    "compare": _command_compare,
+    "figure3": _command_figure3,
+    "headline": _command_headline,
+    "scaling": _command_scaling,
+    "info": _command_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Core response-time analyses: the incremental algorithm and the fixed-point baseline."""
+
+from .analyzer import (
+    FIXEDPOINT,
+    INCREMENTAL,
+    analyze,
+    analyze_or_raise,
+    available_algorithms,
+    register_algorithm,
+)
+from .comparison import ScheduleComparison, compare_schedules
+from .events import AnalysisTrace, CursorEvent
+from .fixedpoint import FixedPointAnalyzer, analyze_fixedpoint
+from .incremental import IncrementalAnalyzer, analyze_incremental
+from .interference import IbusCallCounter, InterferenceTracker, interference_from_overlaps
+from .problem import AnalysisProblem
+from .schedule import Schedule, ScheduledTask, ScheduleStats
+from .validation import interference_is_exact, schedule_violations, validate_schedule
+
+__all__ = [
+    "AnalysisProblem",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduleStats",
+    "AnalysisTrace",
+    "CursorEvent",
+    "IncrementalAnalyzer",
+    "analyze_incremental",
+    "FixedPointAnalyzer",
+    "analyze_fixedpoint",
+    "analyze",
+    "analyze_or_raise",
+    "available_algorithms",
+    "register_algorithm",
+    "INCREMENTAL",
+    "FIXEDPOINT",
+    "InterferenceTracker",
+    "interference_from_overlaps",
+    "IbusCallCounter",
+    "validate_schedule",
+    "schedule_violations",
+    "interference_is_exact",
+    "ScheduleComparison",
+    "compare_schedules",
+]

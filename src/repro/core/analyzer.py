@@ -1,0 +1,82 @@
+"""High-level entry point: run a named analysis algorithm on a problem.
+
+Most users only ever need::
+
+    from repro import analyze
+    schedule = analyze(problem)                       # incremental (the paper)
+    baseline = analyze(problem, algorithm="fixedpoint")  # Rihani et al. baseline
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import AnalysisError, UnschedulableError
+from .fixedpoint import FixedPointAnalyzer, analyze_fixedpoint
+from .incremental import IncrementalAnalyzer, analyze_incremental
+from .problem import AnalysisProblem
+from .schedule import Schedule
+
+__all__ = [
+    "analyze",
+    "analyze_or_raise",
+    "available_algorithms",
+    "register_algorithm",
+    "INCREMENTAL",
+    "FIXEDPOINT",
+]
+
+#: canonical algorithm names
+INCREMENTAL = "incremental"
+FIXEDPOINT = "fixedpoint"
+
+AlgorithmFunction = Callable[[AnalysisProblem], Schedule]
+
+_ALGORITHMS: Dict[str, AlgorithmFunction] = {}
+
+
+def register_algorithm(name: str, function: AlgorithmFunction, *, overwrite: bool = False) -> None:
+    """Register a new analysis algorithm under ``name`` (for plug-in analyses)."""
+    key = name.strip().lower()
+    if not key:
+        raise AnalysisError("algorithm name must be a non-empty string")
+    if key in _ALGORITHMS and not overwrite:
+        raise AnalysisError(f"algorithm {key!r} is already registered")
+    _ALGORITHMS[key] = function
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered analysis algorithms, sorted."""
+    return sorted(_ALGORITHMS)
+
+
+def analyze(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:
+    """Run the named algorithm on ``problem`` and return its :class:`Schedule`.
+
+    The returned schedule may be flagged unschedulable; no exception is raised
+    for that outcome (use :func:`analyze_or_raise` if you prefer exceptions).
+    """
+    key = algorithm.strip().lower()
+    try:
+        function = _ALGORITHMS[key]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+    return function(problem)
+
+
+def analyze_or_raise(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:
+    """Like :func:`analyze` but raises :class:`~repro.errors.UnschedulableError`
+    when the resulting schedule is not schedulable."""
+    schedule = analyze(problem, algorithm)
+    if not schedule.schedulable:
+        raise UnschedulableError(
+            f"problem {problem.name!r} is unschedulable under the {algorithm!r} analysis",
+            schedule=schedule,
+        )
+    return schedule
+
+
+register_algorithm(INCREMENTAL, analyze_incremental)
+register_algorithm(FIXEDPOINT, analyze_fixedpoint)

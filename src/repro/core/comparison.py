@@ -1,0 +1,129 @@
+"""Comparison of two schedules of the same problem.
+
+Used by the equivalence tests (incremental vs fixed-point baseline), by the
+benchmark tables that report how far apart the two algorithms land, and by the
+ablation studies (e.g. the effect of the arbitration policy on the makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from .schedule import Schedule
+
+__all__ = ["ScheduleComparison", "compare_schedules"]
+
+
+@dataclass
+class ScheduleComparison:
+    """Per-task and aggregate differences between schedule ``a`` and schedule ``b``."""
+
+    algorithm_a: str
+    algorithm_b: str
+    makespan_a: int
+    makespan_b: int
+    #: per task: release(b) - release(a)
+    release_delta: Dict[str, int] = field(default_factory=dict)
+    #: per task: response_time(b) - response_time(a)
+    response_delta: Dict[str, int] = field(default_factory=dict)
+    #: tasks present in exactly one of the two schedules
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def makespan_delta(self) -> int:
+        """``makespan(b) - makespan(a)`` (positive when ``b`` is more pessimistic)."""
+        return self.makespan_b - self.makespan_a
+
+    @property
+    def makespan_ratio(self) -> float:
+        """``makespan(b) / makespan(a)`` (1.0 when both are empty)."""
+        if self.makespan_a == 0:
+            return 1.0 if self.makespan_b == 0 else float("inf")
+        return self.makespan_b / self.makespan_a
+
+    @property
+    def max_release_deviation(self) -> int:
+        return max((abs(delta) for delta in self.release_delta.values()), default=0)
+
+    @property
+    def max_response_deviation(self) -> int:
+        return max((abs(delta) for delta in self.response_delta.values()), default=0)
+
+    @property
+    def identical(self) -> bool:
+        """True when both schedules assign the same release and response time to every task."""
+        return (
+            not self.only_in_a
+            and not self.only_in_b
+            and all(delta == 0 for delta in self.release_delta.values())
+            and all(delta == 0 for delta in self.response_delta.values())
+        )
+
+    def tasks_with_different_release(self) -> List[str]:
+        return sorted(name for name, delta in self.release_delta.items() if delta != 0)
+
+    def tasks_with_different_response(self) -> List[str]:
+        return sorted(name for name, delta in self.response_delta.items() if delta != 0)
+
+    def summary(self) -> str:
+        """Short human-readable summary (used by the CLI ``compare`` command)."""
+        lines = [
+            f"{self.algorithm_a}: makespan {self.makespan_a}",
+            f"{self.algorithm_b}: makespan {self.makespan_b}"
+            f" (delta {self.makespan_delta:+d}, ratio {self.makespan_ratio:.3f})",
+            f"tasks with different release date: {len(self.tasks_with_different_release())}",
+            f"tasks with different response time: {len(self.tasks_with_different_response())}",
+        ]
+        if self.only_in_a:
+            lines.append(f"tasks only in {self.algorithm_a}: {len(self.only_in_a)}")
+        if self.only_in_b:
+            lines.append(f"tasks only in {self.algorithm_b}: {len(self.only_in_b)}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm_a": self.algorithm_a,
+            "algorithm_b": self.algorithm_b,
+            "makespan_a": self.makespan_a,
+            "makespan_b": self.makespan_b,
+            "makespan_delta": self.makespan_delta,
+            "identical": self.identical,
+            "max_release_deviation": self.max_release_deviation,
+            "max_response_deviation": self.max_response_deviation,
+        }
+
+
+def compare_schedules(a: Schedule, b: Schedule) -> ScheduleComparison:
+    """Compare two schedules task by task.
+
+    The schedules must describe (mostly) the same task set; tasks present in
+    only one of them are listed in ``only_in_a`` / ``only_in_b`` rather than
+    raising, so partially-schedulable results can still be compared.
+    """
+    names_a = set(a.task_names())
+    names_b = set(b.task_names())
+    common = names_a & names_b
+    comparison = ScheduleComparison(
+        algorithm_a=a.algorithm or "a",
+        algorithm_b=b.algorithm or "b",
+        makespan_a=a.makespan,
+        makespan_b=b.makespan,
+        only_in_a=sorted(names_a - names_b),
+        only_in_b=sorted(names_b - names_a),
+    )
+    for name in sorted(common):
+        entry_a = a.entry(name)
+        entry_b = b.entry(name)
+        if entry_a.wcet != entry_b.wcet:
+            raise ValidationError(
+                f"cannot compare schedules: task {name!r} has different WCETs "
+                f"({entry_a.wcet} vs {entry_b.wcet}); are they from the same problem?"
+            )
+        comparison.release_delta[name] = entry_b.release - entry_a.release
+        comparison.response_delta[name] = entry_b.response_time - entry_a.response_time
+    return comparison

@@ -1,0 +1,240 @@
+"""Fixed-point interference analysis — the baseline of Rihani et al. (RTNS 2016).
+
+This is the algorithm the paper improves upon.  It alternates two global
+fixed-point iterations until the schedule stabilizes:
+
+1. **Response-time fixed point** — with the current release dates, compute the
+   interference between every pair of tasks whose execution windows
+   ``[rel, rel + R)`` overlap and that are mapped on different cores, per
+   memory bank, through the arbiter's IBUS function; update every response
+   time ``R = WCET + interference`` and repeat until no response time changes.
+2. **Release-date propagation** — recompute every release date as the maximum
+   of the task's minimal release date and the finish dates of its (effective)
+   predecessors; repeat the whole procedure until the release dates are stable
+   or the horizon is exceeded (unschedulable).
+
+Every response-time iteration inspects all O(n²) task pairs, and the number of
+iterations of both loops grows with the number of tasks, which is what makes
+the overall behaviour O(n⁴)-class (Rihani's thesis [6] proves the bound); the
+benchmarks of ``benchmarks/`` measure the practical exponent exactly like
+Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ConvergenceError
+from ..model import MemoryDemand
+from .interference import IbusCallCounter, interference_from_overlaps
+from .problem import AnalysisProblem
+from .schedule import Schedule, ScheduledTask, ScheduleStats
+
+__all__ = ["FixedPointAnalyzer", "analyze_fixedpoint"]
+
+
+class FixedPointAnalyzer:
+    """Baseline double fixed-point analysis (Rihani et al., RTNS 2016).
+
+    Parameters
+    ----------
+    problem:
+        The analysis problem to solve.
+    max_outer_iterations / max_inner_iterations:
+        Safety bounds on the two fixed-point loops.  The defaults are generous
+        (proportional to the task count); exceeding them raises
+        :class:`~repro.errors.ConvergenceError`, which signals a bug rather
+        than an unschedulable input because both iterations are monotone and
+        bounded when the horizon check is active.
+    """
+
+    def __init__(
+        self,
+        problem: AnalysisProblem,
+        *,
+        max_outer_iterations: Optional[int] = None,
+        max_inner_iterations: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        n = max(problem.task_count, 1)
+        self.max_outer_iterations = max_outer_iterations or (4 * n + 16)
+        self.max_inner_iterations = max_inner_iterations or (4 * n + 16)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        """Compute the schedule; inspect :attr:`Schedule.schedulable` for the verdict."""
+        started = _time.perf_counter()
+        problem = self.problem
+        graph = problem.graph
+        mapping = problem.mapping
+        platform = problem.platform
+        arbiter = problem.arbiter
+        horizon = problem.horizon
+        counter = IbusCallCounter()
+
+        if graph.task_count == 0:
+            stats = ScheduleStats(algorithm="fixedpoint")
+            return Schedule([], algorithm="fixedpoint", stats=stats, problem_name=problem.name)
+
+        names = self._effective_topological_order()
+        wcet: Dict[str, int] = {}
+        demand: Dict[str, MemoryDemand] = {}
+        min_release: Dict[str, int] = {}
+        core_of: Dict[str, int] = {}
+        for task in graph:
+            wcet[task.name] = task.wcet
+            demand[task.name] = task.demand
+            min_release[task.name] = task.min_release
+            core_of[task.name] = mapping.core_of(task.name)
+        predecessors = problem.effective_predecessor_map()
+
+        response: Dict[str, int] = {name: wcet[name] for name in names}
+        per_bank: Dict[str, Dict[int, int]] = {name: {} for name in names}
+        release = self._propagate_releases(names, predecessors, min_release, response)
+
+        outer_iterations = 0
+        inner_iterations = 0
+        unschedulable = False
+
+        while True:
+            outer_iterations += 1
+            if outer_iterations > self.max_outer_iterations:
+                raise ConvergenceError(
+                    f"release-date fixed point did not converge within "
+                    f"{self.max_outer_iterations} iterations"
+                )
+
+            # ---- phase 1: response-time fixed point for the current releases ----
+            # Jacobi iteration, faithful to the formulation of [7]: every new
+            # response time is computed from the *previous* iteration's vector,
+            # and the sweep over all O(n^2) task pairs is repeated until the
+            # vector is stable.
+            while True:
+                inner_iterations += 1
+                if inner_iterations > self.max_inner_iterations * self.max_outer_iterations:
+                    raise ConvergenceError(
+                        "response-time fixed point did not converge "
+                        f"(iteration budget exhausted at outer iteration {outer_iterations})"
+                    )
+                changed = False
+                new_response: Dict[str, int] = {}
+                new_per_bank: Dict[str, Dict[int, int]] = {}
+                for dest in names:
+                    dest_release = release[dest]
+                    dest_finish = dest_release + response[dest]
+                    sources: List[Tuple[str, int, MemoryDemand]] = []
+                    for src in names:
+                        if src == dest or core_of[src] == core_of[dest]:
+                            continue
+                        src_release = release[src]
+                        src_finish = src_release + response[src]
+                        if dest_release < src_finish and src_release < dest_finish:
+                            sources.append((src, core_of[src], demand[src]))
+                    banks = interference_from_overlaps(
+                        core_of[dest], demand[dest], sources, arbiter, platform, counter
+                    )
+                    new_per_bank[dest] = banks
+                    new_response[dest] = wcet[dest] + sum(banks.values())
+                    if new_response[dest] != response[dest]:
+                        changed = True
+                response = new_response
+                per_bank = new_per_bank
+                if not changed:
+                    break
+
+            # ---- phase 2: propagate release dates along the dependencies -------
+            new_release = self._propagate_releases(names, predecessors, min_release, response)
+
+            makespan = max(new_release[name] + response[name] for name in names)
+            if horizon is not None and makespan > horizon:
+                unschedulable = True
+                release = new_release
+                break
+
+            if new_release == release:
+                break
+            release = new_release
+
+        entries = [
+            ScheduledTask(
+                name=name,
+                core=core_of[name],
+                release=release[name],
+                wcet=wcet[name],
+                interference_by_bank=per_bank[name],
+            )
+            for name in names
+        ]
+        stats = ScheduleStats(
+            algorithm="fixedpoint",
+            outer_iterations=outer_iterations,
+            inner_iterations=inner_iterations,
+            ibus_calls=counter.count,
+            wall_time_seconds=_time.perf_counter() - started,
+        )
+        return Schedule(
+            entries,
+            algorithm="fixedpoint",
+            schedulable=not unschedulable,
+            unscheduled=[],
+            stats=stats,
+            problem_name=problem.name,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _effective_topological_order(self) -> List[str]:
+        """Topological order of the graph *including* the implicit same-core edges."""
+        predecessors = self.problem.effective_predecessor_map()
+        in_degree = {name: len(preds) for name, preds in predecessors.items()}
+        dependents: Dict[str, List[str]] = {name: [] for name in predecessors}
+        for consumer, preds in predecessors.items():
+            for producer in preds:
+                dependents[producer].append(consumer)
+        ready = [name for name, degree in in_degree.items() if degree == 0]
+        order: List[str] = []
+        head = 0
+        while head < len(ready):
+            name = ready[head]
+            head += 1
+            order.append(name)
+            for consumer in dependents[name]:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(predecessors):
+            # the mapping order contradicts the dependencies; Mapping.validate
+            # normally catches this earlier with a clearer message
+            from ..errors import MappingError
+
+            remaining = sorted(set(predecessors) - set(order))
+            raise MappingError(
+                "per-core execution order contradicts the task dependencies; "
+                "involved tasks: " + ", ".join(remaining[:8])
+            )
+        return order
+
+    @staticmethod
+    def _propagate_releases(
+        names: List[str],
+        predecessors: Dict[str, Set[str]],
+        min_release: Dict[str, int],
+        response: Dict[str, int],
+    ) -> Dict[str, int]:
+        """One full release-date propagation pass (``names`` is a topological order)."""
+        release: Dict[str, int] = {}
+        for name in names:
+            value = min_release[name]
+            for pred in predecessors[name]:
+                finish = release[pred] + response[pred]
+                if finish > value:
+                    value = finish
+            release[name] = value
+        return release
+
+
+def analyze_fixedpoint(problem: AnalysisProblem) -> Schedule:
+    """Convenience wrapper: run :class:`FixedPointAnalyzer` and return the schedule."""
+    return FixedPointAnalyzer(problem).run()

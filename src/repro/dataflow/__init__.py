@@ -1,0 +1,19 @@
+"""Synchronous-dataflow front-end: SDF model, DSL, library and expansion to task DAGs."""
+
+from .dsl import parse_sdf, parse_sdf_file
+from .expansion import expand_sdf, firing_name
+from .library import fft_radix2, image_pipeline, rosace_controller
+from .sdf import Actor, Channel, SdfGraph
+
+__all__ = [
+    "Actor",
+    "Channel",
+    "SdfGraph",
+    "expand_sdf",
+    "firing_name",
+    "parse_sdf",
+    "parse_sdf_file",
+    "rosace_controller",
+    "image_pipeline",
+    "fft_radix2",
+]

@@ -1,0 +1,130 @@
+"""A tiny textual DSL for describing SDF applications.
+
+The framework of [5] starts from a high-level dataflow language; this module
+provides a minimal stand-in so examples and tests can keep application
+descriptions readable.  The syntax is line based::
+
+    # comments start with '#'
+    graph radar_pipeline
+
+    actor capture   wcet=120 accesses=40
+    actor filter    wcet=300 accesses=90
+    actor detect    wcet=250 accesses=60 bank=1
+
+    channel capture -> filter  rate=1:1 tokens=0 words=16
+    channel filter  -> detect  rate=2:1 words=8
+
+* ``actor NAME key=value ...`` — keys: ``wcet`` (required), ``accesses``
+  (default 0), ``bank`` (bank receiving the accesses, default 0);
+* ``channel SRC -> DST key=value ...`` — keys: ``rate=p:c`` (default 1:1),
+  ``tokens`` (initial tokens, default 0), ``words`` (token size, default 1);
+* ``graph NAME`` — optional, names the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import DataflowError
+from .sdf import Actor, Channel, SdfGraph
+
+__all__ = ["parse_sdf", "parse_sdf_file"]
+
+
+def parse_sdf(text: str) -> SdfGraph:
+    """Parse an SDF description from a string; raises :class:`DataflowError` on syntax errors."""
+    graph = SdfGraph()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _parse_line(graph, line)
+        except DataflowError as exc:
+            raise DataflowError(f"line {line_number}: {exc}") from None
+    return graph
+
+
+def parse_sdf_file(path: str) -> SdfGraph:
+    """Parse an SDF description from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_sdf(handle.read())
+
+
+def _parse_line(graph: SdfGraph, line: str) -> None:
+    tokens = line.split()
+    keyword = tokens[0].lower()
+    if keyword == "graph":
+        if len(tokens) != 2:
+            raise DataflowError("expected: graph NAME")
+        graph.name = tokens[1]
+    elif keyword == "actor":
+        _parse_actor(graph, tokens[1:])
+    elif keyword == "channel":
+        _parse_channel(graph, tokens[1:])
+    else:
+        raise DataflowError(f"unknown keyword {tokens[0]!r}")
+
+
+def _parse_options(tokens: List[str]) -> Dict[str, str]:
+    options: Dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise DataflowError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        options[key.lower()] = value
+    return options
+
+
+def _parse_actor(graph: SdfGraph, tokens: List[str]) -> None:
+    if not tokens:
+        raise DataflowError("expected: actor NAME key=value ...")
+    name = tokens[0]
+    options = _parse_options(tokens[1:])
+    if "wcet" not in options:
+        raise DataflowError(f"actor {name!r}: missing wcet=")
+    wcet = _parse_int(options.pop("wcet"), "wcet")
+    accesses = _parse_int(options.pop("accesses", "0"), "accesses")
+    bank = _parse_int(options.pop("bank", "0"), "bank")
+    if options:
+        raise DataflowError(f"actor {name!r}: unknown option(s) {', '.join(sorted(options))}")
+    demand = {bank: accesses} if accesses else {}
+    graph.add_actor(Actor(name=name, wcet=wcet, accesses=demand))
+
+
+def _parse_channel(graph: SdfGraph, tokens: List[str]) -> None:
+    if len(tokens) < 3 or tokens[1] != "->":
+        raise DataflowError("expected: channel SRC -> DST key=value ...")
+    producer, consumer = tokens[0], tokens[2]
+    options = _parse_options(tokens[3:])
+    production, consumption = _parse_rate(options.pop("rate", "1:1"))
+    initial = _parse_int(options.pop("tokens", "0"), "tokens")
+    words = _parse_int(options.pop("words", "1"), "words")
+    if options:
+        raise DataflowError(
+            f"channel {producer}->{consumer}: unknown option(s) {', '.join(sorted(options))}"
+        )
+    graph.add_channel(
+        Channel(
+            producer=producer,
+            consumer=consumer,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial,
+            token_words=words,
+        )
+    )
+
+
+def _parse_rate(value: str) -> Tuple[int, int]:
+    if ":" not in value:
+        raise DataflowError(f"rate must look like p:c, got {value!r}")
+    production_text, consumption_text = value.split(":", 1)
+    return _parse_int(production_text, "rate"), _parse_int(consumption_text, "rate")
+
+
+def _parse_int(value: str, what: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise DataflowError(f"{what} must be an integer, got {value!r}") from None

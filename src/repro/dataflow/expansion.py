@@ -1,0 +1,114 @@
+"""Expansion of an SDF graph into the task DAG consumed by the analysis.
+
+Each firing of each actor becomes one :class:`repro.model.Task` named
+``<actor>#<k>`` (``k`` counting from 0 across all requested graph iterations).
+Dependencies are derived from the token flow:
+
+* consecutive firings of the same actor are serialized (``a#k -> a#k+1``),
+  matching a sequential actor implementation;
+* for a channel ``A -(p:c)-> B``, firing ``B#k`` needs ``(k+1)*c`` tokens; it
+  therefore depends on the last producer firing that contributes one of those
+  tokens, i.e. ``A#j`` with ``j = ceil(((k+1)*c - d0) / p) - 1`` where ``d0``
+  is the number of initial tokens.  Earlier producer firings are reachable
+  through the producer's self-serialization, so a single edge is sufficient
+  and keeps the DAG sparse.
+
+The memory demand of a firing is the actor's per-firing demand plus the words
+it writes on its output channels (``production * token_words`` per channel),
+mirroring how the layer-by-layer generator attributes edge write volumes to
+producers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..errors import DataflowError
+from ..model import MemoryDemand, Task, TaskGraph
+from .sdf import SdfGraph
+
+__all__ = ["expand_sdf", "firing_name"]
+
+
+def firing_name(actor: str, index: int) -> str:
+    """Name of the task implementing the ``index``-th firing of ``actor``."""
+    return f"{actor}#{index}"
+
+
+def expand_sdf(
+    graph: SdfGraph,
+    *,
+    iterations: int = 1,
+    write_bank: int = 0,
+    min_release: Optional[Dict[str, int]] = None,
+) -> TaskGraph:
+    """Expand ``iterations`` iterations of the SDF graph into a task DAG.
+
+    ``write_bank`` is the bank charged with the words written on output
+    channels.  ``min_release`` optionally gives a minimal release date for the
+    *first* firing of selected actors (e.g. sensor actors triggered by a
+    time-triggered input).
+    """
+    if iterations <= 0:
+        raise DataflowError("iterations must be positive")
+    repetition = graph.repetition_vector()
+    min_release = min_release or {}
+
+    task_graph = TaskGraph(name=f"{graph.name}-x{iterations}")
+    firings: Dict[str, int] = {name: repetition[name] * iterations for name in repetition}
+
+    # --- per-firing write volume of each actor ---------------------------------
+    writes_per_firing: Dict[str, int] = {name: 0 for name in repetition}
+    for channel in graph.channels():
+        writes_per_firing[channel.producer] += channel.production * channel.token_words
+
+    # --- create the firing tasks -------------------------------------------------
+    for actor in graph.actors():
+        demand: Dict[int, int] = dict(actor.accesses)
+        extra = writes_per_firing[actor.name]
+        if extra:
+            demand[write_bank] = demand.get(write_bank, 0) + extra
+        for index in range(firings[actor.name]):
+            task_graph.add_task(
+                Task(
+                    name=firing_name(actor.name, index),
+                    wcet=actor.wcet,
+                    demand=MemoryDemand(demand),
+                    min_release=min_release.get(actor.name, 0) if index == 0 else 0,
+                    metadata={"actor": actor.name, "firing": index, **dict(actor.metadata)},
+                )
+            )
+
+    # --- serialize consecutive firings of the same actor -------------------------
+    for actor_name, count in firings.items():
+        for index in range(count - 1):
+            task_graph.add_dependency(
+                firing_name(actor_name, index), firing_name(actor_name, index + 1), volume=0
+            )
+
+    # --- token-flow dependencies --------------------------------------------------
+    for channel in graph.channels():
+        producer_count = firings[channel.producer]
+        consumer_count = firings[channel.consumer]
+        for k in range(consumer_count):
+            needed = (k + 1) * channel.consumption - channel.initial_tokens
+            if needed <= 0:
+                continue  # satisfied by initial tokens
+            last_producer = math.ceil(needed / channel.production) - 1
+            if last_producer >= producer_count:
+                raise DataflowError(
+                    f"channel {channel.producer}->{channel.consumer}: firing "
+                    f"{channel.consumer}#{k} needs producer firing #{last_producer} "
+                    f"but only {producer_count} are scheduled; increase `iterations` "
+                    "or add initial tokens"
+                )
+            volume = channel.consumption * channel.token_words
+            task_graph.add_dependency(
+                firing_name(channel.producer, last_producer),
+                firing_name(channel.consumer, k),
+                volume=volume,
+            )
+
+    task_graph.validate()
+    return task_graph

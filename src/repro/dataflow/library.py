@@ -1,0 +1,105 @@
+"""Library of realistic dataflow applications.
+
+These applications are used by the examples and integration tests as stand-ins
+for the industrial use cases that motivate the paper (avionics and autonomous
+vehicle control loops, Section I).  WCETs and memory demands are synthetic but
+sized in the same ballpark as the paper's benchmark parameters.
+
+* :func:`rosace_controller` — a multi-rate flight controller inspired by the
+  open ROSACE case study (altitude/speed control loops at different rates);
+* :func:`image_pipeline` — a data-parallel image processing chain
+  (capture → demosaic → filter tiles in parallel → merge → encode);
+* :func:`fft_radix2` — a radix-2 FFT butterfly network expressed as a
+  single-rate dataflow graph.
+"""
+
+from __future__ import annotations
+
+from ..errors import DataflowError
+from .sdf import Actor, Channel, SdfGraph
+
+__all__ = ["rosace_controller", "image_pipeline", "fft_radix2"]
+
+
+def rosace_controller() -> SdfGraph:
+    """Multi-rate longitudinal flight controller (ROSACE-like).
+
+    Fast 200 Hz filters feed 50 Hz control laws (rate 4:1), which feed a 50 Hz
+    actuator command stage; the environment simulation closes the loop once
+    per slow period.
+    """
+    graph = SdfGraph("rosace")
+    # 200 Hz sensor filters
+    graph.add_actor(Actor("h_filter", wcet=590, accesses={0: 310}))
+    graph.add_actor(Actor("az_filter", wcet=610, accesses={0: 290}))
+    graph.add_actor(Actor("vz_filter", wcet=575, accesses={0: 275}))
+    graph.add_actor(Actor("q_filter", wcet=560, accesses={0: 260}))
+    graph.add_actor(Actor("va_filter", wcet=600, accesses={0: 330}))
+    # 50 Hz control laws
+    graph.add_actor(Actor("altitude_hold", wcet=640, accesses={0: 420}))
+    graph.add_actor(Actor("vz_control", wcet=620, accesses={0: 400}))
+    graph.add_actor(Actor("va_control", wcet=615, accesses={0: 380}))
+    # actuator outputs + environment
+    graph.add_actor(Actor("elevator", wcet=555, accesses={0: 250}))
+    graph.add_actor(Actor("engine", wcet=565, accesses={0: 255}))
+
+    # 200 Hz -> 50 Hz: four fast samples consumed per slow firing
+    graph.connect("h_filter", "altitude_hold", production=1, consumption=4, token_words=4)
+    graph.connect("vz_filter", "vz_control", production=1, consumption=4, token_words=4)
+    graph.connect("az_filter", "vz_control", production=1, consumption=4, token_words=4)
+    graph.connect("q_filter", "va_control", production=1, consumption=4, token_words=4)
+    graph.connect("va_filter", "va_control", production=1, consumption=4, token_words=4)
+    # control law chaining at 50 Hz
+    graph.connect("altitude_hold", "vz_control", production=1, consumption=1, token_words=2)
+    graph.connect("vz_control", "elevator", production=1, consumption=1, token_words=2)
+    graph.connect("va_control", "engine", production=1, consumption=1, token_words=2)
+    return graph
+
+
+def image_pipeline(tiles: int = 8) -> SdfGraph:
+    """Data-parallel image processing chain with ``tiles`` parallel filter actors."""
+    if tiles <= 0:
+        raise DataflowError("tiles must be positive")
+    graph = SdfGraph("image-pipeline")
+    graph.add_actor(Actor("capture", wcet=600, accesses={0: 500}))
+    graph.add_actor(Actor("demosaic", wcet=640, accesses={0: 450}))
+    graph.add_actor(Actor("merge", wcet=580, accesses={0: 400}))
+    graph.add_actor(Actor("encode", wcet=650, accesses={0: 520}))
+    graph.connect("capture", "demosaic", token_words=64)
+    for tile in range(tiles):
+        name = f"filter{tile}"
+        graph.add_actor(Actor(name, wcet=560 + 7 * tile, accesses={0: 260 + 11 * tile}))
+        graph.connect("demosaic", name, production=1, consumption=1, token_words=16)
+        graph.connect(name, "merge", production=1, consumption=1, token_words=16)
+    graph.connect("merge", "encode", token_words=64)
+    return graph
+
+
+def fft_radix2(stages: int = 4) -> SdfGraph:
+    """Radix-2 FFT butterfly network with ``stages`` stages of ``2**(stages-1)`` butterflies."""
+    if stages <= 0:
+        raise DataflowError("stages must be positive")
+    butterflies_per_stage = 2 ** (stages - 1)
+    graph = SdfGraph(f"fft-{2 ** stages}")
+    graph.add_actor(Actor("load", wcet=570, accesses={0: 480}))
+    graph.add_actor(Actor("store", wcet=570, accesses={0: 480}))
+    previous_stage = ["load"] * butterflies_per_stage
+    for stage in range(stages):
+        current_stage = []
+        for index in range(butterflies_per_stage):
+            name = f"bfly_s{stage}_{index}"
+            graph.add_actor(Actor(name, wcet=550 + 3 * stage, accesses={0: 250 + 5 * index}))
+            current_stage.append(name)
+        for index, name in enumerate(current_stage):
+            if stage == 0:
+                graph.connect("load", name, token_words=4)
+            else:
+                span = 2 ** (stage - 1) if stage >= 1 else 1
+                partner = index ^ span if (index ^ span) < butterflies_per_stage else index
+                graph.connect(previous_stage[index], name, token_words=4)
+                if partner != index:
+                    graph.connect(previous_stage[partner], name, token_words=4)
+        previous_stage = current_stage
+    for name in previous_stage:
+        graph.connect(name, "store", token_words=4)
+    return graph

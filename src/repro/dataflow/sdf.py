@@ -1,0 +1,227 @@
+"""Synchronous dataflow (SDF) graphs.
+
+The framework the paper builds on ([5], Section I) starts from a high-level
+dataflow application that is compiled into the DAG of tasks the interference
+analysis consumes.  This module provides that front-end substrate: a classic
+SDF model — actors firing with fixed token production/consumption rates on
+their channels — together with the consistency check and repetition-vector
+computation needed before the graph can be expanded into a task DAG
+(:mod:`repro.dataflow.expansion`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import DataflowError
+
+__all__ = ["Actor", "Channel", "SdfGraph"]
+
+
+@dataclass(frozen=True)
+class Actor:
+    """One dataflow actor.
+
+    ``wcet`` and ``accesses`` describe a *single firing* of the actor (the
+    expansion turns each firing into one task).  ``accesses`` may be an int
+    (single-bank demand) and is normalized to a plain dict ``{bank: count}``.
+    """
+
+    name: str
+    wcet: int
+    accesses: Mapping[int, int] = field(default_factory=dict)
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DataflowError("actor name must be a non-empty string")
+        if self.wcet <= 0:
+            raise DataflowError(f"actor {self.name!r}: wcet must be positive")
+        if isinstance(self.accesses, int):
+            object.__setattr__(self, "accesses", {0: int(self.accesses)})
+        else:
+            object.__setattr__(
+                self, "accesses", {int(b): int(c) for b, c in dict(self.accesses).items() if c}
+            )
+        for bank, count in self.accesses.items():
+            if count < 0 or bank < 0:
+                raise DataflowError(f"actor {self.name!r}: invalid access record {bank}:{count}")
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A FIFO channel ``producer -> consumer``.
+
+    ``production``/``consumption`` are the number of tokens written/read per
+    firing; ``initial_tokens`` allows feedback-free pipelining; ``token_words``
+    is the size of one token in memory words (used to derive the write volume
+    carried by the expanded dependency edges).
+    """
+
+    producer: str
+    consumer: str
+    production: int = 1
+    consumption: int = 1
+    initial_tokens: int = 0
+    token_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.producer == self.consumer:
+            raise DataflowError(f"self-loop channel on actor {self.producer!r}")
+        if self.production <= 0 or self.consumption <= 0:
+            raise DataflowError(
+                f"channel {self.producer}->{self.consumer}: rates must be positive"
+            )
+        if self.initial_tokens < 0 or self.token_words < 0:
+            raise DataflowError(
+                f"channel {self.producer}->{self.consumer}: negative tokens or token size"
+            )
+
+
+class SdfGraph:
+    """A synchronous dataflow graph: actors plus rate-annotated channels."""
+
+    def __init__(self, name: str = "sdf") -> None:
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        self._channels: List[Channel] = []
+
+    # ------------------------------------------------------------------
+
+    def add_actor(self, actor: Actor) -> Actor:
+        if actor.name in self._actors:
+            raise DataflowError(f"duplicate actor {actor.name!r}")
+        self._actors[actor.name] = actor
+        return actor
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise DataflowError(f"unknown actor {name!r}") from None
+
+    def add_channel(self, channel: Channel) -> Channel:
+        if channel.producer not in self._actors:
+            raise DataflowError(f"channel references unknown producer {channel.producer!r}")
+        if channel.consumer not in self._actors:
+            raise DataflowError(f"channel references unknown consumer {channel.consumer!r}")
+        self._channels.append(channel)
+        return channel
+
+    def connect(
+        self,
+        producer: str,
+        consumer: str,
+        *,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        token_words: int = 1,
+    ) -> Channel:
+        """Convenience wrapper around :meth:`add_channel`."""
+        return self.add_channel(
+            Channel(
+                producer=producer,
+                consumer=consumer,
+                production=production,
+                consumption=consumption,
+                initial_tokens=initial_tokens,
+                token_words=token_words,
+            )
+        )
+
+    def actors(self) -> List[Actor]:
+        return list(self._actors.values())
+
+    def actor_names(self) -> List[str]:
+        return list(self._actors.keys())
+
+    def channels(self) -> List[Channel]:
+        return list(self._channels)
+
+    @property
+    def actor_count(self) -> int:
+        return len(self._actors)
+
+    @property
+    def channel_count(self) -> int:
+        return len(self._channels)
+
+    # ------------------------------------------------------------------
+    # rate consistency / repetition vector
+    # ------------------------------------------------------------------
+
+    def repetition_vector(self) -> Dict[str, int]:
+        """Smallest positive integer firing counts balancing every channel.
+
+        Solves ``production * q[producer] == consumption * q[consumer]`` for
+        every channel (the SDF balance equations).  Raises
+        :class:`~repro.errors.DataflowError` when the graph is inconsistent
+        (no such vector exists).
+        """
+        if not self._actors:
+            return {}
+        ratios: Dict[str, Fraction] = {}
+        # iterate connected components: fix one actor to 1 and propagate
+        for start in self._actors:
+            if start in ratios:
+                continue
+            ratios[start] = Fraction(1)
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for channel in self._channels:
+                    if channel.producer == current:
+                        other = channel.consumer
+                        implied = ratios[current] * channel.production / channel.consumption
+                    elif channel.consumer == current:
+                        other = channel.producer
+                        implied = ratios[current] * channel.consumption / channel.production
+                    else:
+                        continue
+                    if other in ratios:
+                        if ratios[other] != implied:
+                            raise DataflowError(
+                                f"inconsistent SDF rates around channel "
+                                f"{channel.producer}->{channel.consumer}"
+                            )
+                    else:
+                        ratios[other] = implied
+                        frontier.append(other)
+        # scale to the smallest integer vector
+        denominators = [ratio.denominator for ratio in ratios.values()]
+        scale = 1
+        for denominator in denominators:
+            scale = scale * denominator // _gcd(scale, denominator)
+        counts = {name: int(ratio * scale) for name, ratio in ratios.items()}
+        divisor = 0
+        for value in counts.values():
+            divisor = _gcd(divisor, value)
+        if divisor > 1:
+            counts = {name: value // divisor for name, value in counts.items()}
+        if any(value <= 0 for value in counts.values()):
+            raise DataflowError("repetition vector has a non-positive entry")
+        return counts
+
+    def is_consistent(self) -> bool:
+        """True when the balance equations admit a solution."""
+        try:
+            self.repetition_vector()
+        except DataflowError:
+            return False
+        return True
+
+    def total_firings(self, iterations: int = 1) -> int:
+        """Number of tasks one expansion produces for ``iterations`` graph iterations."""
+        return iterations * sum(self.repetition_vector().values())
+
+    def __repr__(self) -> str:
+        return f"SdfGraph({self.name!r}, actors={self.actor_count}, channels={self.channel_count})"
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)

@@ -1,0 +1,34 @@
+"""Random workload generators (Tobita–Kasahara layer-by-layer, fork-join, chains, series-parallel)."""
+
+from .chains import ChainsConfig, generate_chains
+from .fork_join import ForkJoinConfig, generate_fork_join
+from .layer_by_layer import (
+    PAPER_ACCESS_RANGE,
+    PAPER_CORE_COUNT,
+    PAPER_WCET_RANGE,
+    PAPER_WRITE_RANGE,
+    GeneratedWorkload,
+    LayerByLayerConfig,
+    fixed_ls_workload,
+    fixed_nl_workload,
+    generate_layer_by_layer,
+)
+from .series_parallel import SeriesParallelConfig, generate_series_parallel
+
+__all__ = [
+    "LayerByLayerConfig",
+    "GeneratedWorkload",
+    "generate_layer_by_layer",
+    "fixed_nl_workload",
+    "fixed_ls_workload",
+    "ForkJoinConfig",
+    "generate_fork_join",
+    "ChainsConfig",
+    "generate_chains",
+    "SeriesParallelConfig",
+    "generate_series_parallel",
+    "PAPER_WCET_RANGE",
+    "PAPER_ACCESS_RANGE",
+    "PAPER_WRITE_RANGE",
+    "PAPER_CORE_COUNT",
+]

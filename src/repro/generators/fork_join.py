@@ -1,0 +1,105 @@
+"""Fork-join random DAG generator.
+
+Fork-join graphs model the classic parallel-section structure produced by
+``#pragma omp parallel``-style code generators: a sequential *fork* task
+spawns ``width`` parallel workers that are collected by a *join* task, and
+several such sections are chained.  They stress the analysis differently from
+the layer-by-layer graphs: the number of simultaneously alive tasks alternates
+between 1 and ``width``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import GenerationError
+from ..model import Mapping, MemoryDemand, Task, TaskGraph
+from .layer_by_layer import (
+    PAPER_ACCESS_RANGE,
+    PAPER_CORE_COUNT,
+    PAPER_WCET_RANGE,
+    PAPER_WRITE_RANGE,
+    GeneratedWorkload,
+    LayerByLayerConfig,
+)
+
+__all__ = ["ForkJoinConfig", "generate_fork_join"]
+
+
+@dataclass(frozen=True)
+class ForkJoinConfig:
+    """Parameters of a fork-join workload: ``sections`` sections of ``width`` workers."""
+
+    sections: int
+    width: int
+    core_count: int = PAPER_CORE_COUNT
+    wcet_range: Tuple[int, int] = PAPER_WCET_RANGE
+    access_range: Tuple[int, int] = PAPER_ACCESS_RANGE
+    write_range: Tuple[int, int] = PAPER_WRITE_RANGE
+    bank_count: int = 1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sections <= 0:
+            raise GenerationError("sections must be positive")
+        if self.width <= 0:
+            raise GenerationError("width must be positive")
+        if self.core_count <= 0:
+            raise GenerationError("core_count must be positive")
+
+    @property
+    def task_count(self) -> int:
+        """Total number of tasks: fork + workers + join per section (join shared with next fork)."""
+        return self.sections * (self.width + 1) + 1
+
+    def label(self) -> str:
+        return f"forkjoin-{self.sections}x{self.width}"
+
+
+def generate_fork_join(config: ForkJoinConfig) -> GeneratedWorkload:
+    """Generate a fork-join workload (serial tasks on core 0, workers cyclic)."""
+    rng = random.Random(config.seed)
+    graph = TaskGraph(name=config.label())
+    mapping = Mapping()
+    layers: List[List[str]] = []
+
+    def new_task(name: str, core: int) -> str:
+        wcet = rng.randint(*config.wcet_range)
+        accesses = rng.randint(*config.access_range)
+        graph.add_task(Task(name=name, wcet=wcet, demand=MemoryDemand.single_bank(accesses)))
+        mapping.assign(name, core)
+        return name
+
+    previous_join = new_task("fork0000", core=0)
+    layers.append([previous_join])
+    for section in range(config.sections):
+        workers = []
+        for worker in range(config.width):
+            name = new_task(f"w{section:04d}_{worker:04d}", core=worker % config.core_count)
+            volume = rng.randint(*config.write_range)
+            graph.add_dependency(previous_join, name, volume)
+            workers.append(name)
+        layers.append(workers)
+        join = new_task(f"join{section:04d}", core=0)
+        for name in workers:
+            volume = rng.randint(*config.write_range)
+            graph.add_dependency(name, join, volume)
+        layers.append([join])
+        previous_join = join
+
+    # reuse the layer-by-layer workload container so the benchmark harness can
+    # treat every generator uniformly
+    equivalent = LayerByLayerConfig(
+        task_count=graph.task_count,
+        layer_size=max(config.width, 1),
+        core_count=config.core_count,
+        wcet_range=config.wcet_range,
+        access_range=config.access_range,
+        write_range=config.write_range,
+        bank_count=config.bank_count,
+        seed=config.seed,
+        name=config.label(),
+    )
+    return GeneratedWorkload(graph=graph, mapping=mapping, config=equivalent, layers=layers)

@@ -1,0 +1,274 @@
+"""Tobita–Kasahara layer-by-layer random DAG generator (Section V of the paper).
+
+The paper's evaluation generates random task graphs with the *layer-by-layer*
+method of Tobita and Kasahara [8]: tasks are organized in consecutive layers,
+dependencies only go from one layer to the next, and tasks of the same layer
+are assigned to cores cyclically (the *n*-th task of a layer runs on core
+``n mod core_count``).  Two families of benchmarks are derived:
+
+* **fixed NL** — the number of layers is constant and the layer size grows
+  with the task count (wide graphs);
+* **fixed LS** — the layer size is constant and the number of layers grows
+  (deep graphs).
+
+Per-task parameters follow the paper: WCET uniformly in ``[550, 650]`` cycles,
+memory accesses in ``[250, 550]``, and each dependency edge carries a number
+of written words in ``[0, 100]``, attributed to the producer task's memory
+demand (a producer both computes and writes its outputs to the shared memory).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arbiter import BusArbiter, RoundRobinArbiter
+from ..core import AnalysisProblem
+from ..errors import GenerationError
+from ..model import Mapping, MemoryDemand, Task, TaskGraph
+from ..platform import Platform
+
+__all__ = [
+    "LayerByLayerConfig",
+    "GeneratedWorkload",
+    "generate_layer_by_layer",
+    "fixed_nl_workload",
+    "fixed_ls_workload",
+]
+
+#: Parameter ranges quoted in Section V of the paper.
+PAPER_WCET_RANGE: Tuple[int, int] = (550, 650)
+PAPER_ACCESS_RANGE: Tuple[int, int] = (250, 550)
+PAPER_WRITE_RANGE: Tuple[int, int] = (0, 100)
+#: Number of cores of the MPPA-256 compute cluster used in the evaluation.
+PAPER_CORE_COUNT = 16
+
+
+@dataclass(frozen=True)
+class LayerByLayerConfig:
+    """Parameters of one layer-by-layer random workload.
+
+    Exactly one of ``layer_count`` (fixed NL) or ``layer_size`` (fixed LS)
+    must be given; the other dimension is derived from ``task_count``.
+    """
+
+    task_count: int
+    layer_count: Optional[int] = None
+    layer_size: Optional[int] = None
+    core_count: int = PAPER_CORE_COUNT
+    wcet_range: Tuple[int, int] = PAPER_WCET_RANGE
+    access_range: Tuple[int, int] = PAPER_ACCESS_RANGE
+    write_range: Tuple[int, int] = PAPER_WRITE_RANGE
+    bank_count: int = 1
+    #: probability of an *extra* edge between a producer of layer i and a
+    #: consumer of layer i+1 (on top of the one edge per consumer ensuring
+    #: connectivity).
+    edge_density: float = 0.2
+    seed: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.task_count <= 0:
+            raise GenerationError("task_count must be positive")
+        if (self.layer_count is None) == (self.layer_size is None):
+            raise GenerationError("give exactly one of layer_count (fixed NL) or layer_size (fixed LS)")
+        if self.layer_count is not None and self.layer_count <= 0:
+            raise GenerationError("layer_count must be positive")
+        if self.layer_size is not None and self.layer_size <= 0:
+            raise GenerationError("layer_size must be positive")
+        if self.core_count <= 0:
+            raise GenerationError("core_count must be positive")
+        if self.bank_count <= 0:
+            raise GenerationError("bank_count must be positive")
+        for low, high in (self.wcet_range, self.access_range, self.write_range):
+            if low < 0 or high < low:
+                raise GenerationError(f"invalid range [{low}, {high}]")
+        if self.wcet_range[0] <= 0:
+            raise GenerationError("WCETs must be strictly positive")
+        if not 0.0 <= self.edge_density <= 1.0:
+            raise GenerationError("edge_density must lie in [0, 1]")
+
+    # -- derived layout -------------------------------------------------
+
+    def layer_sizes(self) -> List[int]:
+        """Number of tasks in each layer (they sum to ``task_count``)."""
+        n = self.task_count
+        if self.layer_count is not None:
+            layers = min(self.layer_count, n)
+        else:
+            assert self.layer_size is not None
+            layers = max(1, (n + self.layer_size - 1) // self.layer_size)
+        base, extra = divmod(n, layers)
+        return [base + (1 if i < extra else 0) for i in range(layers)]
+
+    @property
+    def mode(self) -> str:
+        """``"fixed-nl"`` or ``"fixed-ls"``."""
+        return "fixed-nl" if self.layer_count is not None else "fixed-ls"
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        if self.layer_count is not None:
+            return f"NL{self.layer_count}-n{self.task_count}"
+        return f"LS{self.layer_size}-n{self.task_count}"
+
+
+@dataclass
+class GeneratedWorkload:
+    """A generated task graph together with its cyclic mapping and layout."""
+
+    graph: TaskGraph
+    mapping: Mapping
+    config: LayerByLayerConfig
+    layers: List[List[str]] = field(default_factory=list)
+
+    @property
+    def task_count(self) -> int:
+        return self.graph.task_count
+
+    def to_problem(
+        self,
+        platform: Optional[Platform] = None,
+        arbiter: Optional[BusArbiter] = None,
+        *,
+        horizon: Optional[int] = None,
+    ) -> AnalysisProblem:
+        """Build an :class:`AnalysisProblem` for this workload.
+
+        When no platform is given, a symmetric platform with the workload's
+        core and bank counts is created (the evaluation setting of the paper:
+        one MPPA-256 compute cluster with a round-robin SMEM bus).
+        """
+        if platform is None:
+            platform = Platform.symmetric(
+                self.config.core_count,
+                self.config.bank_count,
+                name=f"platform-{self.config.label()}",
+            )
+        if arbiter is None:
+            arbiter = RoundRobinArbiter()
+        return AnalysisProblem(
+            graph=self.graph,
+            mapping=self.mapping,
+            platform=platform,
+            arbiter=arbiter,
+            horizon=horizon,
+            name=self.config.label(),
+        )
+
+
+def generate_layer_by_layer(config: LayerByLayerConfig) -> GeneratedWorkload:
+    """Generate one random workload according to ``config`` (deterministic per seed)."""
+    rng = random.Random(config.seed)
+    sizes = config.layer_sizes()
+    graph = TaskGraph(name=config.label())
+    mapping = Mapping()
+
+    # --- create the tasks, layer by layer, with the cyclic core assignment ----
+    layers: List[List[str]] = []
+    index = 0
+    demands: Dict[str, int] = {}
+    for layer_id, size in enumerate(sizes):
+        layer: List[str] = []
+        for position in range(size):
+            name = f"t{index:05d}"
+            index += 1
+            wcet = rng.randint(*config.wcet_range)
+            accesses = rng.randint(*config.access_range)
+            demands[name] = accesses
+            graph.add_task(
+                Task(
+                    name=name,
+                    wcet=wcet,
+                    demand=MemoryDemand.empty(),  # demand finalized after edges are known
+                    metadata={"layer": layer_id, "position": position},
+                )
+            )
+            mapping.assign(name, position % config.core_count)
+            layer.append(name)
+        layers.append(layer)
+
+    # --- connect consecutive layers --------------------------------------------
+    for producer_layer, consumer_layer in zip(layers, layers[1:]):
+        for consumer in consumer_layer:
+            # guarantee at least one incoming edge so every layer depends on the previous one
+            producer = rng.choice(producer_layer)
+            volume = rng.randint(*config.write_range)
+            graph.add_dependency(producer, consumer, volume)
+            demands[producer] += volume
+        if config.edge_density > 0.0:
+            for producer in producer_layer:
+                for consumer in consumer_layer:
+                    if graph.has_dependency(producer, consumer):
+                        continue
+                    if rng.random() < config.edge_density:
+                        volume = rng.randint(*config.write_range)
+                        graph.add_dependency(producer, consumer, volume)
+                        demands[producer] += volume
+
+    # --- finalize the memory demands (accesses + written words), spread on banks
+    for name, total in demands.items():
+        graph.replace_task(
+            graph.task(name).with_demand(_spread_over_banks(total, config.bank_count, rng))
+        )
+
+    return GeneratedWorkload(graph=graph, mapping=mapping, config=config, layers=layers)
+
+
+def _spread_over_banks(total: int, bank_count: int, rng: random.Random) -> MemoryDemand:
+    """Distribute ``total`` accesses over ``bank_count`` banks.
+
+    With a single bank everything lands on bank 0 (the paper's setting).  With
+    several banks the accesses are split evenly with the remainder given to a
+    random bank, so bank pressure stays balanced but not perfectly uniform.
+    """
+    if total <= 0:
+        return MemoryDemand.empty()
+    if bank_count == 1:
+        return MemoryDemand.single_bank(total, bank=0)
+    base, extra = divmod(total, bank_count)
+    counts = {bank: base for bank in range(bank_count) if base > 0}
+    if extra:
+        lucky = rng.randrange(bank_count)
+        counts[lucky] = counts.get(lucky, 0) + extra
+    return MemoryDemand(counts)
+
+
+def fixed_nl_workload(
+    task_count: int,
+    layer_count: int,
+    *,
+    core_count: int = PAPER_CORE_COUNT,
+    seed: Optional[int] = None,
+    **overrides,
+) -> GeneratedWorkload:
+    """Fixed-NL benchmark input: constant number of layers, growing layer size."""
+    config = LayerByLayerConfig(
+        task_count=task_count,
+        layer_count=layer_count,
+        core_count=core_count,
+        seed=seed,
+        **overrides,
+    )
+    return generate_layer_by_layer(config)
+
+
+def fixed_ls_workload(
+    task_count: int,
+    layer_size: int,
+    *,
+    core_count: int = PAPER_CORE_COUNT,
+    seed: Optional[int] = None,
+    **overrides,
+) -> GeneratedWorkload:
+    """Fixed-LS benchmark input: constant layer size, growing number of layers."""
+    config = LayerByLayerConfig(
+        task_count=task_count,
+        layer_size=layer_size,
+        core_count=core_count,
+        seed=seed,
+        **overrides,
+    )
+    return generate_layer_by_layer(config)

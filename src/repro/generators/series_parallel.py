@@ -1,0 +1,128 @@
+"""Series-parallel random DAG generator.
+
+Series-parallel graphs are built by recursively composing sub-graphs either in
+*series* (one after the other) or in *parallel* (side by side between a common
+source and sink).  They are the typical output of structured parallel
+programming models (nested task parallelism) and give the analysis a mix of
+deep and wide regions inside a single graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import GenerationError
+from ..model import Mapping, MemoryDemand, Task, TaskGraph
+from ..model.properties import layers as graph_layers
+from .layer_by_layer import (
+    PAPER_ACCESS_RANGE,
+    PAPER_CORE_COUNT,
+    PAPER_WCET_RANGE,
+    PAPER_WRITE_RANGE,
+    GeneratedWorkload,
+    LayerByLayerConfig,
+)
+
+__all__ = ["SeriesParallelConfig", "generate_series_parallel"]
+
+
+@dataclass(frozen=True)
+class SeriesParallelConfig:
+    """Parameters of a random series-parallel workload.
+
+    ``target_tasks`` is a lower bound: expansion stops once the graph holds at
+    least that many tasks (the recursive construction may overshoot slightly).
+    """
+
+    target_tasks: int
+    max_branching: int = 4
+    core_count: int = PAPER_CORE_COUNT
+    wcet_range: Tuple[int, int] = PAPER_WCET_RANGE
+    access_range: Tuple[int, int] = PAPER_ACCESS_RANGE
+    write_range: Tuple[int, int] = PAPER_WRITE_RANGE
+    bank_count: int = 1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.target_tasks <= 0:
+            raise GenerationError("target_tasks must be positive")
+        if self.max_branching < 2:
+            raise GenerationError("max_branching must be at least 2")
+        if self.core_count <= 0:
+            raise GenerationError("core_count must be positive")
+
+    def label(self) -> str:
+        return f"series-parallel-{self.target_tasks}"
+
+
+def generate_series_parallel(config: SeriesParallelConfig) -> GeneratedWorkload:
+    """Generate a series-parallel DAG by random edge expansion.
+
+    Starting from a single edge, edges are repeatedly replaced either by a
+    chain of two edges (series) or by ``k`` parallel edges (parallel) until the
+    requested task count is reached.  Tasks are then mapped cyclically, layer
+    by layer, like the Tobita–Kasahara benchmark.
+    """
+    rng = random.Random(config.seed)
+    graph = TaskGraph(name=config.label())
+
+    counter = [0]
+
+    def new_task() -> str:
+        name = f"sp{counter[0]:05d}"
+        counter[0] += 1
+        wcet = rng.randint(*config.wcet_range)
+        accesses = rng.randint(*config.access_range)
+        graph.add_task(Task(name=name, wcet=wcet, demand=MemoryDemand.single_bank(accesses)))
+        return name
+
+    source = new_task()
+    sink = new_task()
+    volume = rng.randint(*config.write_range)
+    graph.add_dependency(source, sink, volume)
+    edges: List[Tuple[str, str]] = [(source, sink)]
+
+    while graph.task_count < config.target_tasks and edges:
+        index = rng.randrange(len(edges))
+        producer, consumer = edges.pop(index)
+        dep = graph.dependency(producer, consumer)
+        carried = dep.volume if dep is not None else 0
+        graph.remove_dependency(producer, consumer)
+        if rng.random() < 0.5:
+            # series expansion: producer -> middle -> consumer
+            middle = new_task()
+            graph.add_dependency(producer, middle, carried)
+            graph.add_dependency(middle, consumer, rng.randint(*config.write_range))
+            edges.append((producer, middle))
+            edges.append((middle, consumer))
+        else:
+            # parallel expansion: k branches producer -> branch_i -> consumer
+            branching = rng.randint(2, config.max_branching)
+            for _ in range(branching):
+                branch = new_task()
+                graph.add_dependency(producer, branch, rng.randint(*config.write_range))
+                graph.add_dependency(branch, consumer, rng.randint(*config.write_range))
+                edges.append((producer, branch))
+                edges.append((branch, consumer))
+
+    # layer-based cyclic mapping, like the paper's benchmark
+    mapping = Mapping()
+    layer_lists = graph_layers(graph)
+    for layer in layer_lists:
+        for position, name in enumerate(layer):
+            mapping.assign(name, position % config.core_count)
+
+    equivalent = LayerByLayerConfig(
+        task_count=graph.task_count,
+        layer_size=max((len(layer) for layer in layer_lists), default=1),
+        core_count=config.core_count,
+        wcet_range=config.wcet_range,
+        access_range=config.access_range,
+        write_range=config.write_range,
+        bank_count=config.bank_count,
+        seed=config.seed,
+        name=config.label(),
+    )
+    return GeneratedWorkload(graph=graph, mapping=mapping, config=equivalent, layers=layer_lists)

@@ -1,0 +1,24 @@
+"""Persistence: JSON problems/schedules and CSV exports."""
+
+from .csv_io import schedule_to_csv, timing_series_to_csv, write_schedule_csv, write_timing_csv
+from .json_io import (
+    load_problem,
+    load_schedule,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    save_schedule,
+)
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "save_schedule",
+    "load_schedule",
+    "schedule_to_csv",
+    "write_schedule_csv",
+    "timing_series_to_csv",
+    "write_timing_csv",
+]

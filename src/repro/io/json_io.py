@@ -1,0 +1,130 @@
+"""JSON persistence of analysis problems and schedules.
+
+The on-disk problem format bundles the task graph, the mapping, the platform,
+the arbiter *name* (arbiters are reconstructed through the registry — custom
+parameterizations must be re-applied programmatically) and the horizon::
+
+    {
+      "format": "repro-problem",
+      "version": 1,
+      "name": "...",
+      "graph": {...},        # repro.model.serialization.graph_to_dict
+      "mapping": {...},      # repro.model.serialization.mapping_to_dict
+      "platform": {...},     # Platform.to_dict
+      "arbiter": "round-robin",
+      "horizon": null
+    }
+
+Schedules are stored with ``Schedule.to_dict`` under a ``repro-schedule``
+envelope so files are self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..arbiter import create_arbiter
+from ..core import AnalysisProblem, Schedule
+from ..errors import SerializationError
+from ..model import graph_from_dict, graph_to_dict, mapping_from_dict, mapping_to_dict
+from ..platform import Platform
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "save_schedule",
+    "load_schedule",
+]
+
+PathLike = Union[str, Path]
+
+_PROBLEM_FORMAT = "repro-problem"
+_SCHEDULE_FORMAT = "repro-schedule"
+_VERSION = 1
+
+
+def problem_to_dict(problem: AnalysisProblem) -> Dict[str, Any]:
+    """Serialize an analysis problem to a JSON-compatible dictionary."""
+    return {
+        "format": _PROBLEM_FORMAT,
+        "version": _VERSION,
+        "name": problem.name,
+        "graph": graph_to_dict(problem.graph),
+        "mapping": mapping_to_dict(problem.mapping),
+        "platform": problem.platform.to_dict(),
+        "arbiter": problem.arbiter.name,
+        "horizon": problem.horizon,
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> AnalysisProblem:
+    """Deserialize an analysis problem; raises :class:`SerializationError` on bad input."""
+    if data.get("format") != _PROBLEM_FORMAT:
+        raise SerializationError(
+            f"not a {_PROBLEM_FORMAT} document (format={data.get('format')!r})"
+        )
+    try:
+        platform = Platform.from_dict(data["platform"])
+        graph = graph_from_dict(data["graph"])
+        mapping = mapping_from_dict(data["mapping"])
+        arbiter = create_arbiter(str(data.get("arbiter", "round-robin")), platform)
+        horizon = data.get("horizon")
+        return AnalysisProblem(
+            graph=graph,
+            mapping=mapping,
+            platform=platform,
+            arbiter=arbiter,
+            horizon=None if horizon is None else int(horizon),
+            name=str(data.get("name", graph.name)),
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid problem document: {exc}") from exc
+
+
+def save_problem(problem: AnalysisProblem, path: PathLike) -> Path:
+    """Write a problem to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(problem_to_dict(problem), indent=2), encoding="utf-8")
+    return path
+
+
+def load_problem(path: PathLike) -> AnalysisProblem:
+    """Load a problem from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read problem file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError(f"problem file {path} does not contain a JSON object")
+    return problem_from_dict(data)
+
+
+def save_schedule(schedule: Schedule, path: PathLike) -> Path:
+    """Write a schedule to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    document = {"format": _SCHEDULE_FORMAT, "version": _VERSION, **schedule.to_dict()}
+    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    return path
+
+
+def load_schedule(path: PathLike) -> Schedule:
+    """Load a schedule from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read schedule file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError(f"schedule file {path} does not contain a JSON object")
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise SerializationError(
+            f"not a {_SCHEDULE_FORMAT} document (format={data.get('format')!r})"
+        )
+    return Schedule.from_dict(data)

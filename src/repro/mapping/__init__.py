@@ -1,0 +1,25 @@
+"""Mapping and per-core ordering heuristics (the stage upstream of the analysis)."""
+
+from .cyclic import layer_cyclic_mapping, round_robin_mapping
+from .list_scheduling import estimate_schedule_length, list_schedule_mapping
+from .loadbalance import load_balanced_mapping, mapping_imbalance, memory_aware_mapping
+from .order import (
+    ORDER_STRATEGIES,
+    order_by_bottom_level,
+    order_by_top_level,
+    reorder_mapping,
+)
+
+__all__ = [
+    "layer_cyclic_mapping",
+    "round_robin_mapping",
+    "list_schedule_mapping",
+    "estimate_schedule_length",
+    "load_balanced_mapping",
+    "memory_aware_mapping",
+    "mapping_imbalance",
+    "order_by_top_level",
+    "order_by_bottom_level",
+    "reorder_mapping",
+    "ORDER_STRATEGIES",
+]

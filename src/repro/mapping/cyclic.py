@@ -1,0 +1,63 @@
+"""Layer-cyclic mapping — the mapping policy used by the paper's benchmark.
+
+"Tasks on the same layer are assigned to cores in a cyclic way: the n-th task
+of a layer is assigned to Core(n mod number of cores)" (Section V).  Tasks are
+appended to their core's execution order layer by layer, which is always
+consistent with the dependency order because dependencies only go from earlier
+to later layers (ASAP levels are used for graphs that are not strictly
+layered).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import MappingError
+from ..model import Mapping, TaskGraph
+from ..model.properties import layers as graph_layers
+
+__all__ = ["layer_cyclic_mapping", "round_robin_mapping"]
+
+
+def layer_cyclic_mapping(
+    graph: TaskGraph,
+    core_count: int,
+    *,
+    layers: Optional[Sequence[Sequence[str]]] = None,
+) -> Mapping:
+    """Cyclic assignment of each layer's tasks over ``core_count`` cores.
+
+    ``layers`` may be supplied when the generator already knows the layering
+    (e.g. :class:`repro.generators.GeneratedWorkload.layers`); otherwise the
+    ASAP layering of the graph is used.
+    """
+    if core_count <= 0:
+        raise MappingError("core_count must be positive")
+    if layers is None:
+        layers = graph_layers(graph)
+    mapping = Mapping()
+    for layer in layers:
+        for position, name in enumerate(layer):
+            mapping.assign(name, position % core_count)
+    # tasks missing from the provided layering would make the mapping incomplete;
+    # fail early with a clear message
+    missing = [task.name for task in graph if not mapping.is_mapped(task.name)]
+    if missing:
+        raise MappingError(
+            "layering does not cover all tasks, e.g. " + ", ".join(sorted(missing)[:5])
+        )
+    return mapping
+
+
+def round_robin_mapping(graph: TaskGraph, core_count: int) -> Mapping:
+    """Topological-order round-robin assignment (ignores the layer structure).
+
+    A simpler variant used by tests and examples: the *i*-th task in
+    topological order goes to core ``i mod core_count``.
+    """
+    if core_count <= 0:
+        raise MappingError("core_count must be positive")
+    mapping = Mapping()
+    for index, name in enumerate(graph.topological_order()):
+        mapping.assign(name, index % core_count)
+    return mapping

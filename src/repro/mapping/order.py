@@ -1,0 +1,77 @@
+"""Per-core ordering strategies.
+
+A :class:`repro.model.Mapping` fixes both *where* a task runs and *in which
+order* the tasks of one core execute.  When only the core assignment is known
+(e.g. it comes from an external placement tool), these helpers derive a valid
+per-core order:
+
+* :func:`order_by_top_level` — sort by earliest possible start (ASAP), the
+  natural time-triggered order;
+* :func:`order_by_bottom_level` — sort by criticality (longest remaining path
+  first), which tends to shorten the critical path;
+* :func:`reorder_mapping` — apply one of the strategies to an existing mapping
+  while keeping its core assignment.
+
+All strategies fall back to the topological index to break ties, so the
+resulting order is always consistent with the dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping as TMapping
+
+from ..errors import MappingError
+from ..model import Mapping, TaskGraph
+from ..model.properties import bottom_levels, top_levels
+
+__all__ = ["order_by_top_level", "order_by_bottom_level", "reorder_mapping", "ORDER_STRATEGIES"]
+
+
+def _build(
+    graph: TaskGraph, assignment: TMapping[str, int], key: Callable[[str], tuple]
+) -> Mapping:
+    topo_index = {name: index for index, name in enumerate(graph.topological_order())}
+    for name in assignment:
+        if name not in topo_index:
+            raise MappingError(f"assignment references unknown task {name!r}")
+    mapping = Mapping()
+    by_core: Dict[int, list] = {}
+    for name, core in assignment.items():
+        by_core.setdefault(int(core), []).append(name)
+    for core in sorted(by_core):
+        names = sorted(by_core[core], key=lambda n: key(n) + (topo_index[n], n))
+        for name in names:
+            mapping.assign(name, core)
+    return mapping
+
+
+def order_by_top_level(graph: TaskGraph, assignment: TMapping[str, int]) -> Mapping:
+    """Order each core's tasks by their earliest possible start date (ASAP)."""
+    tops = top_levels(graph)
+    return _build(graph, assignment, lambda name: (tops[name],))
+
+
+def order_by_bottom_level(graph: TaskGraph, assignment: TMapping[str, int]) -> Mapping:
+    """Order each core's tasks by decreasing criticality (longest remaining path first)."""
+    bottoms = bottom_levels(graph)
+    tops = top_levels(graph)
+    # primary key: ASAP level (to stay dependency-consistent), secondary: criticality
+    return _build(graph, assignment, lambda name: (tops[name], -bottoms[name]))
+
+
+ORDER_STRATEGIES: Dict[str, Callable[[TaskGraph, TMapping[str, int]], Mapping]] = {
+    "top-level": order_by_top_level,
+    "bottom-level": order_by_bottom_level,
+}
+
+
+def reorder_mapping(graph: TaskGraph, mapping: Mapping, strategy: str = "top-level") -> Mapping:
+    """Rebuild ``mapping`` with a different per-core ordering strategy."""
+    try:
+        builder = ORDER_STRATEGIES[strategy]
+    except KeyError:
+        raise MappingError(
+            f"unknown ordering strategy {strategy!r}; available: {', '.join(sorted(ORDER_STRATEGIES))}"
+        ) from None
+    assignment = {name: mapping.core_of(name) for name in mapping.mapped_tasks()}
+    return builder(graph, assignment)

@@ -1,0 +1,55 @@
+"""Task-graph model: tasks, dependencies, mappings and structural properties."""
+
+from .builder import TaskGraphBuilder
+from .mapping import Mapping
+from .properties import (
+    GraphSummary,
+    bottom_levels,
+    critical_path,
+    graph_depth,
+    graph_width,
+    layers,
+    longest_path_length,
+    makespan_lower_bound,
+    parallelism_profile,
+    summarize,
+    task_levels,
+    top_levels,
+)
+from .serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from .task import MemoryDemand, Task
+from .taskgraph import Dependency, TaskGraph
+
+__all__ = [
+    "Task",
+    "MemoryDemand",
+    "TaskGraph",
+    "Dependency",
+    "Mapping",
+    "TaskGraphBuilder",
+    "GraphSummary",
+    "summarize",
+    "task_levels",
+    "layers",
+    "graph_depth",
+    "graph_width",
+    "top_levels",
+    "bottom_levels",
+    "longest_path_length",
+    "critical_path",
+    "makespan_lower_bound",
+    "parallelism_profile",
+    "graph_to_dict",
+    "graph_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "task_to_dict",
+    "task_from_dict",
+]

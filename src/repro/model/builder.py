@@ -1,0 +1,139 @@
+"""Fluent builder for task graphs and analysis problems.
+
+The builder is the recommended way to construct small problems by hand (unit
+tests, examples, tutorials).  Large workloads normally come from
+:mod:`repro.generators` or :mod:`repro.dataflow` instead.
+
+Example
+-------
+>>> from repro.model import TaskGraphBuilder
+>>> builder = TaskGraphBuilder("demo")
+>>> builder.task("a", wcet=10, accesses=5).task("b", wcet=20, accesses=3)
+TaskGraphBuilder('demo', tasks=2)
+>>> builder.edge("a", "b", volume=2)
+TaskGraphBuilder('demo', tasks=2)
+>>> graph = builder.build()
+>>> graph.task_count
+2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping as TMapping, Optional, Sequence, Union
+
+from ..errors import GraphError
+from .mapping import Mapping
+from .task import MemoryDemand, Task
+from .taskgraph import TaskGraph
+
+__all__ = ["TaskGraphBuilder"]
+
+DemandLike = Union[int, TMapping[int, int], MemoryDemand, None]
+
+
+def _coerce_demand(accesses: DemandLike, bank: int) -> MemoryDemand:
+    if accesses is None:
+        return MemoryDemand.empty()
+    if isinstance(accesses, MemoryDemand):
+        return accesses
+    if isinstance(accesses, int):
+        return MemoryDemand.single_bank(accesses, bank=bank)
+    return MemoryDemand(accesses)
+
+
+class TaskGraphBuilder:
+    """Incrementally build a :class:`TaskGraph` (and optionally a :class:`Mapping`)."""
+
+    def __init__(self, name: str = "taskgraph", *, default_bank: int = 0) -> None:
+        self._graph = TaskGraph(name=name)
+        self._mapping = Mapping()
+        self._default_bank = int(default_bank)
+        self._has_mapping = False
+
+    # ------------------------------------------------------------------
+
+    def task(
+        self,
+        name: str,
+        wcet: int,
+        *,
+        accesses: DemandLike = None,
+        min_release: int = 0,
+        deadline: Optional[int] = None,
+        core: Optional[int] = None,
+        metadata: Optional[TMapping[str, object]] = None,
+    ) -> "TaskGraphBuilder":
+        """Declare a task.
+
+        ``accesses`` may be an integer (accesses on the default bank), a
+        ``{bank: count}`` mapping or a :class:`MemoryDemand`.  When ``core`` is
+        given, the task is also appended to that core's execution order.
+        """
+        demand = _coerce_demand(accesses, self._default_bank)
+        task = Task(
+            name=name,
+            wcet=wcet,
+            demand=demand,
+            min_release=min_release,
+            deadline=deadline,
+            metadata=dict(metadata or {}),
+        )
+        self._graph.add_task(task)
+        if core is not None:
+            self._mapping.assign(name, core)
+            self._has_mapping = True
+        return self
+
+    def edge(self, producer: str, consumer: str, volume: int = 0) -> "TaskGraphBuilder":
+        """Declare a dependency edge."""
+        self._graph.add_dependency(producer, consumer, volume)
+        return self
+
+    def chain(self, *names: str, volume: int = 0) -> "TaskGraphBuilder":
+        """Declare a chain of dependencies ``names[0] -> names[1] -> ...``."""
+        if len(names) < 2:
+            raise GraphError("a chain needs at least two tasks")
+        for producer, consumer in zip(names, names[1:]):
+            self._graph.add_dependency(producer, consumer, volume)
+        return self
+
+    def map(self, name: str, core: int) -> "TaskGraphBuilder":
+        """Map an already-declared task onto a core (appends to the core order)."""
+        self._mapping.assign(name, core)
+        self._has_mapping = True
+        return self
+
+    def map_order(self, core: int, names: Sequence[str]) -> "TaskGraphBuilder":
+        """Map several tasks onto ``core`` in the given execution order."""
+        for name in names:
+            self._mapping.assign(name, core)
+        self._has_mapping = True
+        return self
+
+    # ------------------------------------------------------------------
+
+    def build(self, *, validate: bool = True) -> TaskGraph:
+        """Return the built graph (validated by default)."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+    def build_mapping(self, *, validate: bool = True) -> Mapping:
+        """Return the mapping accumulated through ``core=``/``map`` calls."""
+        if not self._has_mapping:
+            raise GraphError("no mapping information was provided to the builder")
+        if validate:
+            self._mapping.validate(self._graph)
+        return self._mapping
+
+    def build_both(self, *, validate: bool = True):
+        """Return ``(graph, mapping)``."""
+        return self.build(validate=validate), self.build_mapping(validate=validate)
+
+    @property
+    def graph(self) -> TaskGraph:
+        """The graph under construction (not yet validated)."""
+        return self._graph
+
+    def __repr__(self) -> str:
+        return f"TaskGraphBuilder({self._graph.name!r}, tasks={self._graph.task_count})"

@@ -1,0 +1,192 @@
+"""Structural properties of task graphs.
+
+These helpers are used by the generators (to report what they produced), by
+the mapping heuristics (ranks, critical path) and by the analyses
+(lower bounds on the makespan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import UnknownTaskError
+from .mapping import Mapping
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "longest_path_length",
+    "critical_path",
+    "task_levels",
+    "layers",
+    "graph_width",
+    "graph_depth",
+    "bottom_levels",
+    "top_levels",
+    "makespan_lower_bound",
+    "parallelism_profile",
+    "GraphSummary",
+    "summarize",
+]
+
+
+def task_levels(graph: TaskGraph) -> Dict[str, int]:
+    """Depth of each task: 0 for sources, 1 + max(level of predecessors) otherwise."""
+    levels: Dict[str, int] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def layers(graph: TaskGraph) -> List[List[str]]:
+    """Tasks grouped by level (ASAP layering)."""
+    levels = task_levels(graph)
+    if not levels:
+        return []
+    depth = max(levels.values()) + 1
+    result: List[List[str]] = [[] for _ in range(depth)]
+    for name, level in levels.items():
+        result[level].append(name)
+    return result
+
+
+def graph_depth(graph: TaskGraph) -> int:
+    """Number of layers (0 for an empty graph)."""
+    levels = task_levels(graph)
+    return (max(levels.values()) + 1) if levels else 0
+
+
+def graph_width(graph: TaskGraph) -> int:
+    """Size of the largest layer (maximum structural parallelism)."""
+    return max((len(layer) for layer in layers(graph)), default=0)
+
+
+def top_levels(graph: TaskGraph) -> Dict[str, int]:
+    """Earliest possible start of each task ignoring resources and interference.
+
+    ``top_level(t) = max(min_release(t), max over preds p of top_level(p) + wcet(p))``
+    """
+    result: Dict[str, int] = {}
+    for name in graph.topological_order():
+        task = graph.task(name)
+        start = task.min_release
+        for pred in graph.predecessors(name):
+            start = max(start, result[pred] + graph.task(pred).wcet)
+        result[name] = start
+    return result
+
+
+def bottom_levels(graph: TaskGraph) -> Dict[str, int]:
+    """Length of the longest WCET path from each task to a sink (inclusive)."""
+    result: Dict[str, int] = {}
+    for name in reversed(graph.topological_order()):
+        task = graph.task(name)
+        below = max((result[s] for s in graph.successors(name)), default=0)
+        result[name] = task.wcet + below
+    return result
+
+
+def longest_path_length(graph: TaskGraph) -> int:
+    """Length (in cycles of isolation WCET) of the critical path, honouring minimal releases."""
+    tops = top_levels(graph)
+    if not tops:
+        return 0
+    return max(tops[name] + graph.task(name).wcet for name in graph.task_names())
+
+
+def critical_path(graph: TaskGraph) -> List[str]:
+    """One critical path (list of task names from a source to a sink)."""
+    if len(graph) == 0:
+        return []
+    tops = top_levels(graph)
+    finish = {name: tops[name] + graph.task(name).wcet for name in graph.task_names()}
+    # start from the sink with the largest finish time and walk backwards
+    current = max(finish, key=lambda n: (finish[n], n))
+    path = [current]
+    while True:
+        preds = graph.predecessors(current)
+        if not preds:
+            break
+        # the predecessor that determined our start time, if any
+        best: Optional[str] = None
+        for pred in preds:
+            if finish[pred] == tops[current] and (best is None or finish[pred] > finish[best]):
+                best = pred
+        if best is None:
+            # start time was fixed by min_release, stop here
+            break
+        path.append(best)
+        current = best
+    path.reverse()
+    return path
+
+
+def makespan_lower_bound(graph: TaskGraph, mapping: Optional[Mapping] = None) -> int:
+    """A simple lower bound on the achievable makespan.
+
+    The bound is the maximum of the critical path length (dependencies) and,
+    when a mapping is given, the largest per-core load (resource constraint).
+    Interference can only increase the makespan beyond this bound.
+    """
+    bound = longest_path_length(graph)
+    if mapping is not None:
+        for core, tasks in mapping.items():
+            load = sum(graph.task(name).wcet for name in tasks)
+            earliest = min((graph.task(name).min_release for name in tasks), default=0)
+            bound = max(bound, earliest + load)
+    return bound
+
+
+def parallelism_profile(graph: TaskGraph) -> Dict[int, int]:
+    """Histogram ``layer size -> number of layers`` (shape of the DAG)."""
+    profile: Dict[int, int] = {}
+    for layer in layers(graph):
+        profile[len(layer)] = profile.get(len(layer), 0) + 1
+    return profile
+
+
+class GraphSummary:
+    """Aggregate statistics of a task graph, used by reports and generator tests."""
+
+    def __init__(
+        self,
+        task_count: int,
+        edge_count: int,
+        depth: int,
+        width: int,
+        total_wcet: int,
+        total_accesses: int,
+        critical_path_length: int,
+        banks_used: int,
+    ) -> None:
+        self.task_count = task_count
+        self.edge_count = edge_count
+        self.depth = depth
+        self.width = width
+        self.total_wcet = total_wcet
+        self.total_accesses = total_accesses
+        self.critical_path_length = critical_path_length
+        self.banks_used = banks_used
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSummary(tasks={self.task_count}, edges={self.edge_count}, "
+            f"depth={self.depth}, width={self.width}, cp={self.critical_path_length})"
+        )
+
+
+def summarize(graph: TaskGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    return GraphSummary(
+        task_count=graph.task_count,
+        edge_count=graph.edge_count,
+        depth=graph_depth(graph),
+        width=graph_width(graph),
+        total_wcet=graph.total_wcet,
+        total_accesses=graph.total_accesses,
+        critical_path_length=longest_path_length(graph),
+        banks_used=len(graph.banks_used()),
+    )

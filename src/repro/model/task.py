@@ -1,0 +1,235 @@
+"""Task model: the unit of work scheduled on a core.
+
+A :class:`Task` carries everything the interference analysis needs to know
+about one node of the task graph:
+
+* a unique ``name``;
+* its worst-case execution time **in isolation** (``wcet``), i.e. the WCET a
+  tool such as OTAWA would compute assuming the task is alone on the chip;
+* its memory demand, expressed as the number of shared-memory accesses the
+  task performs on each memory bank (:class:`MemoryDemand`);
+* an optional *minimal release date* (``min_release``): the task must not
+  start before this date even if all its inputs are available earlier;
+* an optional relative ``deadline`` used by the schedulability analyses.
+
+Durations and dates are integers (clock cycles of the target platform).  The
+analysis algorithms never require floating point time; keeping integer time
+makes the fixed-point iterations exact and the property-based tests stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+from ..errors import ModelError
+
+__all__ = ["MemoryDemand", "Task"]
+
+
+class MemoryDemand:
+    """Number of shared-memory accesses a task performs, per memory bank.
+
+    The demand behaves like a read-only mapping ``bank_id -> access count``.
+    Bank identifiers are small integers matching
+    :class:`repro.platform.MemoryBank` identifiers.  Banks with zero demand are
+    not stored.
+
+    Instances are value objects: they compare by content and support addition
+    (used when several tasks mapped to the same core are merged into a single
+    virtual initiator, per the paper's conservative hypothesis, section II-C).
+    """
+
+    __slots__ = ("_accesses",)
+
+    def __init__(self, accesses: Optional[Mapping[int, int]] = None) -> None:
+        cleaned: Dict[int, int] = {}
+        if accesses:
+            for bank, count in accesses.items():
+                bank = int(bank)
+                count = int(count)
+                if bank < 0:
+                    raise ModelError(f"bank identifier must be non-negative, got {bank}")
+                if count < 0:
+                    raise ModelError(f"access count must be non-negative, got {count} for bank {bank}")
+                if count:
+                    cleaned[bank] = cleaned.get(bank, 0) + count
+        self._accesses = cleaned
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def single_bank(cls, count: int, bank: int = 0) -> "MemoryDemand":
+        """Demand of ``count`` accesses on a single bank (bank 0 by default)."""
+        return cls({bank: count})
+
+    @classmethod
+    def empty(cls) -> "MemoryDemand":
+        """A task that never touches the shared memory."""
+        return cls()
+
+    # -- mapping protocol ----------------------------------------------
+
+    def __getitem__(self, bank: int) -> int:
+        return self._accesses.get(int(bank), 0)
+
+    def get(self, bank: int, default: int = 0) -> int:
+        return self._accesses.get(int(bank), default)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._accesses)
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __contains__(self, bank: object) -> bool:
+        return bank in self._accesses
+
+    def items(self):
+        return self._accesses.items()
+
+    def banks(self) -> Iterable[int]:
+        """Identifiers of the banks this demand touches (non-zero counts only)."""
+        return self._accesses.keys()
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __add__(self, other: "MemoryDemand") -> "MemoryDemand":
+        if not isinstance(other, MemoryDemand):
+            return NotImplemented
+        merged = dict(self._accesses)
+        for bank, count in other._accesses.items():
+            merged[bank] = merged.get(bank, 0) + count
+        return MemoryDemand(merged)
+
+    def scaled(self, factor: int) -> "MemoryDemand":
+        """Demand with every access count multiplied by ``factor``."""
+        if factor < 0:
+            raise ModelError("scaling factor must be non-negative")
+        return MemoryDemand({bank: count * factor for bank, count in self._accesses.items()})
+
+    @property
+    def total(self) -> int:
+        """Total number of accesses across all banks."""
+        return sum(self._accesses.values())
+
+    def is_empty(self) -> bool:
+        return not self._accesses
+
+    # -- value semantics --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MemoryDemand):
+            return self._accesses == other._accesses
+        if isinstance(other, Mapping):
+            return self._accesses == {int(b): int(c) for b, c in other.items() if c}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._accesses.items()))
+
+    def __repr__(self) -> str:
+        return f"MemoryDemand({self._accesses!r})"
+
+    def to_dict(self) -> Dict[int, int]:
+        """Plain ``dict`` copy suitable for JSON serialization."""
+        return dict(self._accesses)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the task within its graph.
+    wcet:
+        Worst-case execution time in isolation, in cycles.  Must be positive:
+        zero-length tasks would create degenerate empty execution windows.
+    demand:
+        Shared-memory demand (accesses per bank).  Defaults to no accesses.
+    min_release:
+        Earliest date at which the task may start, in cycles (default 0).
+    deadline:
+        Optional absolute deadline used by :mod:`repro.analysis.schedulability`.
+        ``None`` means "no individual deadline".
+    metadata:
+        Free-form dictionary preserved through serialization (e.g. the name of
+        the dataflow actor or source function the task was generated from).
+    """
+
+    name: str
+    wcet: int
+    demand: MemoryDemand = field(default_factory=MemoryDemand.empty)
+    min_release: int = 0
+    deadline: Optional[int] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError("task name must be a non-empty string")
+        if int(self.wcet) <= 0:
+            raise ModelError(f"task {self.name!r}: wcet must be a positive integer, got {self.wcet}")
+        if int(self.min_release) < 0:
+            raise ModelError(f"task {self.name!r}: min_release must be non-negative, got {self.min_release}")
+        if self.deadline is not None and int(self.deadline) <= 0:
+            raise ModelError(f"task {self.name!r}: deadline must be positive when given, got {self.deadline}")
+        if not isinstance(self.demand, MemoryDemand):
+            object.__setattr__(self, "demand", MemoryDemand(self.demand))
+        object.__setattr__(self, "wcet", int(self.wcet))
+        object.__setattr__(self, "min_release", int(self.min_release))
+        if self.deadline is not None:
+            object.__setattr__(self, "deadline", int(self.deadline))
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of shared-memory accesses across all banks."""
+        return self.demand.total
+
+    def accesses_on(self, bank: int) -> int:
+        """Number of accesses the task performs on ``bank``."""
+        return self.demand[bank]
+
+    def with_demand(self, demand: MemoryDemand | Mapping[int, int]) -> "Task":
+        """Copy of the task with a different memory demand."""
+        if not isinstance(demand, MemoryDemand):
+            demand = MemoryDemand(demand)
+        return Task(
+            name=self.name,
+            wcet=self.wcet,
+            demand=demand,
+            min_release=self.min_release,
+            deadline=self.deadline,
+            metadata=dict(self.metadata),
+        )
+
+    def with_min_release(self, min_release: int) -> "Task":
+        """Copy of the task with a different minimal release date."""
+        return Task(
+            name=self.name,
+            wcet=self.wcet,
+            demand=self.demand,
+            min_release=min_release,
+            deadline=self.deadline,
+            metadata=dict(self.metadata),
+        )
+
+    def with_wcet(self, wcet: int) -> "Task":
+        """Copy of the task with a different isolation WCET."""
+        return Task(
+            name=self.name,
+            wcet=wcet,
+            demand=self.demand,
+            min_release=self.min_release,
+            deadline=self.deadline,
+            metadata=dict(self.metadata),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Task({self.name}, wcet={self.wcet}, accesses={self.demand.total}, "
+            f"min_release={self.min_release})"
+        )

@@ -1,0 +1,37 @@
+"""Hardware platform models (cores, memory banks, MPPA-256 presets)."""
+
+from .generic import (
+    banked_manycore,
+    dual_core_single_bank,
+    manycore,
+    partitioned_banks,
+    quad_core_single_bank,
+    single_core,
+)
+from .mppa256 import (
+    MPPA_ACCESS_LATENCY,
+    MPPA_CLUSTER_BANKS,
+    MPPA_CLUSTER_CORES,
+    mppa256_cluster,
+    mppa256_full,
+    mppa256_io_subsystem,
+)
+from .platform import Core, MemoryBank, Platform
+
+__all__ = [
+    "Core",
+    "MemoryBank",
+    "Platform",
+    "mppa256_cluster",
+    "mppa256_full",
+    "mppa256_io_subsystem",
+    "MPPA_CLUSTER_CORES",
+    "MPPA_CLUSTER_BANKS",
+    "MPPA_ACCESS_LATENCY",
+    "single_core",
+    "dual_core_single_bank",
+    "quad_core_single_bank",
+    "manycore",
+    "banked_manycore",
+    "partitioned_banks",
+]

@@ -1,0 +1,93 @@
+"""Generic platform factories used by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import PlatformError
+from .platform import Core, MemoryBank, Platform
+
+__all__ = [
+    "single_core",
+    "dual_core_single_bank",
+    "quad_core_single_bank",
+    "manycore",
+    "banked_manycore",
+    "partitioned_banks",
+]
+
+
+def single_core(*, access_latency: int = 1) -> Platform:
+    """A single core and a single bank — the interference-free reference platform."""
+    return Platform(
+        name="single-core",
+        cores=[Core(identifier=0)],
+        banks=[MemoryBank(identifier=0, access_latency=access_latency)],
+    )
+
+
+def dual_core_single_bank(*, access_latency: int = 1) -> Platform:
+    """Two cores contending on one bank: the smallest platform with interference."""
+    return Platform.symmetric(2, 1, name="dual-core", access_latency=access_latency)
+
+
+def quad_core_single_bank(*, access_latency: int = 1) -> Platform:
+    """Four cores and one bank: the platform of Figure 1 of the paper."""
+    return Platform.symmetric(4, 1, name="quad-core", access_latency=access_latency)
+
+
+def manycore(core_count: int, *, access_latency: int = 1, name: Optional[str] = None) -> Platform:
+    """A flat many-core with one shared bank (worst-case contention)."""
+    return Platform.symmetric(
+        core_count, 1, name=name or f"manycore-{core_count}", access_latency=access_latency
+    )
+
+
+def banked_manycore(
+    core_count: int,
+    bank_count: int,
+    *,
+    access_latency: int = 1,
+    name: Optional[str] = None,
+) -> Platform:
+    """A flat many-core with several shared banks."""
+    return Platform.symmetric(
+        core_count,
+        bank_count,
+        name=name or f"manycore-{core_count}x{bank_count}",
+        access_latency=access_latency,
+    )
+
+
+def partitioned_banks(
+    core_count: int,
+    *,
+    shared_banks: int = 1,
+    access_latency: int = 1,
+) -> Platform:
+    """One private bank per core plus ``shared_banks`` shared banks.
+
+    Models the paper's remark that banks "may be reserved for each core to
+    minimize interference": traffic a core keeps on its private bank never
+    interferes, only the shared banks are arbitrated.
+
+    Bank identifiers: private bank of core *k* is bank *k*; shared banks come
+    after (identifiers ``core_count .. core_count + shared_banks - 1``).
+    """
+    if shared_banks < 0:
+        raise PlatformError("shared_banks must be non-negative")
+    cores = [Core(identifier=i, priority=i) for i in range(core_count)]
+    banks = [
+        MemoryBank(identifier=i, name=f"private{i}", access_latency=access_latency, reserved_for=i)
+        for i in range(core_count)
+    ]
+    banks.extend(
+        MemoryBank(identifier=core_count + s, name=f"shared{s}", access_latency=access_latency)
+        for s in range(shared_banks)
+    )
+    return Platform(
+        name=f"partitioned-{core_count}+{shared_banks}",
+        cores=cores,
+        banks=banks,
+        description="Per-core private banks plus shared banks.",
+    )

@@ -1,0 +1,107 @@
+"""Kalray MPPA-256 (Bostan) platform model.
+
+The MPPA-256 used as evaluation platform by the paper is organised as 16
+compute clusters of 16 application cores each; inside a compute cluster the
+cores share a 2 MiB SMEM split into 16 banks, accessed through a bus with a
+multi-level round-robin arbiter.  The interference analysis of the paper works
+at the level of *one* compute cluster (tasks of the DAG are mapped onto the
+cores of a cluster and interfere on its shared banks), so the default factory
+below models a single compute cluster; :func:`mppa256_full` builds the full
+16-cluster chip for experiments that map independent graphs per cluster.
+
+These are parametric models: the analysis only needs the number of cores,
+the number of banks and the per-access latency, all of which can be overridden.
+"""
+
+from __future__ import annotations
+
+from .platform import Core, MemoryBank, Platform
+
+__all__ = [
+    "MPPA_CLUSTER_CORES",
+    "MPPA_CLUSTER_BANKS",
+    "MPPA_ACCESS_LATENCY",
+    "mppa256_cluster",
+    "mppa256_full",
+    "mppa256_io_subsystem",
+]
+
+#: Number of application cores in one MPPA-256 compute cluster.
+MPPA_CLUSTER_CORES = 16
+#: Number of SMEM banks in one compute cluster.
+MPPA_CLUSTER_BANKS = 16
+#: Cycles the bus is held per word access (the paper counts 1 cycle per word).
+MPPA_ACCESS_LATENCY = 1
+
+
+def mppa256_cluster(
+    core_count: int = MPPA_CLUSTER_CORES,
+    bank_count: int = MPPA_CLUSTER_BANKS,
+    *,
+    access_latency: int = MPPA_ACCESS_LATENCY,
+    name: str = "mppa256-cluster",
+) -> Platform:
+    """One MPPA-256 compute cluster (the platform used in the paper's evaluation)."""
+    cores = [Core(identifier=i, name=f"PE{i}", cluster=0, priority=i) for i in range(core_count)]
+    banks = [
+        MemoryBank(identifier=b, name=f"smem{b}", access_latency=access_latency)
+        for b in range(bank_count)
+    ]
+    return Platform(
+        name=name,
+        cores=cores,
+        banks=banks,
+        description=(
+            "Single Kalray MPPA-256 compute cluster: "
+            f"{core_count} cores sharing {bank_count} SMEM banks over a round-robin bus."
+        ),
+    )
+
+
+def mppa256_full(
+    clusters: int = 16,
+    cores_per_cluster: int = MPPA_CLUSTER_CORES,
+    banks_per_cluster: int = MPPA_CLUSTER_BANKS,
+    *,
+    access_latency: int = MPPA_ACCESS_LATENCY,
+) -> Platform:
+    """The full 16-cluster MPPA-256 chip (256 application cores)."""
+    cores = []
+    banks = []
+    for cluster in range(clusters):
+        for i in range(cores_per_cluster):
+            identifier = cluster * cores_per_cluster + i
+            cores.append(
+                Core(identifier=identifier, name=f"C{cluster}.PE{i}", cluster=cluster, priority=i)
+            )
+        for b in range(banks_per_cluster):
+            identifier = cluster * banks_per_cluster + b
+            banks.append(
+                MemoryBank(
+                    identifier=identifier,
+                    name=f"C{cluster}.smem{b}",
+                    access_latency=access_latency,
+                )
+            )
+    return Platform(
+        name="mppa256",
+        cores=cores,
+        banks=banks,
+        description="Full Kalray MPPA-256: 16 compute clusters of 16 cores and 16 SMEM banks.",
+    )
+
+
+def mppa256_io_subsystem(*, access_latency: int = 10) -> Platform:
+    """The quad-core I/O subsystem accessing external DDR (higher latency).
+
+    Used by examples that model off-chip traffic; not part of the paper's
+    evaluation but handy to demonstrate that the analysis is latency-aware.
+    """
+    cores = [Core(identifier=i, name=f"IO{i}", cluster=0, priority=i) for i in range(4)]
+    banks = [MemoryBank(identifier=0, name="ddr", access_latency=access_latency)]
+    return Platform(
+        name="mppa256-io",
+        cores=cores,
+        banks=banks,
+        description="MPPA-256 I/O subsystem: 4 cores sharing an external DDR channel.",
+    )

@@ -1,0 +1,12 @@
+"""Discrete-event execution simulator used to validate the analysis bounds."""
+
+from .behavior import ExecutionBehavior
+from .simulator import ExecutionSimulator, SimulatedTask, SimulationResult, simulate
+
+__all__ = [
+    "ExecutionBehavior",
+    "ExecutionSimulator",
+    "SimulationResult",
+    "SimulatedTask",
+    "simulate",
+]

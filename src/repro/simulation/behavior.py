@@ -1,0 +1,122 @@
+"""Execution behaviours: how long tasks *actually* run in a simulation.
+
+The analysis computes worst-case bounds; a real execution may finish earlier
+(shorter execution time, fewer memory accesses).  An
+:class:`ExecutionBehavior` assigns to every task an actual execution time and
+actual per-bank access counts, constrained to never exceed the task's declared
+WCET and demand — the assumption under which the time-triggered schedule is
+guaranteed (Section II-B of the paper: even if dependencies finish early, a
+task is not released before its static release date).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from ..core import AnalysisProblem
+from ..errors import SimulationError
+from ..model import MemoryDemand
+
+__all__ = ["ExecutionBehavior"]
+
+
+class ExecutionBehavior:
+    """Actual execution time and access counts for every task of a problem."""
+
+    def __init__(
+        self,
+        execution_time: Mapping[str, int],
+        accesses: Mapping[str, MemoryDemand],
+    ) -> None:
+        self._execution_time = dict(execution_time)
+        self._accesses = dict(accesses)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def worst_case(cls, problem: AnalysisProblem) -> "ExecutionBehavior":
+        """Every task runs for its full WCET and performs its full demand."""
+        times = {task.name: task.wcet for task in problem.graph}
+        accesses = {task.name: task.demand for task in problem.graph}
+        return cls(times, accesses)
+
+    @classmethod
+    def scaled(cls, problem: AnalysisProblem, factor: float) -> "ExecutionBehavior":
+        """Every task runs for ``factor`` × WCET (0 < factor ≤ 1), demand scaled alike."""
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError("scaling factor must lie in (0, 1]")
+        times: Dict[str, int] = {}
+        accesses: Dict[str, MemoryDemand] = {}
+        for task in problem.graph:
+            scaled_accesses = {bank: int(count * factor) for bank, count in task.demand.items()}
+            demand = MemoryDemand(scaled_accesses)
+            latency_cost = sum(
+                count * problem.platform.bank(bank).access_latency
+                for bank, count in demand.items()
+            )
+            times[task.name] = max(int(task.wcet * factor), latency_cost, 1)
+            accesses[task.name] = demand
+        return cls(times, accesses)
+
+    @classmethod
+    def randomized(
+        cls,
+        problem: AnalysisProblem,
+        *,
+        seed: Optional[int] = None,
+        min_fraction: float = 0.5,
+    ) -> "ExecutionBehavior":
+        """Each task independently runs for a random fraction of its WCET."""
+        if not 0.0 < min_fraction <= 1.0:
+            raise SimulationError("min_fraction must lie in (0, 1]")
+        rng = random.Random(seed)
+        times: Dict[str, int] = {}
+        accesses: Dict[str, MemoryDemand] = {}
+        for task in problem.graph:
+            fraction = rng.uniform(min_fraction, 1.0)
+            scaled = {bank: rng.randint(0, count) for bank, count in task.demand.items()}
+            demand = MemoryDemand(scaled)
+            latency_cost = sum(
+                count * problem.platform.bank(bank).access_latency
+                for bank, count in demand.items()
+            )
+            times[task.name] = max(int(task.wcet * fraction), latency_cost, 1)
+            accesses[task.name] = demand
+        return cls(times, accesses)
+
+    # ------------------------------------------------------------------
+
+    def execution_time(self, task: str) -> int:
+        try:
+            return self._execution_time[task]
+        except KeyError:
+            raise SimulationError(f"no execution time recorded for task {task!r}") from None
+
+    def accesses(self, task: str) -> MemoryDemand:
+        try:
+            return self._accesses[task]
+        except KeyError:
+            raise SimulationError(f"no access counts recorded for task {task!r}") from None
+
+    def validate_against(self, problem: AnalysisProblem) -> None:
+        """Check the behaviour never exceeds the declared WCETs and demands."""
+        for task in problem.graph:
+            actual = self._execution_time.get(task.name)
+            if actual is None:
+                raise SimulationError(f"behaviour misses task {task.name!r}")
+            if actual <= 0:
+                raise SimulationError(f"task {task.name!r}: non-positive execution time {actual}")
+            if actual > task.wcet:
+                raise SimulationError(
+                    f"task {task.name!r}: actual execution time {actual} exceeds WCET {task.wcet}"
+                )
+            demand = self._accesses.get(task.name, MemoryDemand.empty())
+            for bank, count in demand.items():
+                if count > task.demand[bank]:
+                    raise SimulationError(
+                        f"task {task.name!r}: actual accesses {count} on bank {bank} exceed "
+                        f"the declared demand {task.demand[bank]}"
+                    )

@@ -1,0 +1,15 @@
+"""Visualization helpers: ASCII Gantt charts, Graphviz export, text reports."""
+
+from .dot import graph_to_dot, schedule_to_dot
+from .gantt import render_cursor_snapshot, render_gantt, render_trace
+from .report import analysis_report, format_table
+
+__all__ = [
+    "render_gantt",
+    "render_cursor_snapshot",
+    "render_trace",
+    "graph_to_dot",
+    "schedule_to_dot",
+    "analysis_report",
+    "format_table",
+]

@@ -1,0 +1,79 @@
+"""Graphviz DOT export of task graphs and schedules.
+
+The library has no hard dependency on Graphviz: these functions only emit the
+``.dot`` text, which users can render with ``dot -Tpdf`` or load into any
+graph viewer.  Tasks can be coloured by core (mapping view) or annotated with
+their analysed release dates and response times (schedule view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import Schedule
+from ..model import Mapping, TaskGraph
+
+__all__ = ["graph_to_dot", "schedule_to_dot"]
+
+#: palette reused cyclically for per-core colouring
+_CORE_COLORS = [
+    "#a6cee3",
+    "#b2df8a",
+    "#fb9a99",
+    "#fdbf6f",
+    "#cab2d6",
+    "#ffff99",
+    "#1f78b4",
+    "#33a02c",
+]
+
+
+def _escape(name: str) -> str:
+    return name.replace('"', '\\"')
+
+
+def graph_to_dot(
+    graph: TaskGraph,
+    mapping: Optional[Mapping] = None,
+    *,
+    show_demand: bool = True,
+) -> str:
+    """DOT representation of a task graph (optionally coloured by core)."""
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=TB;", "  node [shape=box, style=filled];"]
+    for task in graph:
+        label_parts = [task.name, f"wcet={task.wcet}"]
+        if show_demand and task.demand.total:
+            label_parts.append(f"acc={task.demand.total}")
+        if task.min_release:
+            label_parts.append(f"rel>={task.min_release}")
+        color = "#dddddd"
+        if mapping is not None and mapping.is_mapped(task.name):
+            core = mapping.core_of(task.name)
+            color = _CORE_COLORS[core % len(_CORE_COLORS)]
+            label_parts.append(f"PE{core}")
+        label = "\\n".join(label_parts)
+        lines.append(f'  "{_escape(task.name)}" [label="{label}", fillcolor="{color}"];')
+    for dep in graph.dependencies():
+        attributes = f' [label="{dep.volume}"]' if dep.volume else ""
+        lines.append(f'  "{_escape(dep.producer)}" -> "{_escape(dep.consumer)}"{attributes};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(graph: TaskGraph, schedule: Schedule) -> str:
+    """DOT representation annotated with the analysed release/response times."""
+    lines = [f'digraph "{_escape(graph.name)}_schedule" {{', "  rankdir=LR;", "  node [shape=record];"]
+    for task in graph:
+        if task.name in schedule:
+            entry = schedule.entry(task.name)
+            label = (
+                f"{task.name} | rel={entry.release} | R={entry.response_time} "
+                f"| I={entry.interference} | PE{entry.core}"
+            )
+        else:
+            label = f"{task.name} | unscheduled"
+        lines.append(f'  "{_escape(task.name)}" [label="{{{label}}}"];')
+    for dep in graph.dependencies():
+        lines.append(f'  "{_escape(dep.producer)}" -> "{_escape(dep.consumer)}";')
+    lines.append("}")
+    return "\n".join(lines)

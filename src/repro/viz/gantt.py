@@ -1,0 +1,106 @@
+"""ASCII Gantt charts of schedules and cursor traces.
+
+Terminal-friendly renderings of the two figures of the paper:
+
+* :func:`render_gantt` — per-core timing diagram of a schedule (Figure 1);
+* :func:`render_cursor_snapshot` — per-core timeline with the Closed / Alive /
+  Future distinction at a given cursor position (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import AnalysisTrace, Schedule
+
+__all__ = ["render_gantt", "render_cursor_snapshot", "render_trace"]
+
+
+def _scale(value: int, makespan: int, width: int) -> int:
+    if makespan <= 0:
+        return 0
+    return min(int(round(value * width / makespan)), width)
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    show_interference: bool = True,
+) -> str:
+    """Render a per-core ASCII timing diagram of ``schedule``.
+
+    Each task is drawn as ``[name###]`` scaled to its response time; when
+    ``show_interference`` is set, tasks with non-zero interference are labelled
+    ``name I:x`` like the bottom diagram of Figure 1.
+    """
+    makespan = schedule.makespan
+    lines: List[str] = []
+    header = f"schedule {schedule.problem_name or ''} ({schedule.algorithm}), makespan {makespan}"
+    lines.append(header.strip())
+    lines.append("-" * min(len(header), width + 10))
+    for core, entries in sorted(schedule.by_core().items()):
+        row = [" "] * (width + 1)
+        labels: List[str] = []
+        for entry in entries:
+            start = _scale(entry.release, makespan, width)
+            end = max(_scale(entry.finish, makespan, width), start + 1)
+            for position in range(start, min(end, width + 1)):
+                row[position] = "#"
+            if start <= width:
+                row[start] = "|"
+            label = entry.name
+            if show_interference and entry.interference:
+                label += f" I:{entry.interference}"
+            labels.append(f"{label} [{entry.release},{entry.finish})")
+        lines.append(f"PE{core:<3} {''.join(row)}")
+        lines.append(f"      {'; '.join(labels)}")
+    ruler = [" "] * (width + 1)
+    ruler[0] = "0"
+    lines.append(f"t --> {''.join(ruler)}{makespan}")
+    return "\n".join(lines)
+
+
+def render_cursor_snapshot(
+    schedule: Schedule,
+    cursor: int,
+    *,
+    width: int = 72,
+) -> str:
+    """Render the Figure-2 style snapshot: solid boxes for alive tasks at ``cursor``.
+
+    Closed tasks (finished before the cursor) are drawn with dots, alive tasks
+    with ``#`` and future tasks (released after the cursor) with dashes.
+    """
+    makespan = max(schedule.makespan, cursor)
+    lines = [f"cursor t={cursor}"]
+    for core, entries in sorted(schedule.by_core().items()):
+        row = [" "] * (width + 1)
+        for entry in entries:
+            start = _scale(entry.release, makespan, width)
+            end = max(_scale(entry.finish, makespan, width), start + 1)
+            if entry.finish <= cursor:
+                fill = "."  # closed
+            elif entry.release > cursor:
+                fill = "-"  # future
+            else:
+                fill = "#"  # alive
+            for position in range(start, min(end, width + 1)):
+                row[position] = fill
+        cursor_pos = _scale(cursor, makespan, width)
+        if row[cursor_pos] == " ":
+            row[cursor_pos] = "!"
+        lines.append(f"PE{core:<3} {''.join(row)}")
+    lines.append("legend: '.' closed   '#' alive   '-' future   '!' cursor")
+    return "\n".join(lines)
+
+
+def render_trace(trace: AnalysisTrace, *, limit: Optional[int] = None) -> str:
+    """Textual rendering of an :class:`~repro.core.events.AnalysisTrace`."""
+    events = trace.events()
+    if limit is not None:
+        events = events[:limit]
+    lines = [event.describe() for event in events]
+    if limit is not None and len(trace) > limit:
+        lines.append(f"... ({len(trace) - limit} more cursor steps)")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Plain-text analysis reports.
+
+:func:`analysis_report` bundles the schedule, its statistics, the
+schedulability verdict and (optionally) the Gantt chart into one readable
+document — the output of the CLI ``analyze`` command.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis import check_schedulability, schedule_statistics
+from ..core import AnalysisProblem, Schedule
+from .gantt import render_gantt
+
+__all__ = ["analysis_report", "format_table"]
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Render a simple fixed-width table (no external dependency)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def analysis_report(
+    problem: AnalysisProblem,
+    schedule: Schedule,
+    *,
+    include_gantt: bool = True,
+    include_tasks: bool = True,
+    max_task_rows: int = 32,
+) -> str:
+    """Human-readable report of one analysis run."""
+    statistics = schedule_statistics(problem, schedule)
+    verdict = check_schedulability(problem, schedule)
+    sections: List[str] = []
+
+    sections.append(f"problem   : {problem.name}")
+    sections.append(f"platform  : {problem.platform.name} "
+                    f"({problem.platform.core_count} cores, {problem.platform.bank_count} banks)")
+    sections.append(f"arbiter   : {problem.arbiter.describe()}")
+    sections.append(f"algorithm : {schedule.algorithm}")
+    sections.append("")
+    sections.append(verdict.summary())
+    sections.append("")
+    sections.append("statistics:")
+    sections.append(f"  tasks                 : {statistics.task_count}")
+    sections.append(f"  makespan              : {statistics.makespan}")
+    sections.append(f"  critical path         : {statistics.critical_path_length} "
+                    f"(stretch {statistics.makespan_stretch:.3f})")
+    sections.append(f"  total interference    : {statistics.total_interference} cycles "
+                    f"({100 * statistics.interference_ratio:.2f}% of total WCET)")
+    sections.append(f"  worst task interference: {statistics.max_task_interference} cycles")
+    utilization = ", ".join(
+        f"PE{core}={value:.2f}" for core, value in sorted(statistics.core_utilization.items())
+    )
+    sections.append(f"  core utilization      : {utilization}")
+
+    if include_tasks:
+        sections.append("")
+        rows = []
+        for entry in sorted(schedule.entries(), key=lambda e: (e.release, e.core))[:max_task_rows]:
+            rows.append(
+                [
+                    entry.name,
+                    f"PE{entry.core}",
+                    str(entry.release),
+                    str(entry.wcet),
+                    str(entry.interference),
+                    str(entry.response_time),
+                    str(entry.finish),
+                ]
+            )
+        sections.append(
+            format_table(["task", "core", "release", "wcet", "interference", "R", "finish"], rows)
+        )
+        if len(schedule) > max_task_rows:
+            sections.append(f"... ({len(schedule) - max_task_rows} more tasks)")
+
+    if include_gantt and len(schedule) <= 64:
+        sections.append("")
+        sections.append(render_gantt(schedule))
+
+    return "\n".join(sections)

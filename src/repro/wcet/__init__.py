@@ -1,0 +1,21 @@
+"""Synthetic WCET / memory-demand estimation substrate (OTAWA substitute)."""
+
+from .analysis import WcetResult, access_bound, analyze_program, wcet_bound
+from .estimator import annotate_graph, annotate_task, estimate_ranges, random_procedure
+from .program import BasicBlock, Branch, Loop, Procedure, Sequence_
+
+__all__ = [
+    "BasicBlock",
+    "Sequence_",
+    "Branch",
+    "Loop",
+    "Procedure",
+    "WcetResult",
+    "analyze_program",
+    "wcet_bound",
+    "access_bound",
+    "annotate_task",
+    "annotate_graph",
+    "random_procedure",
+    "estimate_ranges",
+]

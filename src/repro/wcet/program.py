@@ -1,0 +1,108 @@
+"""Structured program model for the WCET estimation substrate.
+
+The paper obtains per-task WCETs and memory-access counts from a static WCET
+analyzer (OTAWA [2]).  Since that tool and the target binaries are not
+available, this package provides the closest synthetic equivalent: a small
+structured program representation — basic blocks composed by sequence, branch
+and bounded loop — on which a longest-path (IPET-style) analysis computes a
+guaranteed upper bound of the execution time and of the number of memory
+accesses.  The analysis algorithms only consume those two numbers per task, so
+this substrate exercises exactly the same downstream code path as OTAWA would.
+
+The model is deliberately simple and fully structured (no irreducible control
+flow), which keeps the bound computation exact and compositional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from ..errors import WcetError
+
+__all__ = ["BasicBlock", "Sequence_", "Branch", "Loop", "Procedure", "ProgramElement"]
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A straight-line block: ``instructions`` cycles of computation plus memory accesses.
+
+    ``accesses`` maps bank identifiers to the number of shared-memory accesses
+    the block performs; ``cycles_per_instruction`` scales the computation cost
+    (pipelined cores execute close to 1 instruction/cycle, simpler cores more).
+    """
+
+    name: str
+    instructions: int
+    accesses: Mapping[int, int] = field(default_factory=dict)
+    cycles_per_instruction: int = 1
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise WcetError(f"block {self.name!r}: negative instruction count")
+        if self.cycles_per_instruction <= 0:
+            raise WcetError(f"block {self.name!r}: cycles_per_instruction must be positive")
+        object.__setattr__(
+            self, "accesses", {int(b): int(c) for b, c in dict(self.accesses).items() if c}
+        )
+        for bank, count in self.accesses.items():
+            if bank < 0 or count < 0:
+                raise WcetError(f"block {self.name!r}: invalid access record {bank}:{count}")
+
+
+@dataclass(frozen=True)
+class Sequence_:
+    """Sequential composition of program elements."""
+
+    elements: Tuple["ProgramElement", ...]
+
+    def __init__(self, elements: Sequence["ProgramElement"]) -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A conditional: exactly one alternative executes; the bound takes the worst one.
+
+    ``condition_cost`` models the evaluation of the condition itself.
+    """
+
+    alternatives: Tuple["ProgramElement", ...]
+    condition_cost: int = 1
+
+    def __init__(self, alternatives: Sequence["ProgramElement"], condition_cost: int = 1) -> None:
+        if not alternatives:
+            raise WcetError("a branch needs at least one alternative")
+        if condition_cost < 0:
+            raise WcetError("condition_cost must be non-negative")
+        object.__setattr__(self, "alternatives", tuple(alternatives))
+        object.__setattr__(self, "condition_cost", int(condition_cost))
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A loop with a static iteration bound (mandatory for WCET analysis).
+
+    ``overhead_per_iteration`` models the loop test/branch cost.
+    """
+
+    body: "ProgramElement"
+    bound: int
+    overhead_per_iteration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise WcetError("loop bound must be non-negative")
+        if self.overhead_per_iteration < 0:
+            raise WcetError("loop overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named program (function body) analysed as one task."""
+
+    name: str
+    body: "ProgramElement"
+
+
+ProgramElement = Union[BasicBlock, Sequence_, Branch, Loop, Procedure]

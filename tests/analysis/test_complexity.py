@@ -1,0 +1,92 @@
+"""Tests for the empirical-complexity machinery (log–log fits, timing sweeps)."""
+
+import math
+
+import pytest
+
+from repro.analysis import TimingPoint, TimingSeries, fit_exponent, measure_algorithm
+from repro.bench import SweepConfig, workload_sweep
+from repro.errors import AnalysisError
+
+
+class TestFitExponent:
+    def test_exact_power_law_recovered(self):
+        points = [(n, 2e-6 * n**2) for n in (16, 32, 64, 128, 256)]
+        fit = fit_exponent(points)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+        assert fit.coefficient == pytest.approx(2e-6, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.point_count == 5
+
+    def test_linear_law(self):
+        points = [(n, 5e-4 * n) for n in (10, 100, 1000)]
+        assert fit_exponent(points).exponent == pytest.approx(1.0, abs=1e-6)
+
+    def test_prediction(self):
+        fit = fit_exponent([(n, 1e-6 * n**3) for n in (8, 16, 32)])
+        assert fit.predict(64) == pytest.approx(1e-6 * 64**3, rel=1e-3)
+
+    def test_describe(self):
+        fit = fit_exponent([(10, 0.1), (100, 10.0)])
+        assert "O(n^" in fit.describe()
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            fit_exponent([(10, 0.5)])
+        with pytest.raises(AnalysisError):
+            fit_exponent([(10, 0.5), (10, 0.7)])  # identical sizes
+
+    def test_non_positive_measurements_skipped(self):
+        fit = fit_exponent([(10, 0.0), (20, 1.0), (40, 4.0)])
+        assert fit.point_count == 2
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+
+
+class TestTimingSeries:
+    def build(self):
+        series = TimingSeries(label="demo", algorithm="incremental")
+        series.add(TimingPoint(size=10, seconds=0.1))
+        series.add(TimingPoint(size=20, seconds=0.4))
+        series.add(TimingPoint(size=40, seconds=float("nan"), timed_out=True))
+        return series
+
+    def test_completed_points_exclude_timeouts(self):
+        series = self.build()
+        assert [point.size for point in series.completed_points()] == [10, 20]
+        assert series.sizes() == [10, 20, 40]
+
+    def test_fit_uses_completed_points_only(self):
+        fit = self.build().fit()
+        assert fit.exponent == pytest.approx(2.0, abs=1e-6)
+
+    def test_speedup_against(self):
+        fast = TimingSeries(label="new", algorithm="incremental")
+        slow = TimingSeries(label="old", algorithm="fixedpoint")
+        for size, t_fast, t_slow in ((10, 0.1, 1.0), (20, 0.2, 4.0)):
+            fast.add(TimingPoint(size=size, seconds=t_fast))
+            slow.add(TimingPoint(size=size, seconds=t_slow))
+        speedups = dict(fast.speedup_against(slow))
+        assert speedups[10] == pytest.approx(10.0)
+        assert speedups[20] == pytest.approx(20.0)
+
+
+class TestMeasureAlgorithm:
+    def sweep(self, sizes=(16, 24)):
+        config = SweepConfig(mode="LS", parameter=4, sizes=sizes, core_count=4, seed=3)
+        return workload_sweep(config)
+
+    def test_measures_every_size(self):
+        series = measure_algorithm(self.sweep(), "incremental", label="t")
+        assert [point.size for point in series.points] == [16, 24]
+        assert all(point.seconds >= 0 for point in series.points)
+        assert all(point.makespan > 0 for point in series.points)
+
+    def test_timeout_skips_remaining_sizes(self):
+        series = measure_algorithm(self.sweep((16, 24, 32)), "incremental", timeout_seconds=0.0)
+        # the first point exceeds a zero timeout, the rest are recorded as timed out
+        assert series.points[0].timed_out is False
+        assert all(point.timed_out for point in series.points[1:])
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(AnalysisError):
+            measure_algorithm(self.sweep(), "incremental", repetitions=0)

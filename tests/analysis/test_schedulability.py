@@ -1,0 +1,100 @@
+"""Tests for the schedulability and slack analyses."""
+
+import pytest
+
+from repro import AnalysisProblem, RoundRobinArbiter, TaskGraphBuilder, analyze
+from repro.analysis import check_schedulability, minimal_horizon, task_slack
+from repro.errors import AnalysisError
+from repro.platform import quad_core_single_bank
+
+
+def problem_with_deadlines(deadline_a=100, deadline_b=100, horizon=None):
+    builder = TaskGraphBuilder("deadlines")
+    builder.task("a", wcet=10, accesses=4, core=0, deadline=deadline_a)
+    builder.task("b", wcet=10, accesses=6, core=1, deadline=deadline_b)
+    builder.task("c", wcet=5, core=0)
+    builder.edge("a", "c")
+    graph, mapping = builder.build_both()
+    return AnalysisProblem(
+        graph, mapping, quad_core_single_bank(), RoundRobinArbiter(), horizon=horizon
+    )
+
+
+class TestCheckSchedulability:
+    def test_all_deadlines_met(self):
+        problem = problem_with_deadlines()
+        report = check_schedulability(problem, analyze(problem))
+        assert report.schedulable
+        assert report.misses == []
+        assert report.worst_lateness == 0
+        assert "SCHEDULABLE" in report.summary()
+
+    def test_task_deadline_miss_detected(self):
+        # a finishes at 14 (10 + 4 interference): a deadline of 12 is missed
+        problem = problem_with_deadlines(deadline_a=12)
+        report = check_schedulability(problem, analyze(problem))
+        assert not report.schedulable
+        assert len(report.misses) == 1
+        miss = report.misses[0]
+        assert miss.task == "a"
+        assert miss.lateness == 2
+        assert report.worst_lateness == 2
+
+    def test_horizon_miss_detected(self):
+        problem = problem_with_deadlines(horizon=10)
+        report = check_schedulability(problem, analyze(problem))
+        assert not report.schedulable
+
+    def test_summary_mentions_misses(self):
+        problem = problem_with_deadlines(deadline_a=12)
+        report = check_schedulability(problem, analyze(problem))
+        assert "missed" in report.summary()
+
+
+class TestSlack:
+    def test_slack_relative_to_deadline(self):
+        problem = problem_with_deadlines(deadline_a=20)
+        schedule = analyze(problem)
+        slack = task_slack(problem, schedule)
+        assert slack["a"] == 20 - schedule.entry("a").finish
+
+    def test_slack_relative_to_makespan_without_deadline(self):
+        problem = problem_with_deadlines()
+        schedule = analyze(problem)
+        slack = task_slack(problem, schedule)
+        assert slack["c"] == schedule.makespan - schedule.entry("c").finish
+
+    def test_slack_relative_to_horizon(self):
+        problem = problem_with_deadlines(horizon=1000)
+        schedule = analyze(problem)
+        slack = task_slack(problem, schedule)
+        assert slack["c"] == 1000 - schedule.entry("c").finish
+
+
+class TestMinimalHorizon:
+    def test_minimal_horizon_equals_unconstrained_makespan(self):
+        problem = problem_with_deadlines()
+        schedule = analyze(problem)
+        assert minimal_horizon(problem) == schedule.makespan
+
+    def test_minimal_horizon_makes_the_problem_schedulable(self):
+        problem = problem_with_deadlines()
+        horizon = minimal_horizon(problem)
+        assert analyze(problem.with_horizon(horizon)).schedulable
+        assert not analyze(problem.with_horizon(horizon - 1)).schedulable
+
+    def test_deadlocked_problem_raises(self):
+        from repro import Mapping
+
+        builder = TaskGraphBuilder("dead")
+        builder.task("a", wcet=5)
+        builder.task("b", wcet=5)
+        builder.task("c", wcet=5)
+        builder.task("d", wcet=5)
+        builder.edge("a", "d")
+        builder.edge("c", "b")
+        graph = builder.build()
+        mapping = Mapping({0: ["b", "a"], 1: ["d", "c"]})
+        problem = AnalysisProblem(graph, mapping, quad_core_single_bank(), validate=False)
+        with pytest.raises(AnalysisError):
+            minimal_horizon(problem)

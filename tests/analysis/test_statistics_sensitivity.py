@@ -1,0 +1,112 @@
+"""Tests for schedule statistics, interference cost and sensitivity analysis."""
+
+import pytest
+
+from repro import analyze
+from repro.analysis import (
+    interference_cost,
+    memory_sensitivity,
+    scale_memory_demand,
+    scale_wcets,
+    schedule_statistics,
+    wcet_sensitivity,
+)
+from repro.analysis.sensitivity import SensitivityResult
+from repro.errors import AnalysisError
+from repro.examples_data import figure1_problem
+from repro.generators import fixed_ls_workload
+
+
+class TestStatistics:
+    def test_figure1_statistics(self):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        stats = schedule_statistics(problem, schedule)
+        assert stats.task_count == 5
+        assert stats.makespan == 7
+        assert stats.total_wcet == 10
+        assert stats.total_interference == 4
+        assert stats.max_task_interference == 2
+        assert stats.interference_ratio == pytest.approx(0.4)
+        assert stats.makespan_stretch >= 1.0
+        assert set(stats.core_utilization) == {0, 1, 2, 3}
+        assert stats.to_dict()["makespan"] == 7
+
+    def test_interference_cost_reproduces_figure1_ratio(self):
+        problem = figure1_problem()
+        cost = interference_cost(problem)
+        assert cost["makespan_with_interference"] == 7.0
+        assert cost["makespan_without_interference"] == 6.0
+        assert cost["absolute_overhead"] == 1.0
+        assert cost["ratio"] == pytest.approx(7 / 6)
+
+    def test_statistics_on_generated_workload(self):
+        problem = fixed_ls_workload(32, 4, core_count=4, seed=1).to_problem()
+        schedule = analyze(problem)
+        stats = schedule_statistics(problem, schedule)
+        assert stats.total_interference > 0
+        assert 0 < stats.interference_ratio
+        assert all(0 <= value <= 1.0 + 1e-9 for value in stats.core_utilization.values())
+
+
+class TestScaling:
+    def test_scale_memory_demand(self):
+        problem = figure1_problem()
+        doubled = scale_memory_demand(problem.graph, 2.0)
+        assert doubled.task("n0").demand.total == 2 * problem.graph.task("n0").demand.total
+        # original untouched
+        assert problem.graph.task("n0").demand.total == 3
+
+    def test_scale_memory_to_zero(self):
+        scaled = scale_memory_demand(figure1_problem().graph, 0.0)
+        assert scaled.total_accesses == 0
+
+    def test_scale_wcets(self):
+        scaled = scale_wcets(figure1_problem().graph, 3.0)
+        assert scaled.task("n3").wcet == 9
+
+    def test_scale_wcets_never_below_one(self):
+        scaled = scale_wcets(figure1_problem().graph, 0.01)
+        assert all(task.wcet >= 1 for task in scaled)
+
+    def test_invalid_factors(self):
+        graph = figure1_problem().graph
+        with pytest.raises(AnalysisError):
+            scale_memory_demand(graph, -1.0)
+        with pytest.raises(AnalysisError):
+            scale_wcets(graph, 0.0)
+
+
+class TestSensitivity:
+    def test_requires_horizon(self):
+        with pytest.raises(AnalysisError):
+            memory_sensitivity(figure1_problem())
+
+    def test_memory_sensitivity_finds_a_breaking_point(self):
+        problem = figure1_problem().with_horizon(10)
+        result = memory_sensitivity(problem, max_factor=32.0, tolerance=0.25)
+        assert isinstance(result, SensitivityResult)
+        assert result.breaking_factor >= 1.0
+        assert result.makespan_at_break is not None
+        assert result.makespan_at_break <= 10
+        # probing recorded
+        assert len(result.probes) >= 2
+        assert result.probed_factors()[0] == 1.0
+
+    def test_memory_sensitivity_saturates_at_max_factor_when_never_breaking(self):
+        problem = figure1_problem().with_horizon(10_000)
+        result = memory_sensitivity(problem, max_factor=4.0, tolerance=0.5)
+        assert result.breaking_factor == 4.0
+
+    def test_infeasible_baseline_reports_zero(self):
+        problem = figure1_problem().with_horizon(6)  # already infeasible at factor 1.0
+        result = memory_sensitivity(problem, tolerance=0.5)
+        assert result.breaking_factor == 0.0
+        assert result.makespan_at_break is None
+
+    def test_wcet_sensitivity(self):
+        problem = figure1_problem().with_horizon(30)
+        result = wcet_sensitivity(problem, max_factor=16.0, tolerance=0.25)
+        assert result.breaking_factor >= 1.0
+        # scaling all WCETs by the breaking factor still fits in the horizon
+        assert result.makespan_at_break <= 30

@@ -1,0 +1,143 @@
+"""Unit tests for the FIFO, fixed-priority, TDM, multilevel and null arbiters."""
+
+import pytest
+
+from repro import (
+    Core,
+    FifoArbiter,
+    FixedPriorityArbiter,
+    MemoryBank,
+    MultiLevelRoundRobinArbiter,
+    Platform,
+    TdmArbiter,
+)
+from repro.arbiter import NullArbiter, tdm_isolation_penalty
+from repro.errors import ArbiterError
+
+BANK = MemoryBank(identifier=0, access_latency=1)
+
+
+class TestFifo:
+    def test_waits_behind_full_backlog(self):
+        assert FifoArbiter().interference(0, 4, {1: 10, 2: 5}, BANK) == 15
+
+    def test_never_better_than_round_robin(self):
+        from repro import RoundRobinArbiter
+
+        fifo, rr = FifoArbiter(), RoundRobinArbiter()
+        for demand in (1, 5, 20):
+            competitors = {1: 10, 2: 3}
+            assert fifo.interference(0, demand, competitors, BANK) >= rr.interference(
+                0, demand, competitors, BANK
+            )
+
+    def test_zero_cases(self):
+        assert FifoArbiter().interference(0, 0, {1: 10}, BANK) == 0
+        assert FifoArbiter().interference(0, 10, {}, BANK) == 0
+
+
+class TestFixedPriority:
+    def test_highest_priority_only_blocked_once_per_access(self):
+        arbiter = FixedPriorityArbiter({0: 0, 1: 1, 2: 2})
+        # core 0 has the highest priority: only non-preemptive blocking from lower cores
+        assert arbiter.interference(0, 3, {1: 10, 2: 10}, BANK) == 3
+
+    def test_lowest_priority_waits_for_everything(self):
+        arbiter = FixedPriorityArbiter({0: 0, 1: 1, 2: 2})
+        # core 2 is lowest: all higher-priority accesses delay it
+        assert arbiter.interference(2, 3, {0: 10, 1: 7}, BANK) == 17
+
+    def test_priorities_from_platform(self):
+        platform = Platform(
+            "p",
+            [Core(identifier=0, priority=5), Core(identifier=1, priority=1)],
+            [BANK],
+        )
+        arbiter = FixedPriorityArbiter(platform=platform)
+        assert arbiter.priority_of(0) == 5
+        assert arbiter.priority_of(1) == 1
+
+    def test_platform_and_priorities_mutually_exclusive(self):
+        platform = Platform("p", [Core(identifier=0)], [BANK])
+        with pytest.raises(ArbiterError):
+            FixedPriorityArbiter({0: 1}, platform=platform)
+
+    def test_default_priority_is_core_id(self):
+        arbiter = FixedPriorityArbiter()
+        assert arbiter.priority_of(7) == 7
+
+
+class TestTdm:
+    def test_frame_penalty_per_access(self):
+        arbiter = TdmArbiter(total_cores=4)
+        # frame of 4 slots, I own one: 3 foreign slots per access
+        assert arbiter.interference(0, 5, {1: 100}, BANK) == 15
+
+    def test_independent_of_competitor_volume(self):
+        arbiter = TdmArbiter(total_cores=4)
+        assert arbiter.interference(0, 5, {1: 1}, BANK) == arbiter.interference(
+            0, 5, {1: 1000, 2: 7, 3: 9}, BANK
+        )
+
+    def test_zero_when_alone(self):
+        assert TdmArbiter(total_cores=4).interference(0, 5, {}, BANK) == 0
+
+    def test_custom_slot_counts(self):
+        arbiter = TdmArbiter(total_cores=3, slots={0: 2})
+        assert arbiter.frame_slots == 4
+        # core 0 owns 2 of 4 slots: 2 foreign slots per access
+        assert arbiter.interference(0, 3, {1: 5}, BANK) == 6
+
+    def test_isolation_penalty_helper(self):
+        arbiter = TdmArbiter(total_cores=4)
+        assert tdm_isolation_penalty(arbiter, core=0, accesses=5, bank=BANK) == 15
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ArbiterError):
+            TdmArbiter(total_cores=0)
+        with pytest.raises(ArbiterError):
+            TdmArbiter(total_cores=2, slots={0: 0})
+
+
+class TestMultiLevel:
+    def test_group_of(self):
+        arbiter = MultiLevelRoundRobinArbiter(group_size=2)
+        assert arbiter.group_of(0) == 0
+        assert arbiter.group_of(1) == 0
+        assert arbiter.group_of(5) == 2
+
+    def test_sibling_and_foreign_group_delays(self):
+        arbiter = MultiLevelRoundRobinArbiter(group_size=2)
+        # destination core 0; sibling core 1 contributes min(d, c); cores 2 and 3
+        # form one foreign group contributing min(d, c2+c3)
+        value = arbiter.interference(0, 4, {1: 10, 2: 3, 3: 2}, BANK)
+        assert value == 4 + 4  # sibling bounded by my demand, foreign group too
+
+    def test_group_size_one_matches_flat_round_robin(self):
+        from repro import RoundRobinArbiter
+
+        flat = RoundRobinArbiter()
+        tree = MultiLevelRoundRobinArbiter(group_size=1)
+        competitors = {1: 3, 2: 9, 3: 1}
+        for demand in (1, 4, 20):
+            assert tree.interference(0, demand, competitors, BANK) == flat.interference(
+                0, demand, competitors, BANK
+            )
+
+    def test_explicit_groups(self):
+        arbiter = MultiLevelRoundRobinArbiter(group_size=8, groups={0: 0, 1: 1})
+        # cores 0 and 1 in different explicit groups
+        assert arbiter.group_of(1) == 1
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ArbiterError):
+            MultiLevelRoundRobinArbiter(group_size=0)
+
+
+class TestNull:
+    def test_always_zero(self):
+        arbiter = NullArbiter()
+        assert arbiter.interference(0, 100, {1: 1000, 2: 1000}, BANK) == 0
+
+    def test_describe_mentions_unsoundness(self):
+        assert "ignore" in NullArbiter().describe()

@@ -1,0 +1,59 @@
+"""Tests for the arbiter registry."""
+
+import pytest
+
+from repro import MemoryBank, Platform, RoundRobinArbiter
+from repro.arbiter import (
+    BusArbiter,
+    available_arbiters,
+    create_arbiter,
+    default_arbiter,
+    register_arbiter,
+)
+from repro.errors import ArbiterError
+
+
+class TestRegistry:
+    def test_known_policies_present(self):
+        names = available_arbiters()
+        for expected in ("round-robin", "fifo", "fixed-priority", "tdm",
+                         "multilevel-round-robin", "null", "weighted-round-robin"):
+            assert expected in names
+
+    def test_create_by_name_case_insensitive(self):
+        assert isinstance(create_arbiter("Round-Robin"), RoundRobinArbiter)
+        assert isinstance(create_arbiter("RR"), RoundRobinArbiter)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ArbiterError) as excinfo:
+            create_arbiter("does-not-exist")
+        assert "round-robin" in str(excinfo.value)
+
+    def test_default_is_round_robin(self):
+        assert isinstance(default_arbiter(), RoundRobinArbiter)
+
+    def test_platform_aware_factories(self):
+        platform = Platform.symmetric(6, 1)
+        tdm = create_arbiter("tdm", platform)
+        # the TDM frame covers every core of the platform
+        assert tdm.frame_slots == 6
+
+    def test_register_custom_policy(self):
+        class AlwaysTen(BusArbiter):
+            name = "always-ten"
+
+            def interference(self, dest_core, dest_accesses, competitors, bank):
+                return 10 if competitors and dest_accesses else 0
+
+        register_arbiter("always-ten-test", lambda platform: AlwaysTen(), overwrite=True)
+        arbiter = create_arbiter("always-ten-test")
+        assert arbiter.interference(0, 1, {1: 1}, MemoryBank(identifier=0)) == 10
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        register_arbiter("dup-test", lambda platform: RoundRobinArbiter(), overwrite=True)
+        with pytest.raises(ArbiterError):
+            register_arbiter("dup-test", lambda platform: RoundRobinArbiter())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArbiterError):
+            register_arbiter("  ", lambda platform: RoundRobinArbiter())

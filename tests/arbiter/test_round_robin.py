@@ -1,0 +1,80 @@
+"""Unit tests for the round-robin arbiters (the paper's policy)."""
+
+import pytest
+
+from repro import MemoryBank, RoundRobinArbiter, WeightedRoundRobinArbiter
+from repro.errors import ArbiterError
+
+BANK = MemoryBank(identifier=0, access_latency=1)
+SLOW_BANK = MemoryBank(identifier=1, access_latency=4)
+
+
+class TestRoundRobin:
+    def test_paper_example_three_cores_eight_words(self):
+        """Section II-A: three cores writing 8 words each receive 16 cycles of interference."""
+        arbiter = RoundRobinArbiter()
+        for core in range(3):
+            competitors = {other: 8 for other in range(3) if other != core}
+            assert arbiter.interference(core, 8, competitors, BANK) == 16
+
+    def test_no_competitors_no_interference(self):
+        assert RoundRobinArbiter().interference(0, 100, {}, BANK) == 0
+
+    def test_no_own_accesses_no_interference(self):
+        assert RoundRobinArbiter().interference(0, 0, {1: 50}, BANK) == 0
+
+    def test_bounded_by_competitor_demand(self):
+        # the competitor only has 3 accesses, so it can delay me at most 3 times
+        assert RoundRobinArbiter().interference(0, 100, {1: 3}, BANK) == 3
+
+    def test_bounded_by_own_demand(self):
+        # each of my 4 accesses waits at most once for the other core
+        assert RoundRobinArbiter().interference(0, 4, {1: 100}, BANK) == 4
+
+    def test_latency_scales_interference(self):
+        assert RoundRobinArbiter().interference(0, 4, {1: 100}, SLOW_BANK) == 16
+
+    def test_zero_demand_competitors_ignored(self):
+        assert RoundRobinArbiter().interference(0, 4, {1: 0, 2: 2}, BANK) == 2
+
+    def test_destination_in_competitor_set_rejected(self):
+        with pytest.raises(ArbiterError):
+            RoundRobinArbiter().interference(0, 4, {0: 2}, BANK)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ArbiterError):
+            RoundRobinArbiter().interference(0, -1, {}, BANK)
+        with pytest.raises(ArbiterError):
+            RoundRobinArbiter().interference(0, 1, {1: -2}, BANK)
+
+
+class TestWeightedRoundRobin:
+    def test_unit_weights_match_plain_round_robin(self):
+        plain = RoundRobinArbiter()
+        weighted = WeightedRoundRobinArbiter(default_weight=1)
+        for demand in (1, 5, 50):
+            competitors = {1: 10, 2: 3}
+            assert weighted.interference(0, demand, competitors, BANK) == plain.interference(
+                0, demand, competitors, BANK
+            )
+
+    def test_heavier_competitor_hurts_more(self):
+        weighted = WeightedRoundRobinArbiter({1: 3})
+        # competitor 1 can issue 3 accesses per grant cycle: each of my 4 accesses
+        # can wait for 3 of its accesses (bounded by its total of 20)
+        assert weighted.interference(0, 4, {1: 20}, BANK) == 12
+
+    def test_weight_bounded_by_competitor_total(self):
+        weighted = WeightedRoundRobinArbiter({1: 3})
+        assert weighted.interference(0, 4, {1: 5}, BANK) == 5
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ArbiterError):
+            WeightedRoundRobinArbiter({1: 0})
+        with pytest.raises(ArbiterError):
+            WeightedRoundRobinArbiter(default_weight=0)
+
+    def test_weight_of_default(self):
+        weighted = WeightedRoundRobinArbiter({1: 3}, default_weight=2)
+        assert weighted.weight_of(1) == 3
+        assert weighted.weight_of(7) == 2

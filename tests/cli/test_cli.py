@@ -1,0 +1,105 @@
+"""Tests for the ``repro-rta`` command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_problem, load_schedule
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestInfo:
+    def test_lists_algorithms_and_arbiters(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "incremental" in output
+        assert "round-robin" in output
+
+
+class TestGenerateAnalyzeCompare:
+    def generate(self, tmp_path, extra=()):
+        path = tmp_path / "problem.json"
+        code = main(
+            [
+                "generate",
+                "--mode", "LS",
+                "--parameter", "4",
+                "--tasks", "24",
+                "--cores", "4",
+                "--seed", "1",
+                "--output", str(path),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_generate_writes_a_loadable_problem(self, tmp_path, capsys):
+        path = self.generate(tmp_path)
+        problem = load_problem(path)
+        assert problem.task_count == 24
+        assert problem.platform.core_count == 4
+        assert "24-task problem" in capsys.readouterr().out
+
+    def test_generate_with_alternative_arbiter(self, tmp_path):
+        path = self.generate(tmp_path, extra=("--arbiter", "fifo"))
+        assert load_problem(path).arbiter.name == "fifo"
+
+    def test_analyze_reports_and_saves(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        schedule_path = tmp_path / "schedule.json"
+        csv_path = tmp_path / "schedule.csv"
+        code = main(
+            [
+                "analyze", str(problem_path),
+                "--output", str(schedule_path),
+                "--csv", str(csv_path),
+                "--no-gantt",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SCHEDULABLE" in output
+        schedule = load_schedule(schedule_path)
+        assert schedule.schedulable
+        assert csv_path.read_text(encoding="utf-8").startswith("task,")
+
+    def test_analyze_with_fixedpoint(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        assert main(["analyze", str(problem_path), "--algorithm", "fixedpoint", "--no-gantt"]) == 0
+        assert "fixedpoint" in capsys.readouterr().out
+
+    def test_analyze_missing_file_returns_error_code(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        assert main(["compare", str(problem_path)]) == 0
+        output = capsys.readouterr().out
+        assert "incremental" in output
+        assert "fixedpoint" in output
+
+
+class TestBenchCommands:
+    def test_figure3_single_small_panel(self, capsys, monkeypatch):
+        # shrink the quick profile so the CLI test stays fast
+        import repro.bench.figure3 as figure3
+
+        monkeypatch.setattr(figure3, "_QUICK_SIZES", (16, 32))
+        monkeypatch.setattr(figure3, "_QUICK_BASELINE_SIZES", (16, 32))
+        assert main(["figure3", "--panel", "LS4", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3 panel LS4" in output
+        assert "paper exponents" in output

@@ -1,0 +1,65 @@
+"""Unit tests for the high-level ``analyze`` entry point and the algorithm registry."""
+
+import pytest
+
+from repro import analyze, analyze_or_raise, available_algorithms
+from repro.core import register_algorithm
+from repro.errors import AnalysisError, UnschedulableError
+from repro.examples_data import figure1_problem
+
+
+class TestAnalyze:
+    def test_default_algorithm_is_incremental(self):
+        schedule = analyze(figure1_problem())
+        assert schedule.algorithm == "incremental"
+
+    def test_explicit_fixedpoint(self):
+        schedule = analyze(figure1_problem(), "fixedpoint")
+        assert schedule.algorithm == "fixedpoint"
+
+    def test_algorithm_name_is_case_insensitive(self):
+        schedule = analyze(figure1_problem(), "IncReMentAL")
+        assert schedule.algorithm == "incremental"
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            analyze(figure1_problem(), "magic")
+        assert "incremental" in str(excinfo.value)
+
+    def test_available_algorithms(self):
+        names = available_algorithms()
+        assert "incremental" in names
+        assert "fixedpoint" in names
+
+
+class TestAnalyzeOrRaise:
+    def test_returns_schedule_when_schedulable(self):
+        schedule = analyze_or_raise(figure1_problem())
+        assert schedule.schedulable
+
+    def test_raises_with_schedule_attached_when_not_schedulable(self):
+        problem = figure1_problem().with_horizon(5)  # makespan is 7
+        with pytest.raises(UnschedulableError) as excinfo:
+            analyze_or_raise(problem)
+        assert excinfo.value.schedule is not None
+        assert not excinfo.value.schedule.schedulable
+
+
+class TestRegistry:
+    def test_register_custom_algorithm(self):
+        def fake(problem):
+            return analyze(problem, "incremental")
+
+        register_algorithm("custom-test", fake, overwrite=True)
+        assert "custom-test" in available_algorithms()
+        schedule = analyze(figure1_problem(), "custom-test")
+        assert schedule.makespan == 7
+
+    def test_duplicate_registration_rejected(self):
+        register_algorithm("dup-algo", lambda problem: analyze(problem), overwrite=True)
+        with pytest.raises(AnalysisError):
+            register_algorithm("dup-algo", lambda problem: analyze(problem))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AnalysisError):
+            register_algorithm("", lambda problem: analyze(problem))

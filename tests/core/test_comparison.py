@@ -1,0 +1,80 @@
+"""Unit tests for schedule comparison."""
+
+import pytest
+
+from repro import Schedule, ScheduledTask, compare_schedules
+from repro.errors import ValidationError
+
+
+def entry(name, core, release, wcet, interference=0):
+    banks = {0: interference} if interference else {}
+    return ScheduledTask(name=name, core=core, release=release, wcet=wcet,
+                         interference_by_bank=banks)
+
+
+def schedule_a():
+    return Schedule(
+        [entry("x", 0, 0, 10, 2), entry("y", 1, 0, 5), entry("z", 0, 12, 8)],
+        algorithm="incremental",
+    )
+
+
+def schedule_b(shift=0, extra_interference=0):
+    return Schedule(
+        [
+            entry("x", 0, 0, 10, 2 + extra_interference),
+            entry("y", 1, 0 + shift, 5),
+            entry("z", 0, 12 + shift, 8),
+        ],
+        algorithm="fixedpoint",
+    )
+
+
+class TestComparison:
+    def test_identical_schedules(self):
+        comparison = compare_schedules(schedule_a(), schedule_b())
+        assert comparison.identical
+        assert comparison.makespan_delta == 0
+        assert comparison.makespan_ratio == 1.0
+        assert comparison.max_release_deviation == 0
+        assert comparison.max_response_deviation == 0
+
+    def test_release_shift_detected(self):
+        comparison = compare_schedules(schedule_a(), schedule_b(shift=3))
+        assert not comparison.identical
+        assert comparison.release_delta["z"] == 3
+        assert comparison.max_release_deviation == 3
+        assert comparison.tasks_with_different_release() == ["y", "z"]
+        assert comparison.makespan_delta == 3
+
+    def test_response_time_difference_detected(self):
+        comparison = compare_schedules(schedule_a(), schedule_b(extra_interference=5))
+        assert comparison.response_delta["x"] == 5
+        assert comparison.tasks_with_different_response() == ["x"]
+
+    def test_disjoint_task_sets_reported(self):
+        partial = Schedule([entry("x", 0, 0, 10, 2)], algorithm="fixedpoint")
+        comparison = compare_schedules(schedule_a(), partial)
+        assert comparison.only_in_a == ["y", "z"]
+        assert comparison.only_in_b == []
+        assert not comparison.identical
+
+    def test_different_wcets_rejected(self):
+        other = Schedule([entry("x", 0, 0, 99)], algorithm="fixedpoint")
+        with pytest.raises(ValidationError):
+            compare_schedules(schedule_a(), other)
+
+    def test_summary_mentions_both_algorithms(self):
+        summary = compare_schedules(schedule_a(), schedule_b(shift=1)).summary()
+        assert "incremental" in summary
+        assert "fixedpoint" in summary
+
+    def test_to_dict(self):
+        data = compare_schedules(schedule_a(), schedule_b()).to_dict()
+        assert data["identical"] is True
+        assert data["makespan_a"] == data["makespan_b"]
+
+    def test_empty_schedules(self):
+        comparison = compare_schedules(Schedule([], algorithm="a"), Schedule([], algorithm="b"))
+        assert comparison.identical
+        assert comparison.makespan_ratio == 1.0

@@ -1,0 +1,63 @@
+"""V2 — consistency between the incremental algorithm and the fixed-point baseline.
+
+Both algorithms solve the same constraint system, so on the paper's worked
+example they agree exactly, and on random workloads their makespans stay very
+close (the incremental schedule is never *more* pessimistic in our test corpus
+— its release dates are the earliest consistent with the already-fixed
+interference, while the baseline may over-approximate transient overlaps
+during its iterations).
+"""
+
+import pytest
+
+from repro import analyze, compare_schedules, validate_schedule
+from repro.core import interference_is_exact
+from repro.examples_data import figure1_problem, figure2_problem
+from repro.generators import fixed_ls_workload, fixed_nl_workload
+
+
+@pytest.mark.parametrize("problem_factory", [figure1_problem, figure2_problem])
+def test_algorithms_agree_exactly_on_the_paper_examples(problem_factory):
+    problem = problem_factory()
+    incremental = analyze(problem, "incremental")
+    baseline = analyze(problem, "fixedpoint")
+    comparison = compare_schedules(incremental, baseline)
+    assert comparison.identical, comparison.summary()
+
+
+@pytest.mark.parametrize(
+    "workload_factory",
+    [
+        lambda: fixed_ls_workload(40, 4, core_count=4, seed=1),
+        lambda: fixed_ls_workload(48, 8, core_count=8, seed=2),
+        lambda: fixed_nl_workload(36, 6, core_count=6, seed=3),
+        lambda: fixed_nl_workload(64, 4, core_count=16, seed=4),
+    ],
+)
+def test_both_algorithms_produce_valid_schedules_on_random_workloads(workload_factory):
+    problem = workload_factory().to_problem()
+    incremental = analyze(problem, "incremental")
+    baseline = analyze(problem, "fixedpoint")
+    assert incremental.schedulable and baseline.schedulable
+    validate_schedule(problem, incremental)
+    validate_schedule(problem, baseline)
+    assert interference_is_exact(problem, incremental)
+    assert interference_is_exact(problem, baseline)
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37])
+def test_makespans_stay_close_on_random_workloads(seed):
+    problem = fixed_ls_workload(48, 8, core_count=8, seed=seed).to_problem()
+    incremental = analyze(problem, "incremental")
+    baseline = analyze(problem, "fixedpoint")
+    comparison = compare_schedules(incremental, baseline)
+    # both bound the same execution; they may differ slightly but never wildly
+    assert 0.9 <= comparison.makespan_ratio <= 1.1, comparison.summary()
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_incremental_is_not_more_pessimistic_than_the_baseline(seed):
+    problem = fixed_nl_workload(40, 5, core_count=8, seed=seed).to_problem()
+    incremental = analyze(problem, "incremental")
+    baseline = analyze(problem, "fixedpoint")
+    assert incremental.makespan <= baseline.makespan

@@ -1,0 +1,83 @@
+"""E2 — tests of the cursor mechanism and its event trace (Figure 2)."""
+
+import pytest
+
+from repro import IncrementalAnalyzer
+from repro.core import AnalysisTrace
+from repro.examples_data import figure1_problem, figure2_problem
+
+
+class TestTraceRecording:
+    def run_traced(self, problem):
+        analyzer = IncrementalAnalyzer(problem, trace=True)
+        schedule = analyzer.run()
+        return schedule, analyzer.trace
+
+    def test_trace_is_optional(self):
+        analyzer = IncrementalAnalyzer(figure1_problem())
+        analyzer.run()
+        assert analyzer.trace is None
+
+    def test_cursor_moves_strictly_forward(self):
+        _, trace = self.run_traced(figure2_problem())
+        positions = trace.cursor_positions()
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_every_task_opens_exactly_once(self):
+        problem = figure2_problem()
+        schedule, trace = self.run_traced(problem)
+        opened = [name for event in trace for name in event.opened]
+        assert sorted(opened) == sorted(problem.graph.task_names())
+
+    def test_every_task_closes_exactly_once(self):
+        problem = figure2_problem()
+        _, trace = self.run_traced(problem)
+        closed = [name for event in trace for name in event.closed]
+        assert sorted(closed) == sorted(problem.graph.task_names())
+
+    def test_release_times_match_schedule(self):
+        problem = figure2_problem()
+        schedule, trace = self.run_traced(problem)
+        for name, release in trace.release_times().items():
+            assert schedule.entry(name).release == release
+
+    def test_alive_set_bounded_by_core_count(self):
+        """The complexity argument of Section IV-B: |Alive| <= number of cores."""
+        problem = figure2_problem()
+        _, trace = self.run_traced(problem)
+        assert trace.max_alive() <= problem.platform.core_count
+
+    def test_future_count_decreases_to_zero(self):
+        _, trace = self.run_traced(figure2_problem())
+        counts = [event.future_count for event in trace]
+        assert counts[-1] == 0
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_closed_alive_future_partition(self):
+        """At every step a task is in exactly one of the three groups."""
+        problem = figure2_problem()
+        _, trace = self.run_traced(problem)
+        all_tasks = set(problem.graph.task_names())
+        closed_so_far = set()
+        for event in trace:
+            closed_so_far.update(event.closed)
+            alive = set(event.alive)
+            assert not (closed_so_far & alive)
+            future = all_tasks - closed_so_far - alive
+            assert len(future) == event.future_count
+
+    def test_event_describe_and_lookup(self):
+        _, trace = self.run_traced(figure1_problem())
+        event = trace.event_at(0)
+        assert event is not None
+        assert "t=0" in event.describe()
+        assert trace.event_at(99999) is None
+        assert "t=0" in trace.describe().splitlines()[0]
+
+    def test_external_trace_object_can_be_supplied(self):
+        trace = AnalysisTrace()
+        analyzer = IncrementalAnalyzer(figure1_problem(), trace=trace)
+        analyzer.run()
+        assert analyzer.trace is trace
+        assert len(trace) > 0

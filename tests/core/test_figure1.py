@@ -1,0 +1,66 @@
+"""E1 — reproduction of the worked example of Figure 1 of the paper.
+
+The paper's figure shows a 5-task program on 4 cores whose global WCRT is 6
+when interference is ignored and 7 when it is accounted for, with per-task
+interference I(n0)=1, I(n1)=1 and I(n3)=2.
+"""
+
+import pytest
+
+from repro import analyze, validate_schedule
+from repro.arbiter import NullArbiter
+from repro.examples_data import (
+    FIGURE1_MAKESPAN_WITH_INTERFERENCE,
+    FIGURE1_MAKESPAN_WITHOUT_INTERFERENCE,
+    figure1_expected_interference,
+    figure1_problem,
+)
+
+
+@pytest.mark.parametrize("algorithm", ["incremental", "fixedpoint"])
+class TestFigure1:
+    def test_makespan_with_interference(self, algorithm):
+        schedule = analyze(figure1_problem(), algorithm)
+        assert schedule.schedulable
+        assert schedule.makespan == FIGURE1_MAKESPAN_WITH_INTERFERENCE == 7
+
+    def test_makespan_without_interference(self, algorithm):
+        problem = figure1_problem().with_arbiter(NullArbiter())
+        schedule = analyze(problem, algorithm)
+        assert schedule.makespan == FIGURE1_MAKESPAN_WITHOUT_INTERFERENCE == 6
+
+    def test_per_task_interference_matches_figure(self, algorithm):
+        schedule = analyze(figure1_problem(), algorithm)
+        expected = figure1_expected_interference()
+        for task, interference in expected.items():
+            assert schedule.entry(task).interference == interference, task
+
+    def test_schedule_is_valid(self, algorithm):
+        problem = figure1_problem()
+        schedule = analyze(problem, algorithm)
+        validate_schedule(problem, schedule)
+
+
+class TestFigure1Details:
+    def test_release_dates_follow_the_timing_diagram(self):
+        """Release dates of the bottom (interference-aware) diagram."""
+        schedule = analyze(figure1_problem(), "incremental")
+        assert schedule.entry("n0").release == 0
+        assert schedule.entry("n3").release == 0
+        # n1 waits for n0 which is delayed by one cycle of interference
+        assert schedule.entry("n1").release == 3
+        # n2 waits for n1 on the same core
+        assert schedule.entry("n2").release == 6
+        # n4 waits for n3 (finish 5) even though its minimal release date is 4
+        assert schedule.entry("n4").release == 5
+
+    def test_interference_free_tasks(self):
+        schedule = analyze(figure1_problem(), "incremental")
+        assert schedule.entry("n2").interference == 0
+        assert schedule.entry("n4").interference == 0
+
+    def test_minimal_release_dates_respected(self):
+        problem = figure1_problem()
+        schedule = analyze(problem, "incremental")
+        for task in problem.graph:
+            assert schedule.entry(task.name).release >= task.min_release

@@ -1,0 +1,109 @@
+"""Unit tests for the shared interference accounting."""
+
+import pytest
+
+from repro import MemoryDemand, Platform, RoundRobinArbiter
+from repro.core import IbusCallCounter, InterferenceTracker, interference_from_overlaps
+from repro.platform import partitioned_banks
+
+PLATFORM = Platform.symmetric(4, 2)
+ARBITER = RoundRobinArbiter()
+
+
+def tracker(name="dest", core=0, demand=None, counter=None):
+    return InterferenceTracker(
+        name=name,
+        core=core,
+        demand=MemoryDemand(demand or {0: 10}),
+        arbiter=ARBITER,
+        platform=PLATFORM,
+        counter=counter,
+    )
+
+
+class TestInterferenceTracker:
+    def test_initially_zero(self):
+        assert tracker().interference == 0
+        assert tracker().interference_by_bank == {}
+
+    def test_single_source(self):
+        t = tracker()
+        increase = t.add_source("src", 1, MemoryDemand({0: 4}))
+        assert increase == 4
+        assert t.interference == 4
+        assert t.interference_by_bank == {0: 4}
+
+    def test_same_core_source_ignored(self):
+        t = tracker(core=2)
+        assert t.add_source("src", 2, MemoryDemand({0: 100})) == 0
+        assert t.interference == 0
+
+    def test_duplicate_source_counted_once(self):
+        t = tracker()
+        t.add_source("src", 1, MemoryDemand({0: 4}))
+        assert t.add_source("src", 1, MemoryDemand({0: 4})) == 0
+        assert t.interference == 4
+
+    def test_sources_on_same_core_are_grouped(self):
+        """Two tasks on the same competing core form one virtual initiator (Section II-C)."""
+        t = tracker(demand={0: 3})
+        t.add_source("s1", 1, MemoryDemand({0: 2}))
+        t.add_source("s2", 1, MemoryDemand({0: 2}))
+        # grouped demand is 4 but my own demand is 3: min(3, 4) = 3
+        assert t.interference == 3
+
+    def test_sources_on_distinct_cores_add_up(self):
+        t = tracker(demand={0: 3})
+        t.add_source("s1", 1, MemoryDemand({0: 2}))
+        t.add_source("s2", 2, MemoryDemand({0: 2}))
+        assert t.interference == 4  # min(3,2) + min(3,2)
+
+    def test_disjoint_banks_do_not_interfere(self):
+        t = tracker(demand={0: 5})
+        assert t.add_source("src", 1, MemoryDemand({1: 50})) == 0
+
+    def test_per_bank_accounting(self):
+        t = tracker(demand={0: 5, 1: 2})
+        t.add_source("src", 1, MemoryDemand({0: 3, 1: 9}))
+        assert t.interference_by_bank == {0: 3, 1: 2}
+        assert t.interference == 5
+
+    def test_reserved_bank_never_interferes(self):
+        platform = partitioned_banks(2, shared_banks=1)
+        t = InterferenceTracker(
+            name="dest", core=0, demand=MemoryDemand({0: 5, 2: 5}),
+            arbiter=ARBITER, platform=platform,
+        )
+        # bank 0 is core 0's private bank: even a (mis-modelled) competitor on it is ignored
+        t.add_source("src", 1, MemoryDemand({0: 50, 2: 3}))
+        assert t.interference_by_bank == {2: 3}
+
+    def test_counter_counts_ibus_calls(self):
+        counter = IbusCallCounter()
+        t = tracker(counter=counter, demand={0: 5, 1: 5})
+        t.add_source("src", 1, MemoryDemand({0: 1, 1: 1}))
+        assert counter.count == 2
+
+
+class TestInterferenceFromOverlaps:
+    def test_matches_tracker_for_same_inputs(self):
+        t = tracker(demand={0: 3})
+        t.add_source("s1", 1, MemoryDemand({0: 2}))
+        t.add_source("s2", 2, MemoryDemand({0: 7}))
+        one_shot = interference_from_overlaps(
+            0,
+            MemoryDemand({0: 3}),
+            [("s1", 1, MemoryDemand({0: 2})), ("s2", 2, MemoryDemand({0: 7}))],
+            ARBITER,
+            PLATFORM,
+        )
+        assert sum(one_shot.values()) == t.interference
+
+    def test_empty_sources(self):
+        assert interference_from_overlaps(0, MemoryDemand({0: 3}), [], ARBITER, PLATFORM) == {}
+
+    def test_same_core_sources_skipped(self):
+        result = interference_from_overlaps(
+            0, MemoryDemand({0: 3}), [("s", 0, MemoryDemand({0: 5}))], ARBITER, PLATFORM
+        )
+        assert result == {}

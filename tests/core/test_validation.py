@@ -1,0 +1,107 @@
+"""Unit tests for the schedule validator."""
+
+import pytest
+
+from repro import Schedule, ScheduledTask, analyze, validate_schedule
+from repro.core import schedule_violations
+from repro.errors import ValidationError
+from repro.examples_data import figure1_problem
+
+
+def valid_schedule():
+    problem = figure1_problem()
+    return problem, analyze(problem, "incremental")
+
+
+def rebuild(schedule, **replacements):
+    """Rebuild a schedule replacing selected entries (name -> ScheduledTask)."""
+    entries = []
+    for entry in schedule:
+        entries.append(replacements.get(entry.name, entry))
+    return Schedule(entries, algorithm=schedule.algorithm, problem_name=schedule.problem_name)
+
+
+class TestValidator:
+    def test_valid_schedule_passes(self):
+        problem, schedule = valid_schedule()
+        assert schedule_violations(problem, schedule) == []
+        validate_schedule(problem, schedule)
+
+    def test_missing_task_detected(self):
+        problem, schedule = valid_schedule()
+        partial = Schedule(
+            [entry for entry in schedule if entry.name != "n4"],
+            algorithm="incremental",
+        )
+        violations = schedule_violations(problem, partial)
+        assert any("missing" in violation for violation in violations)
+
+    def test_release_before_min_release_detected(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(
+            schedule,
+            n2=ScheduledTask(name="n2", core=1, release=0, wcet=1),  # min_release is 4
+        )
+        violations = schedule_violations(problem, bad)
+        assert any("minimal release" in violation for violation in violations)
+
+    def test_release_before_predecessor_finish_detected(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(
+            schedule,
+            n4=ScheduledTask(name="n4", core=3, release=4, wcet=2),  # n3 finishes at 5
+        )
+        violations = schedule_violations(problem, bad)
+        assert any("predecessor" in violation for violation in violations)
+
+    def test_same_core_overlap_detected(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(
+            schedule,
+            n2=ScheduledTask(name="n2", core=1, release=4, wcet=1),  # overlaps n1 on PE1
+        )
+        violations = schedule_violations(problem, bad)
+        assert any("overlap" in violation for violation in violations)
+
+    def test_wrong_wcet_detected(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(schedule, n0=ScheduledTask(name="n0", core=0, release=0, wcet=99,
+                                                 interference_by_bank={0: 1}))
+        violations = schedule_violations(problem, bad)
+        assert any("wcet" in violation for violation in violations)
+
+    def test_wrong_core_detected(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(schedule, n0=ScheduledTask(name="n0", core=3, release=0, wcet=2,
+                                                 interference_by_bank={0: 1}))
+        violations = schedule_violations(problem, bad)
+        assert any("mapped" in violation for violation in violations)
+
+    def test_underestimated_interference_detected(self):
+        problem, schedule = valid_schedule()
+        # n3 overlaps n0 and n1, it must be charged 2 cycles; claim 0 instead
+        bad = rebuild(schedule, n3=ScheduledTask(name="n3", core=2, release=0, wcet=3))
+        violations = schedule_violations(problem, bad)
+        assert any("interference" in violation for violation in violations)
+
+    def test_unknown_task_detected(self):
+        problem, schedule = valid_schedule()
+        extra = Schedule(
+            list(schedule) + [ScheduledTask(name="ghost", core=0, release=50, wcet=1)],
+            algorithm="incremental",
+        )
+        violations = schedule_violations(problem, extra)
+        assert any("unknown task" in violation for violation in violations)
+
+    def test_horizon_violation_detected(self):
+        problem, schedule = valid_schedule()
+        limited = problem.with_horizon(6)  # actual makespan is 7
+        violations = schedule_violations(limited, schedule)
+        assert any("horizon" in violation for violation in violations)
+
+    def test_validate_schedule_raises_with_details(self):
+        problem, schedule = valid_schedule()
+        bad = rebuild(schedule, n2=ScheduledTask(name="n2", core=1, release=0, wcet=1))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_schedule(problem, bad)
+        assert "n2" in str(excinfo.value)

@@ -1,0 +1,77 @@
+"""Tests for the dataflow DSL parser."""
+
+import pytest
+
+from repro.dataflow import expand_sdf, parse_sdf, parse_sdf_file
+from repro.errors import DataflowError
+
+PIPELINE = """
+# a small processing pipeline
+graph radar
+
+actor capture wcet=120 accesses=40
+actor filter  wcet=300 accesses=90 bank=1
+actor detect  wcet=250
+
+channel capture -> filter rate=1:1 words=16
+channel filter -> detect  rate=2:1 tokens=0 words=8
+"""
+
+
+class TestParser:
+    def test_full_pipeline(self):
+        graph = parse_sdf(PIPELINE)
+        assert graph.name == "radar"
+        assert graph.actor_count == 3
+        assert graph.channel_count == 2
+        assert graph.actor("capture").wcet == 120
+        assert graph.actor("filter").accesses == {1: 90}
+        assert graph.actor("detect").accesses == {}
+        channel = graph.channels()[1]
+        assert (channel.production, channel.consumption) == (2, 1)
+        assert channel.token_words == 8
+
+    def test_parsed_graph_expands(self):
+        graph = parse_sdf(PIPELINE)
+        task_graph = expand_sdf(graph)
+        # repetition vector: capture 1, filter 1, detect 2
+        assert task_graph.task_count == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = parse_sdf("# nothing\n\nactor a wcet=5\n")
+        assert graph.actor_count == 1
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "app.sdf"
+        path.write_text(PIPELINE, encoding="utf-8")
+        graph = parse_sdf_file(str(path))
+        assert graph.actor_count == 3
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(DataflowError) as excinfo:
+            parse_sdf("actor a wcet=5\nactor b\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_missing_wcet_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("actor a accesses=3")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("widget a wcet=1")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("actor a wcet=1 colour=red")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("actor a wcet=1\nactor b wcet=1\nchannel a -> b rate=3")
+
+    def test_bad_channel_syntax_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("actor a wcet=1\nactor b wcet=1\nchannel a b")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(DataflowError):
+            parse_sdf("actor a wcet=fast")

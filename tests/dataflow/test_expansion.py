@@ -1,0 +1,70 @@
+"""Tests for the SDF -> task DAG expansion."""
+
+import pytest
+
+from repro.dataflow import Actor, SdfGraph, expand_sdf, firing_name
+from repro.errors import DataflowError
+
+
+def multirate_graph():
+    graph = SdfGraph("mr")
+    graph.add_actor(Actor("producer", wcet=10, accesses=4))
+    graph.add_actor(Actor("consumer", wcet=30, accesses=2))
+    graph.connect("producer", "consumer", production=1, consumption=4, token_words=2)
+    return graph
+
+
+class TestExpansion:
+    def test_firing_counts(self):
+        task_graph = expand_sdf(multirate_graph())
+        # repetition vector: producer 4, consumer 1
+        assert task_graph.task_count == 5
+        assert firing_name("producer", 3) in task_graph
+        assert firing_name("consumer", 0) in task_graph
+
+    def test_iterations_multiply_firings(self):
+        task_graph = expand_sdf(multirate_graph(), iterations=3)
+        assert task_graph.task_count == 15
+
+    def test_actor_firings_are_serialized(self):
+        task_graph = expand_sdf(multirate_graph())
+        for index in range(3):
+            assert task_graph.has_dependency(
+                firing_name("producer", index), firing_name("producer", index + 1)
+            )
+
+    def test_consumer_depends_on_last_contributing_producer_firing(self):
+        task_graph = expand_sdf(multirate_graph())
+        # consumer#0 needs 4 tokens: the 4th producer firing (index 3) provides the last one
+        assert task_graph.has_dependency(firing_name("producer", 3), firing_name("consumer", 0))
+
+    def test_initial_tokens_remove_dependencies(self):
+        graph = SdfGraph()
+        graph.add_actor(Actor("a", wcet=5))
+        graph.add_actor(Actor("b", wcet=5))
+        graph.connect("a", "b", production=1, consumption=1, initial_tokens=1)
+        task_graph = expand_sdf(graph, iterations=1)
+        # b#0 consumes the initial token: no dependency on a#0
+        assert not task_graph.has_dependency(firing_name("a", 0), firing_name("b", 0))
+
+    def test_write_volume_added_to_producer_demand(self):
+        task_graph = expand_sdf(multirate_graph())
+        producer_task = task_graph.task(firing_name("producer", 0))
+        # per firing: 4 own accesses + production(1) * token_words(2) written
+        assert producer_task.demand.total == 6
+        consumer_task = task_graph.task(firing_name("consumer", 0))
+        assert consumer_task.demand.total == 2
+
+    def test_min_release_applies_to_first_firing_only(self):
+        task_graph = expand_sdf(multirate_graph(), min_release={"producer": 100})
+        assert task_graph.task(firing_name("producer", 0)).min_release == 100
+        assert task_graph.task(firing_name("producer", 1)).min_release == 0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(DataflowError):
+            expand_sdf(multirate_graph(), iterations=0)
+
+    def test_expansion_is_a_valid_dag(self):
+        task_graph = expand_sdf(multirate_graph(), iterations=4)
+        task_graph.validate()
+        assert task_graph.is_acyclic()

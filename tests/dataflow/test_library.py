@@ -1,0 +1,55 @@
+"""Tests for the library of realistic dataflow applications (end-to-end to the analysis)."""
+
+import pytest
+
+from repro import AnalysisProblem, analyze, validate_schedule
+from repro.dataflow import expand_sdf, fft_radix2, image_pipeline, rosace_controller
+from repro.errors import DataflowError
+from repro.mapping import list_schedule_mapping
+from repro.platform import mppa256_cluster
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [rosace_controller, image_pipeline, fft_radix2],
+    ids=["rosace", "image", "fft"],
+)
+class TestLibraryApplications:
+    def test_graphs_are_consistent(self, factory):
+        graph = factory()
+        assert graph.is_consistent()
+        assert graph.actor_count > 0
+        assert graph.channel_count > 0
+
+    def test_expansion_produces_valid_dag(self, factory):
+        task_graph = expand_sdf(factory())
+        task_graph.validate()
+        assert task_graph.task_count >= factory().actor_count
+
+    def test_end_to_end_analysis(self, factory):
+        task_graph = expand_sdf(factory())
+        mapping = list_schedule_mapping(task_graph, 8)
+        problem = AnalysisProblem(task_graph, mapping, mppa256_cluster(8, 1), name="lib")
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+
+
+class TestSpecifics:
+    def test_rosace_is_multirate(self):
+        repetition = rosace_controller().repetition_vector()
+        assert repetition["h_filter"] == 4
+        assert repetition["altitude_hold"] == 1
+
+    def test_image_pipeline_width(self):
+        graph = image_pipeline(tiles=5)
+        assert graph.actor_count == 4 + 5
+        with pytest.raises(DataflowError):
+            image_pipeline(tiles=0)
+
+    def test_fft_sizes(self):
+        graph = fft_radix2(stages=3)
+        # load + store + 3 stages of 4 butterflies
+        assert graph.actor_count == 2 + 3 * 4
+        with pytest.raises(DataflowError):
+            fft_radix2(stages=0)

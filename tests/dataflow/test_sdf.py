@@ -1,0 +1,94 @@
+"""Tests for the SDF graph model (repetition vector, consistency)."""
+
+import pytest
+
+from repro.dataflow import Actor, Channel, SdfGraph
+from repro.errors import DataflowError
+
+
+def two_actor_graph(production=2, consumption=3):
+    graph = SdfGraph("pair")
+    graph.add_actor(Actor("a", wcet=10, accesses=5))
+    graph.add_actor(Actor("b", wcet=20, accesses={1: 3}))
+    graph.connect("a", "b", production=production, consumption=consumption)
+    return graph
+
+
+class TestModel:
+    def test_actor_validation(self):
+        with pytest.raises(DataflowError):
+            Actor("", wcet=10)
+        with pytest.raises(DataflowError):
+            Actor("a", wcet=0)
+        with pytest.raises(DataflowError):
+            Actor("a", wcet=1, accesses={0: -1})
+
+    def test_actor_int_accesses_normalized(self):
+        actor = Actor("a", wcet=10, accesses=7)
+        assert actor.accesses == {0: 7}
+
+    def test_channel_validation(self):
+        with pytest.raises(DataflowError):
+            Channel("a", "a")
+        with pytest.raises(DataflowError):
+            Channel("a", "b", production=0)
+        with pytest.raises(DataflowError):
+            Channel("a", "b", initial_tokens=-1)
+
+    def test_duplicate_actor_rejected(self):
+        graph = SdfGraph()
+        graph.add_actor(Actor("a", wcet=1))
+        with pytest.raises(DataflowError):
+            graph.add_actor(Actor("a", wcet=2))
+
+    def test_channel_references_must_exist(self):
+        graph = SdfGraph()
+        graph.add_actor(Actor("a", wcet=1))
+        with pytest.raises(DataflowError):
+            graph.connect("a", "ghost")
+        with pytest.raises(DataflowError):
+            graph.connect("ghost", "a")
+
+
+class TestRepetitionVector:
+    def test_single_rate_graph(self):
+        graph = two_actor_graph(1, 1)
+        assert graph.repetition_vector() == {"a": 1, "b": 1}
+        assert graph.is_consistent()
+
+    def test_multi_rate_graph(self):
+        graph = two_actor_graph(2, 3)
+        assert graph.repetition_vector() == {"a": 3, "b": 2}
+
+    def test_total_firings(self):
+        graph = two_actor_graph(2, 3)
+        assert graph.total_firings() == 5
+        assert graph.total_firings(iterations=2) == 10
+
+    def test_chain_of_rates(self):
+        graph = SdfGraph()
+        for name in "abc":
+            graph.add_actor(Actor(name, wcet=1))
+        graph.connect("a", "b", production=1, consumption=2)
+        graph.connect("b", "c", production=3, consumption=1)
+        assert graph.repetition_vector() == {"a": 2, "b": 1, "c": 3}
+
+    def test_inconsistent_rates_detected(self):
+        graph = SdfGraph()
+        for name in "abc":
+            graph.add_actor(Actor(name, wcet=1))
+        graph.connect("a", "b", production=1, consumption=1)
+        graph.connect("b", "c", production=1, consumption=1)
+        graph.connect("a", "c", production=1, consumption=2)  # contradicts the path a->b->c
+        assert not graph.is_consistent()
+        with pytest.raises(DataflowError):
+            graph.repetition_vector()
+
+    def test_disconnected_components(self):
+        graph = SdfGraph()
+        graph.add_actor(Actor("a", wcet=1))
+        graph.add_actor(Actor("b", wcet=1))
+        assert graph.repetition_vector() == {"a": 1, "b": 1}
+
+    def test_empty_graph(self):
+        assert SdfGraph().repetition_vector() == {}

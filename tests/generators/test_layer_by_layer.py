@@ -1,0 +1,137 @@
+"""Unit tests for the Tobita–Kasahara layer-by-layer generator (the paper's benchmark input)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analyze
+from repro.errors import GenerationError
+from repro.generators import (
+    PAPER_ACCESS_RANGE,
+    PAPER_WCET_RANGE,
+    LayerByLayerConfig,
+    fixed_ls_workload,
+    fixed_nl_workload,
+    generate_layer_by_layer,
+)
+from repro.model.properties import graph_depth, layers as graph_layers
+
+
+class TestConfig:
+    def test_exactly_one_layout_parameter(self):
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=10)
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=10, layer_count=2, layer_size=5)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=0, layer_count=2)
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=10, layer_count=2, core_count=0)
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=10, layer_count=2, wcet_range=(0, 10))
+        with pytest.raises(GenerationError):
+            LayerByLayerConfig(task_count=10, layer_count=2, edge_density=1.5)
+
+    def test_layer_sizes_fixed_nl(self):
+        config = LayerByLayerConfig(task_count=10, layer_count=4)
+        sizes = config.layer_sizes()
+        assert len(sizes) == 4
+        assert sum(sizes) == 10
+        assert config.mode == "fixed-nl"
+
+    def test_layer_sizes_fixed_ls(self):
+        config = LayerByLayerConfig(task_count=10, layer_size=4)
+        sizes = config.layer_sizes()
+        assert sum(sizes) == 10
+        assert len(sizes) == 3  # ceil(10 / 4)
+        assert config.mode == "fixed-ls"
+
+    def test_labels(self):
+        assert LayerByLayerConfig(task_count=64, layer_count=4).label() == "NL4-n64"
+        assert LayerByLayerConfig(task_count=64, layer_size=16).label() == "LS16-n64"
+
+
+class TestGeneration:
+    def test_task_count_and_parameters_in_paper_ranges(self):
+        workload = fixed_ls_workload(64, 8, core_count=8, seed=1)
+        graph = workload.graph
+        assert graph.task_count == 64
+        for task in graph:
+            assert PAPER_WCET_RANGE[0] <= task.wcet <= PAPER_WCET_RANGE[1]
+            # demand = accesses + outgoing writes, so it is at least the access minimum
+            assert task.demand.total >= PAPER_ACCESS_RANGE[0]
+
+    def test_layer_structure_fixed_ls(self):
+        workload = fixed_ls_workload(64, 8, seed=2)
+        assert len(workload.layers) == 8
+        assert all(len(layer) == 8 for layer in workload.layers)
+
+    def test_layer_structure_fixed_nl(self):
+        workload = fixed_nl_workload(64, 4, seed=3)
+        assert len(workload.layers) == 4
+        assert all(len(layer) == 16 for layer in workload.layers)
+
+    def test_edges_only_between_consecutive_layers(self):
+        workload = fixed_ls_workload(60, 10, seed=4)
+        layer_of = {}
+        for level, layer in enumerate(workload.layers):
+            for name in layer:
+                layer_of[name] = level
+        for dep in workload.graph.dependencies():
+            assert layer_of[dep.consumer] == layer_of[dep.producer] + 1
+
+    def test_every_non_source_task_has_a_predecessor(self):
+        workload = fixed_ls_workload(60, 10, seed=5)
+        for level, layer in enumerate(workload.layers):
+            if level == 0:
+                continue
+            for name in layer:
+                assert workload.graph.in_degree(name) >= 1
+
+    def test_cyclic_core_assignment(self):
+        workload = fixed_ls_workload(48, 8, core_count=4, seed=6)
+        for layer in workload.layers:
+            for position, name in enumerate(layer):
+                assert workload.mapping.core_of(name) == position % 4
+
+    def test_deterministic_per_seed(self):
+        a = fixed_ls_workload(40, 4, seed=99)
+        b = fixed_ls_workload(40, 4, seed=99)
+        assert [t.wcet for t in a.graph] == [t.wcet for t in b.graph]
+        assert a.graph.edge_count == b.graph.edge_count
+        c = fixed_ls_workload(40, 4, seed=100)
+        assert [t.wcet for t in a.graph] != [t.wcet for t in c.graph]
+
+    def test_bank_spreading(self):
+        config = LayerByLayerConfig(task_count=20, layer_size=4, bank_count=4, seed=7)
+        workload = generate_layer_by_layer(config)
+        assert workload.graph.banks_used() <= {0, 1, 2, 3}
+        assert len(workload.graph.banks_used()) > 1
+
+    def test_to_problem_is_analyzable(self):
+        problem = fixed_ls_workload(32, 4, core_count=4, seed=8).to_problem()
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        assert schedule.makespan > 0
+
+    def test_to_problem_respects_horizon(self):
+        workload = fixed_ls_workload(16, 4, core_count=4, seed=9)
+        problem = workload.to_problem(horizon=1)
+        assert not analyze(problem).schedulable
+
+
+@given(
+    task_count=st.integers(min_value=1, max_value=80),
+    layer_size=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_generated_graphs_are_valid_and_layered(task_count, layer_size, seed):
+    workload = fixed_ls_workload(task_count, layer_size, core_count=8, seed=seed)
+    graph = workload.graph
+    assert graph.task_count == task_count
+    graph.validate()
+    workload.mapping.validate(graph)
+    assert graph_depth(graph) == len(workload.layers)

@@ -1,0 +1,108 @@
+"""Tests for the fork-join, chains and series-parallel generators."""
+
+import pytest
+
+from repro import analyze, validate_schedule
+from repro.errors import GenerationError
+from repro.generators import (
+    ChainsConfig,
+    ForkJoinConfig,
+    SeriesParallelConfig,
+    generate_chains,
+    generate_fork_join,
+    generate_series_parallel,
+)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        config = ForkJoinConfig(sections=3, width=4, core_count=4, seed=1)
+        workload = generate_fork_join(config)
+        assert workload.graph.task_count == config.task_count == 3 * 5 + 1
+        workload.graph.validate()
+        workload.mapping.validate(workload.graph)
+        # each join waits for every worker of its section
+        assert workload.graph.in_degree("join0000") == 4
+
+    def test_serial_tasks_on_core_zero(self):
+        workload = generate_fork_join(ForkJoinConfig(sections=2, width=3, seed=2))
+        assert workload.mapping.core_of("fork0000") == 0
+        assert workload.mapping.core_of("join0001") == 0
+
+    def test_analyzable(self):
+        workload = generate_fork_join(ForkJoinConfig(sections=2, width=4, core_count=4, seed=3))
+        problem = workload.to_problem()
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+
+    def test_invalid_config(self):
+        with pytest.raises(GenerationError):
+            ForkJoinConfig(sections=0, width=2)
+        with pytest.raises(GenerationError):
+            ForkJoinConfig(sections=1, width=0)
+
+
+class TestChains:
+    def test_structure(self):
+        workload = generate_chains(ChainsConfig(chains=4, length=5, core_count=4, seed=1))
+        assert workload.graph.task_count == 20
+        workload.graph.validate()
+        # chains are independent: every edge stays inside one chain
+        for dep in workload.graph.dependencies():
+            assert dep.producer.split("_")[0] == dep.consumer.split("_")[0]
+
+    def test_one_chain_per_core(self):
+        workload = generate_chains(ChainsConfig(chains=4, length=3, core_count=4, seed=2))
+        for chain in range(4):
+            cores = {workload.mapping.core_of(f"c{chain:04d}_s{stage:04d}") for stage in range(3)}
+            assert len(cores) == 1
+
+    def test_analyzable_and_interference_free_when_staggered(self):
+        workload = generate_chains(ChainsConfig(chains=2, length=3, core_count=2, seed=3))
+        problem = workload.to_problem()
+        schedule = analyze(problem)
+        assert schedulable_tasks_overlap_only_across_cores(schedule)
+        validate_schedule(problem, schedule)
+
+    def test_invalid_config(self):
+        with pytest.raises(GenerationError):
+            ChainsConfig(chains=0, length=1)
+
+
+def schedulable_tasks_overlap_only_across_cores(schedule) -> bool:
+    entries = schedule.entries()
+    for i, a in enumerate(entries):
+        for b in entries[i + 1 :]:
+            if a.core == b.core and a.overlaps(b):
+                return False
+    return True
+
+
+class TestSeriesParallel:
+    def test_reaches_target_size(self):
+        workload = generate_series_parallel(SeriesParallelConfig(target_tasks=40, seed=1))
+        assert workload.graph.task_count >= 40
+        workload.graph.validate()
+        workload.mapping.validate(workload.graph)
+
+    def test_single_source_and_sink(self):
+        workload = generate_series_parallel(SeriesParallelConfig(target_tasks=30, seed=2))
+        graph = workload.graph
+        assert len(graph.sources()) == 1
+        assert len(graph.sinks()) == 1
+
+    def test_analyzable(self):
+        workload = generate_series_parallel(
+            SeriesParallelConfig(target_tasks=25, core_count=4, seed=3)
+        )
+        problem = workload.to_problem()
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+
+    def test_invalid_config(self):
+        with pytest.raises(GenerationError):
+            SeriesParallelConfig(target_tasks=0)
+        with pytest.raises(GenerationError):
+            SeriesParallelConfig(target_tasks=10, max_branching=1)

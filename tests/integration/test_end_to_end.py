@@ -1,0 +1,138 @@
+"""Integration tests: full pipelines across several subsystems.
+
+Each test exercises a realistic end-to-end flow a user of the library would
+run, touching several packages at once (generation / dataflow front-end,
+mapping, analysis, validation, simulation, persistence, reporting).
+"""
+
+import pytest
+
+from repro import AnalysisProblem, RoundRobinArbiter, analyze, compare_schedules, validate_schedule
+from repro.analysis import check_schedulability, interference_cost, schedule_statistics
+from repro.core import interference_is_exact
+from repro.dataflow import expand_sdf, image_pipeline, parse_sdf
+from repro.generators import fixed_nl_workload, generate_fork_join, ForkJoinConfig
+from repro.io import load_problem, load_schedule, save_problem, save_schedule
+from repro.mapping import layer_cyclic_mapping, list_schedule_mapping, reorder_mapping
+from repro.platform import banked_manycore, mppa256_cluster
+from repro.simulation import ExecutionBehavior, simulate
+from repro.viz import analysis_report, graph_to_dot, render_gantt
+
+
+class TestGeneratedWorkloadPipeline:
+    """Random workload -> both analyses -> validation -> persistence -> report."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return fixed_nl_workload(48, 6, core_count=8, seed=42).to_problem()
+
+    def test_full_pipeline(self, problem, tmp_path):
+        incremental = analyze(problem, "incremental")
+        baseline = analyze(problem, "fixedpoint")
+        # 1. both are valid and exact
+        validate_schedule(problem, incremental)
+        validate_schedule(problem, baseline)
+        assert interference_is_exact(problem, incremental)
+        # 2. comparable and close
+        comparison = compare_schedules(incremental, baseline)
+        assert 0.8 <= comparison.makespan_ratio <= 1.2
+        # 3. persist and reload both problem and schedule, results survive
+        problem_path = save_problem(problem, tmp_path / "problem.json")
+        schedule_path = save_schedule(incremental, tmp_path / "schedule.json")
+        assert analyze(load_problem(problem_path)).makespan == incremental.makespan
+        assert load_schedule(schedule_path).makespan == incremental.makespan
+        # 4. reporting works on the real thing
+        report = analysis_report(problem, incremental, include_gantt=False)
+        assert "SCHEDULABLE" in report
+
+    def test_interference_free_reference_is_a_lower_bound(self, problem):
+        cost = interference_cost(problem)
+        assert cost["makespan_with_interference"] >= cost["makespan_without_interference"]
+        assert cost["ratio"] >= 1.0
+
+    def test_statistics_are_consistent_with_the_schedule(self, problem):
+        schedule = analyze(problem)
+        stats = schedule_statistics(problem, schedule)
+        assert stats.makespan == schedule.makespan
+        assert stats.total_interference == schedule.total_interference
+        assert stats.task_count == len(schedule)
+
+
+class TestDataflowPipeline:
+    """DSL text -> SDF -> expansion -> mapping -> analysis -> simulation."""
+
+    DSL = """
+    graph sensor_fusion
+    actor lidar   wcet=400 accesses=120
+    actor radar   wcet=350 accesses=100
+    actor fuse    wcet=600 accesses=200
+    actor track   wcet=500 accesses=150
+    channel lidar -> fuse rate=2:2 words=8
+    channel radar -> fuse rate=1:1 words=8
+    channel fuse  -> track rate=1:1 words=4
+    """
+
+    def test_dsl_to_validated_schedule(self):
+        sdf = parse_sdf(self.DSL)
+        task_graph = expand_sdf(sdf, iterations=2)
+        mapping = list_schedule_mapping(task_graph, 4)
+        problem = AnalysisProblem(
+            task_graph, mapping, banked_manycore(4, 1), RoundRobinArbiter(), name="fusion"
+        )
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+        result = simulate(problem, schedule)
+        assert result.respects(schedule)
+
+    def test_library_application_under_two_mappings(self):
+        task_graph = expand_sdf(image_pipeline(tiles=4), iterations=1)
+        cyclic = layer_cyclic_mapping(task_graph, 4)
+        heft = list_schedule_mapping(task_graph, 4)
+        platform = mppa256_cluster(4, 1)
+        for mapping in (cyclic, heft):
+            problem = AnalysisProblem(task_graph, mapping, platform, RoundRobinArbiter())
+            schedule = analyze(problem)
+            assert schedule.schedulable
+            validate_schedule(problem, schedule)
+
+    def test_reordering_preserves_schedulability(self):
+        task_graph = expand_sdf(image_pipeline(tiles=4), iterations=1)
+        mapping = layer_cyclic_mapping(task_graph, 4)
+        reordered = reorder_mapping(task_graph, mapping, "bottom-level")
+        platform = mppa256_cluster(4, 1)
+        for candidate in (mapping, reordered):
+            problem = AnalysisProblem(task_graph, candidate, platform)
+            assert analyze(problem).schedulable
+
+
+class TestForkJoinPipeline:
+    """Fork-join workload analysed, simulated and rendered."""
+
+    def test_fork_join_end_to_end(self):
+        workload = generate_fork_join(ForkJoinConfig(sections=3, width=4, core_count=4, seed=11))
+        problem = workload.to_problem()
+        schedule = analyze(problem)
+        validate_schedule(problem, schedule)
+        # simulation with a faster-than-worst-case behaviour stays within bounds
+        result = simulate(problem, schedule, ExecutionBehavior.scaled(problem, 0.6))
+        assert result.respects(schedule)
+        # the chart and the dot export mention every task
+        chart = render_gantt(schedule, width=60)
+        dot = graph_to_dot(problem.graph, problem.mapping)
+        for task in problem.graph.task_names():
+            assert task in dot
+        assert "makespan" in chart
+
+    def test_deadline_annotated_fork_join(self):
+        workload = generate_fork_join(ForkJoinConfig(sections=2, width=4, core_count=4, seed=12))
+        problem = workload.to_problem()
+        schedule = analyze(problem)
+        # give every task a deadline equal to the analysed makespan: all met
+        graph = problem.graph.copy()
+        for task in problem.graph:
+            graph.replace_task(
+                task.with_wcet(task.wcet)  # no-op copy keeps the original intact
+            )
+        report = check_schedulability(problem, schedule)
+        assert report.schedulable

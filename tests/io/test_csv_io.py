@@ -1,0 +1,53 @@
+"""Tests for the CSV exports."""
+
+import csv
+import io
+
+from repro import analyze
+from repro.analysis import TimingPoint, TimingSeries
+from repro.examples_data import figure1_problem
+from repro.io import schedule_to_csv, timing_series_to_csv, write_schedule_csv, write_timing_csv
+
+
+class TestScheduleCsv:
+    def test_one_row_per_task_with_header(self):
+        schedule = analyze(figure1_problem())
+        text = schedule_to_csv(schedule)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["task", "core", "release", "wcet", "interference", "response_time", "finish"]
+        assert len(rows) == 1 + 5
+        n0 = next(row for row in rows[1:] if row[0] == "n0")
+        assert n0 == ["n0", "0", "0", "2", "1", "3", "3"]
+
+    def test_rows_sorted_by_release(self):
+        schedule = analyze(figure1_problem())
+        rows = list(csv.reader(io.StringIO(schedule_to_csv(schedule))))[1:]
+        releases = [int(row[2]) for row in rows]
+        assert releases == sorted(releases)
+
+    def test_write_to_file(self, tmp_path):
+        schedule = analyze(figure1_problem())
+        path = write_schedule_csv(schedule, tmp_path / "s.csv")
+        assert path.read_text(encoding="utf-8").startswith("task,")
+
+
+class TestTimingCsv:
+    def build_series(self):
+        series = TimingSeries(label="LS4-new", algorithm="incremental")
+        series.add(TimingPoint(size=32, seconds=0.015, makespan=1000))
+        series.add(TimingPoint(size=64, seconds=float("nan"), timed_out=True))
+        return series
+
+    def test_timing_rows(self):
+        text = timing_series_to_csv([self.build_series()])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["label", "algorithm", "size", "seconds", "makespan", "timed_out"]
+        assert rows[1][0] == "LS4-new"
+        assert rows[1][5] == "0"
+        # timed-out rows have an empty seconds cell and flag 1
+        assert rows[2][3] == ""
+        assert rows[2][5] == "1"
+
+    def test_write_to_file(self, tmp_path):
+        path = write_timing_csv([self.build_series()], tmp_path / "t.csv")
+        assert "LS4-new" in path.read_text(encoding="utf-8")

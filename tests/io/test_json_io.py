@@ -1,0 +1,87 @@
+"""Round-trip tests for the JSON persistence of problems and schedules."""
+
+import json
+
+import pytest
+
+from repro import analyze, compare_schedules
+from repro.errors import SerializationError
+from repro.examples_data import figure1_problem
+from repro.generators import fixed_ls_workload
+from repro.io import (
+    load_problem,
+    load_schedule,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    save_schedule,
+)
+
+
+class TestProblemRoundTrip:
+    def test_figure1_roundtrip_preserves_analysis_result(self, tmp_path):
+        problem = figure1_problem()
+        path = save_problem(problem, tmp_path / "figure1.json")
+        restored = load_problem(path)
+        assert restored.task_count == problem.task_count
+        assert restored.platform.core_count == problem.platform.core_count
+        assert restored.arbiter.name == "round-robin"
+        original = analyze(problem)
+        reloaded = analyze(restored)
+        assert compare_schedules(original, reloaded).identical
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        problem = fixed_ls_workload(24, 4, core_count=4, seed=5).to_problem(horizon=10**7)
+        path = save_problem(problem, tmp_path / "w.json")
+        restored = load_problem(path)
+        assert restored.horizon == 10**7
+        assert restored.graph.edge_count == problem.graph.edge_count
+        assert analyze(restored).makespan == analyze(problem).makespan
+
+    def test_dict_envelope(self):
+        data = problem_to_dict(figure1_problem())
+        assert data["format"] == "repro-problem"
+        assert data["arbiter"] == "round-robin"
+        restored = problem_from_dict(data)
+        assert restored.name == "figure1"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            problem_from_dict({"format": "something-else"})
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_problem(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_problem(tmp_path / "does-not-exist.json")
+
+    def test_json_is_human_readable(self, tmp_path):
+        path = save_problem(figure1_problem(), tmp_path / "p.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert {"format", "graph", "mapping", "platform", "arbiter"} <= set(data)
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        path = save_schedule(schedule, tmp_path / "s.json")
+        restored = load_schedule(path)
+        assert restored.makespan == schedule.makespan
+        assert restored.algorithm == schedule.algorithm
+        assert compare_schedules(schedule, restored).identical
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = save_problem(figure1_problem(), tmp_path / "p.json")
+        with pytest.raises(SerializationError):
+            load_schedule(path)
+
+    def test_corrupt_schedule_rejected(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_schedule(path)

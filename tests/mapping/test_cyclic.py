@@ -1,0 +1,82 @@
+"""Tests for the layer-cyclic and round-robin mapping policies."""
+
+import pytest
+
+from repro import AnalysisProblem, analyze, validate_schedule
+from repro.errors import MappingError
+from repro.generators import fixed_ls_workload
+from repro.mapping import layer_cyclic_mapping, round_robin_mapping
+from repro.model import TaskGraphBuilder
+from repro.model.properties import layers as graph_layers
+from repro.platform import banked_manycore
+
+
+def diamond_graph():
+    builder = TaskGraphBuilder("diamond")
+    builder.task("src", wcet=10, accesses=2)
+    builder.task("a", wcet=10, accesses=2)
+    builder.task("b", wcet=10, accesses=2)
+    builder.task("c", wcet=10, accesses=2)
+    builder.task("sink", wcet=10, accesses=2)
+    builder.edge("src", "a").edge("src", "b").edge("src", "c")
+    builder.edge("a", "sink").edge("b", "sink").edge("c", "sink")
+    return builder.build()
+
+
+class TestLayerCyclic:
+    def test_cyclic_assignment_per_layer(self):
+        graph = diamond_graph()
+        mapping = layer_cyclic_mapping(graph, 2)
+        mapping.validate(graph)
+        middle_layer = graph_layers(graph)[1]
+        for position, name in enumerate(middle_layer):
+            assert mapping.core_of(name) == position % 2
+
+    def test_explicit_layers_override(self):
+        graph = diamond_graph()
+        layers = [["src"], ["c", "b", "a"], ["sink"]]
+        mapping = layer_cyclic_mapping(graph, 2, layers=layers)
+        assert mapping.core_of("c") == 0
+        assert mapping.core_of("b") == 1
+        assert mapping.core_of("a") == 0
+
+    def test_incomplete_layers_rejected(self):
+        graph = diamond_graph()
+        with pytest.raises(MappingError):
+            layer_cyclic_mapping(graph, 2, layers=[["src"]])
+
+    def test_invalid_core_count(self):
+        with pytest.raises(MappingError):
+            layer_cyclic_mapping(diamond_graph(), 0)
+
+    def test_matches_the_generator_mapping(self):
+        """The generator's built-in mapping is exactly the paper's layer-cyclic policy."""
+        workload = fixed_ls_workload(48, 8, core_count=8, seed=3)
+        recomputed = layer_cyclic_mapping(workload.graph, 8, layers=workload.layers)
+        assert recomputed == workload.mapping
+
+    def test_resulting_problem_is_analyzable(self):
+        graph = diamond_graph()
+        mapping = layer_cyclic_mapping(graph, 3)
+        problem = AnalysisProblem(graph, mapping, banked_manycore(3, 1))
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+
+
+class TestRoundRobinMapping:
+    def test_topological_round_robin(self):
+        graph = diamond_graph()
+        mapping = round_robin_mapping(graph, 2)
+        mapping.validate(graph)
+        assert mapping.core_of("src") == 0
+
+    def test_single_core(self):
+        graph = diamond_graph()
+        mapping = round_robin_mapping(graph, 1)
+        assert mapping.core_count == 1
+        assert len(mapping.order_on(0)) == 5
+
+    def test_invalid_core_count(self):
+        with pytest.raises(MappingError):
+            round_robin_mapping(diamond_graph(), -1)

@@ -1,0 +1,120 @@
+"""Tests for the list-scheduling, load-balancing and ordering heuristics."""
+
+import pytest
+
+from repro import AnalysisProblem, analyze, validate_schedule
+from repro.errors import MappingError
+from repro.generators import fixed_ls_workload
+from repro.mapping import (
+    estimate_schedule_length,
+    layer_cyclic_mapping,
+    list_schedule_mapping,
+    load_balanced_mapping,
+    mapping_imbalance,
+    memory_aware_mapping,
+    order_by_bottom_level,
+    order_by_top_level,
+    reorder_mapping,
+)
+from repro.model import TaskGraphBuilder
+from repro.platform import banked_manycore
+
+
+def wide_graph():
+    """One source feeding eight independent workers of very different lengths."""
+    builder = TaskGraphBuilder("wide")
+    builder.task("src", wcet=10, accesses=1)
+    for index in range(8):
+        builder.task(f"w{index}", wcet=10 + 40 * index, accesses=3)
+        builder.edge("src", f"w{index}")
+    return builder.build()
+
+
+class TestListScheduling:
+    def test_produces_complete_valid_mapping(self):
+        graph = wide_graph()
+        mapping = list_schedule_mapping(graph, 4)
+        mapping.validate(graph)
+        assert mapping.task_count == graph.task_count
+
+    def test_single_core_degenerates_to_topological_order(self):
+        graph = wide_graph()
+        mapping = list_schedule_mapping(graph, 1)
+        assert len(mapping.order_on(0)) == graph.task_count
+
+    def test_spreads_work_better_than_everything_on_one_core(self):
+        graph = wide_graph()
+        parallel = estimate_schedule_length(graph, list_schedule_mapping(graph, 4))
+        serial = estimate_schedule_length(graph, list_schedule_mapping(graph, 1))
+        assert parallel < serial
+
+    def test_invalid_core_count(self):
+        with pytest.raises(MappingError):
+            list_schedule_mapping(wide_graph(), 0)
+
+    def test_analyzable(self):
+        graph = wide_graph()
+        mapping = list_schedule_mapping(graph, 4)
+        problem = AnalysisProblem(graph, mapping, banked_manycore(4, 1))
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        validate_schedule(problem, schedule)
+
+    def test_communication_penalty_accepted(self):
+        graph = wide_graph()
+        mapping = list_schedule_mapping(graph, 4, communication_penalty=25)
+        mapping.validate(graph)
+
+
+class TestLoadBalancing:
+    def test_balanced_mapping_spreads_the_load(self):
+        graph = wide_graph()
+        balanced = load_balanced_mapping(graph, 4)
+        balanced.validate(graph)
+        # every core gets work and the greedy list-scheduling bound (2x the mean) holds
+        assert balanced.core_count == 4
+        assert 1.0 <= mapping_imbalance(graph, balanced) < 2.0
+
+    def test_memory_aware_mapping_valid(self):
+        graph = wide_graph()
+        mapping = memory_aware_mapping(graph, 4)
+        mapping.validate(graph)
+
+    def test_imbalance_of_empty_mapping(self):
+        from repro import Mapping, TaskGraph
+
+        assert mapping_imbalance(TaskGraph(), Mapping()) == 1.0
+
+    def test_invalid_core_count(self):
+        with pytest.raises(MappingError):
+            load_balanced_mapping(wide_graph(), 0)
+
+
+class TestOrdering:
+    def test_order_by_top_level_is_dependency_consistent(self):
+        workload = fixed_ls_workload(40, 8, core_count=8, seed=5)
+        assignment = {name: workload.mapping.core_of(name) for name in workload.mapping.mapped_tasks()}
+        reordered = order_by_top_level(workload.graph, assignment)
+        reordered.validate(workload.graph)
+
+    def test_order_by_bottom_level_is_dependency_consistent(self):
+        workload = fixed_ls_workload(40, 8, core_count=8, seed=6)
+        assignment = {name: workload.mapping.core_of(name) for name in workload.mapping.mapped_tasks()}
+        reordered = order_by_bottom_level(workload.graph, assignment)
+        reordered.validate(workload.graph)
+
+    def test_reorder_keeps_core_assignment(self):
+        workload = fixed_ls_workload(32, 8, core_count=4, seed=7)
+        reordered = reorder_mapping(workload.graph, workload.mapping, "bottom-level")
+        for name in workload.mapping.mapped_tasks():
+            assert reordered.core_of(name) == workload.mapping.core_of(name)
+
+    def test_unknown_strategy_rejected(self):
+        workload = fixed_ls_workload(16, 4, core_count=4, seed=8)
+        with pytest.raises(MappingError):
+            reorder_mapping(workload.graph, workload.mapping, "not-a-strategy")
+
+    def test_unknown_task_in_assignment_rejected(self):
+        workload = fixed_ls_workload(16, 4, core_count=4, seed=9)
+        with pytest.raises(MappingError):
+            order_by_top_level(workload.graph, {"ghost": 0})

@@ -1,0 +1,67 @@
+"""Unit tests for :class:`repro.model.TaskGraphBuilder`."""
+
+import pytest
+
+from repro import MemoryDemand, TaskGraphBuilder
+from repro.errors import GraphError
+
+
+class TestBuilder:
+    def test_build_graph_and_mapping(self):
+        builder = TaskGraphBuilder("demo")
+        builder.task("a", wcet=10, accesses=5, core=0)
+        builder.task("b", wcet=20, accesses={1: 3}, core=1)
+        builder.edge("a", "b", volume=2)
+        graph, mapping = builder.build_both()
+        assert graph.task_count == 2
+        assert graph.dependency("a", "b").volume == 2
+        assert graph.task("a").demand == {0: 5}
+        assert graph.task("b").demand == {1: 3}
+        assert mapping.core_of("b") == 1
+
+    def test_accesses_accepts_memory_demand(self):
+        builder = TaskGraphBuilder()
+        builder.task("a", wcet=1, accesses=MemoryDemand({2: 9}))
+        assert builder.build().task("a").demand == {2: 9}
+
+    def test_default_bank_override(self):
+        builder = TaskGraphBuilder(default_bank=5)
+        builder.task("a", wcet=1, accesses=4)
+        assert builder.build().task("a").demand == {5: 4}
+
+    def test_chain_helper(self):
+        builder = TaskGraphBuilder()
+        for name in "abcd":
+            builder.task(name, wcet=1)
+        builder.chain("a", "b", "c", "d", volume=1)
+        graph = builder.build()
+        assert graph.edge_count == 3
+        assert graph.topological_order() == list("abcd")
+
+    def test_chain_needs_two_tasks(self):
+        builder = TaskGraphBuilder()
+        builder.task("a", wcet=1)
+        with pytest.raises(GraphError):
+            builder.chain("a")
+
+    def test_map_order(self):
+        builder = TaskGraphBuilder()
+        for name in "abc":
+            builder.task(name, wcet=1)
+        builder.map_order(2, ["a", "b", "c"])
+        mapping = builder.build_mapping()
+        assert mapping.order_on(2) == ["a", "b", "c"]
+
+    def test_build_mapping_without_mapping_info_raises(self):
+        builder = TaskGraphBuilder()
+        builder.task("a", wcet=1)
+        with pytest.raises(GraphError):
+            builder.build_mapping()
+
+    def test_min_release_deadline_metadata(self):
+        builder = TaskGraphBuilder()
+        builder.task("a", wcet=1, min_release=4, deadline=100, metadata={"origin": "sensor"})
+        task = builder.build().task("a")
+        assert task.min_release == 4
+        assert task.deadline == 100
+        assert task.metadata["origin"] == "sensor"

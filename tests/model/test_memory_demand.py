@@ -1,0 +1,106 @@
+"""Unit tests for :class:`repro.model.MemoryDemand`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import MemoryDemand, ModelError
+
+
+class TestConstruction:
+    def test_empty_by_default(self):
+        demand = MemoryDemand()
+        assert demand.total == 0
+        assert demand.is_empty()
+        assert len(demand) == 0
+
+    def test_single_bank_constructor(self):
+        demand = MemoryDemand.single_bank(12, bank=3)
+        assert demand[3] == 12
+        assert demand[0] == 0
+        assert demand.total == 12
+
+    def test_zero_counts_are_dropped(self):
+        demand = MemoryDemand({0: 5, 1: 0, 2: 3})
+        assert set(demand.banks()) == {0, 2}
+        assert 1 not in demand
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            MemoryDemand({0: -1})
+
+    def test_negative_bank_rejected(self):
+        with pytest.raises(ModelError):
+            MemoryDemand({-2: 1})
+
+    def test_duplicate_keys_via_int_coercion_merge(self):
+        demand = MemoryDemand({0: 5, "0": 7})
+        assert demand[0] == 12
+
+
+class TestArithmetic:
+    def test_addition_merges_banks(self):
+        a = MemoryDemand({0: 5, 1: 2})
+        b = MemoryDemand({1: 3, 2: 4})
+        merged = a + b
+        assert merged[0] == 5
+        assert merged[1] == 5
+        assert merged[2] == 4
+        assert merged.total == 14
+
+    def test_addition_does_not_mutate_operands(self):
+        a = MemoryDemand({0: 5})
+        b = MemoryDemand({0: 1})
+        _ = a + b
+        assert a[0] == 5
+        assert b[0] == 1
+
+    def test_scaled(self):
+        demand = MemoryDemand({0: 3, 4: 2}).scaled(3)
+        assert demand[0] == 9
+        assert demand[4] == 6
+
+    def test_scaled_by_zero_gives_empty(self):
+        assert MemoryDemand({0: 3}).scaled(0).is_empty()
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ModelError):
+            MemoryDemand({0: 3}).scaled(-1)
+
+
+class TestValueSemantics:
+    def test_equality_with_other_demand(self):
+        assert MemoryDemand({0: 5}) == MemoryDemand({0: 5})
+        assert MemoryDemand({0: 5}) != MemoryDemand({0: 6})
+
+    def test_equality_with_mapping(self):
+        assert MemoryDemand({0: 5}) == {0: 5}
+        assert MemoryDemand({0: 5, 1: 0}) == {0: 5}
+
+    def test_hashable(self):
+        bucket = {MemoryDemand({0: 5}), MemoryDemand({0: 5}), MemoryDemand({1: 5})}
+        assert len(bucket) == 2
+
+    def test_to_dict_is_a_copy(self):
+        demand = MemoryDemand({0: 5})
+        exported = demand.to_dict()
+        exported[0] = 99
+        assert demand[0] == 5
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=1000), max_size=6
+    )
+)
+def test_total_equals_sum_of_banks(counts):
+    demand = MemoryDemand(counts)
+    assert demand.total == sum(value for value in counts.values())
+
+
+@given(
+    a=st.dictionaries(st.integers(0, 4), st.integers(0, 100), max_size=4),
+    b=st.dictionaries(st.integers(0, 4), st.integers(0, 100), max_size=4),
+)
+def test_addition_is_commutative(a, b):
+    assert MemoryDemand(a) + MemoryDemand(b) == MemoryDemand(b) + MemoryDemand(a)

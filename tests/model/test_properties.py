@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.model.properties`."""
+
+import pytest
+
+from repro import Mapping, Task, TaskGraph, TaskGraphBuilder
+from repro.model import (
+    bottom_levels,
+    critical_path,
+    graph_depth,
+    graph_width,
+    layers,
+    longest_path_length,
+    makespan_lower_bound,
+    parallelism_profile,
+    summarize,
+    task_levels,
+    top_levels,
+)
+
+
+def diamond() -> TaskGraph:
+    builder = TaskGraphBuilder("diamond")
+    builder.task("src", wcet=10)
+    builder.task("left", wcet=20)
+    builder.task("right", wcet=5)
+    builder.task("sink", wcet=10)
+    builder.edge("src", "left").edge("src", "right")
+    builder.edge("left", "sink").edge("right", "sink")
+    return builder.build()
+
+
+class TestLevels:
+    def test_task_levels(self):
+        levels = task_levels(diamond())
+        assert levels == {"src": 0, "left": 1, "right": 1, "sink": 2}
+
+    def test_layers(self):
+        assert layers(diamond()) == [["src"], ["left", "right"], ["sink"]]
+
+    def test_depth_and_width(self):
+        graph = diamond()
+        assert graph_depth(graph) == 3
+        assert graph_width(graph) == 2
+
+    def test_empty_graph(self):
+        graph = TaskGraph()
+        assert graph_depth(graph) == 0
+        assert graph_width(graph) == 0
+        assert layers(graph) == []
+        assert longest_path_length(graph) == 0
+        assert critical_path(graph) == []
+
+
+class TestPathLengths:
+    def test_top_levels(self):
+        tops = top_levels(diamond())
+        assert tops == {"src": 0, "left": 10, "right": 10, "sink": 30}
+
+    def test_top_levels_respect_min_release(self):
+        graph = TaskGraph()
+        graph.add_task(Task(name="a", wcet=5, min_release=100))
+        graph.add_task(Task(name="b", wcet=5))
+        graph.add_dependency("a", "b")
+        tops = top_levels(graph)
+        assert tops["a"] == 100
+        assert tops["b"] == 105
+
+    def test_bottom_levels(self):
+        bottoms = bottom_levels(diamond())
+        assert bottoms == {"src": 40, "left": 30, "right": 15, "sink": 10}
+
+    def test_longest_path_length(self):
+        assert longest_path_length(diamond()) == 40
+
+    def test_critical_path(self):
+        path = critical_path(diamond())
+        assert path == ["src", "left", "sink"]
+
+    def test_critical_path_single_task(self):
+        graph = TaskGraph()
+        graph.add_task(Task(name="only", wcet=7))
+        assert critical_path(graph) == ["only"]
+        assert longest_path_length(graph) == 7
+
+
+class TestBounds:
+    def test_makespan_lower_bound_without_mapping(self):
+        assert makespan_lower_bound(diamond()) == 40
+
+    def test_makespan_lower_bound_with_mapping(self):
+        graph = diamond()
+        # everything on one core: bound is the total WCET
+        mapping = Mapping({0: ["src", "left", "right", "sink"]})
+        assert makespan_lower_bound(graph, mapping) == 45
+
+    def test_parallelism_profile(self):
+        assert parallelism_profile(diamond()) == {1: 2, 2: 1}
+
+    def test_summary(self):
+        summary = summarize(diamond())
+        assert summary.task_count == 4
+        assert summary.edge_count == 4
+        assert summary.depth == 3
+        assert summary.width == 2
+        assert summary.critical_path_length == 40
+        assert summary.to_dict()["task_count"] == 4

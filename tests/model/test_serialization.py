@@ -1,0 +1,79 @@
+"""Round-trip tests for the model (de)serialization helpers."""
+
+import pytest
+
+from repro import Mapping, MemoryDemand, Task, TaskGraphBuilder
+from repro.errors import SerializationError
+from repro.model import (
+    graph_from_dict,
+    graph_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+
+
+def sample_graph():
+    builder = TaskGraphBuilder("sample")
+    builder.task("a", wcet=10, accesses={0: 5, 2: 1}, min_release=3, deadline=80,
+                 metadata={"origin": "unit-test"})
+    builder.task("b", wcet=20)
+    builder.task("c", wcet=5, accesses=7)
+    builder.edge("a", "b", volume=4)
+    builder.edge("b", "c")
+    return builder.build()
+
+
+class TestTaskRoundTrip:
+    def test_roundtrip_preserves_fields(self):
+        task = Task(name="x", wcet=42, demand=MemoryDemand({1: 9}), min_release=5, deadline=99,
+                    metadata={"k": "v"})
+        restored = task_from_dict(task_to_dict(task))
+        assert restored == task
+
+    def test_missing_fields_get_defaults(self):
+        restored = task_from_dict({"name": "x", "wcet": 3})
+        assert restored.min_release == 0
+        assert restored.deadline is None
+        assert restored.demand.is_empty()
+
+    def test_invalid_record_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            task_from_dict({"name": "x"})  # missing wcet
+        with pytest.raises(SerializationError):
+            task_from_dict({"name": "x", "wcet": "not-a-number"})
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        graph = sample_graph()
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.task_count == graph.task_count
+        assert restored.edge_count == graph.edge_count
+        assert restored.task("a").demand == graph.task("a").demand
+        assert restored.dependency("a", "b").volume == 4
+        assert restored.task("a").metadata["origin"] == "unit-test"
+
+    def test_restored_graph_is_validated(self):
+        data = graph_to_dict(sample_graph())
+        data["dependencies"].append({"producer": "c", "consumer": "a", "volume": 0})
+        with pytest.raises(Exception):
+            graph_from_dict(data)
+
+    def test_bank_keys_survive_string_conversion(self):
+        data = graph_to_dict(sample_graph())
+        assert set(data["tasks"][0]["accesses"].keys()) == {"0", "2"}
+        restored = graph_from_dict(data)
+        assert restored.task("a").accesses_on(2) == 1
+
+
+class TestMappingRoundTrip:
+    def test_roundtrip(self):
+        mapping = Mapping({0: ["a", "b"], 7: ["c"]})
+        restored = mapping_from_dict(mapping_to_dict(mapping))
+        assert restored == mapping
+
+    def test_invalid_core_key(self):
+        with pytest.raises(SerializationError):
+            mapping_from_dict({"not-a-core": ["a"]})

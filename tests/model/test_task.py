@@ -1,0 +1,69 @@
+"""Unit tests for :class:`repro.model.Task`."""
+
+import pytest
+
+from repro import MemoryDemand, ModelError, Task
+
+
+class TestValidation:
+    def test_minimal_task(self):
+        task = Task(name="a", wcet=10)
+        assert task.wcet == 10
+        assert task.min_release == 0
+        assert task.deadline is None
+        assert task.total_accesses == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="", wcet=10)
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="a", wcet=0)
+
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="a", wcet=-5)
+
+    def test_negative_min_release_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="a", wcet=1, min_release=-1)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="a", wcet=1, deadline=0)
+
+    def test_plain_dict_demand_is_coerced(self):
+        task = Task(name="a", wcet=5, demand={0: 3, 2: 1})
+        assert isinstance(task.demand, MemoryDemand)
+        assert task.accesses_on(0) == 3
+        assert task.accesses_on(2) == 1
+        assert task.total_accesses == 4
+
+
+class TestCopies:
+    def test_with_demand(self):
+        task = Task(name="a", wcet=5, demand={0: 3}, min_release=2, deadline=50)
+        updated = task.with_demand({1: 7})
+        assert updated.demand == {1: 7}
+        assert updated.wcet == 5
+        assert updated.min_release == 2
+        assert updated.deadline == 50
+        # the original is untouched (frozen dataclass)
+        assert task.demand == {0: 3}
+
+    def test_with_min_release(self):
+        task = Task(name="a", wcet=5)
+        assert task.with_min_release(9).min_release == 9
+
+    def test_with_wcet(self):
+        task = Task(name="a", wcet=5)
+        assert task.with_wcet(11).wcet == 11
+
+    def test_with_wcet_invalid_value_rejected(self):
+        with pytest.raises(ModelError):
+            Task(name="a", wcet=5).with_wcet(0)
+
+    def test_metadata_preserved(self):
+        task = Task(name="a", wcet=5, metadata={"layer": 3})
+        assert task.with_wcet(6).metadata["layer"] == 3

@@ -1,0 +1,90 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro import Core, MemoryBank, Platform
+from repro.errors import PlatformError
+
+
+class TestCoreAndBank:
+    def test_core_default_name(self):
+        assert Core(identifier=3).name == "PE3"
+
+    def test_core_negative_id_rejected(self):
+        with pytest.raises(PlatformError):
+            Core(identifier=-1)
+
+    def test_bank_defaults(self):
+        bank = MemoryBank(identifier=2)
+        assert bank.name == "bank2"
+        assert bank.access_latency == 1
+        assert not bank.is_private
+
+    def test_bank_invalid_latency(self):
+        with pytest.raises(PlatformError):
+            MemoryBank(identifier=0, access_latency=0)
+
+    def test_reserved_bank_is_private(self):
+        assert MemoryBank(identifier=0, reserved_for=3).is_private
+
+
+class TestPlatform:
+    def test_symmetric_factory(self):
+        platform = Platform.symmetric(4, 2, access_latency=3)
+        assert platform.core_count == 4
+        assert platform.bank_count == 2
+        assert platform.bank(1).access_latency == 3
+        assert platform.core_ids() == [0, 1, 2, 3]
+        assert platform.bank_ids() == [0, 1]
+
+    def test_needs_at_least_one_core_and_bank(self):
+        with pytest.raises(PlatformError):
+            Platform("empty", [], [MemoryBank(identifier=0)])
+        with pytest.raises(PlatformError):
+            Platform("empty", [Core(identifier=0)], [])
+
+    def test_duplicate_identifiers_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform("dup", [Core(identifier=0), Core(identifier=0)], [MemoryBank(identifier=0)])
+        with pytest.raises(PlatformError):
+            Platform(
+                "dup",
+                [Core(identifier=0)],
+                [MemoryBank(identifier=0), MemoryBank(identifier=0)],
+            )
+
+    def test_reserved_for_unknown_core_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                "bad", [Core(identifier=0)], [MemoryBank(identifier=0, reserved_for=9)]
+            )
+
+    def test_unknown_lookup_raises(self):
+        platform = Platform.symmetric(2, 1)
+        with pytest.raises(PlatformError):
+            platform.core(5)
+        with pytest.raises(PlatformError):
+            platform.bank(5)
+
+    def test_clusters(self):
+        platform = Platform.symmetric(8, 1, cluster_size=4)
+        clusters = platform.clusters()
+        assert sorted(clusters) == [0, 1]
+        assert len(clusters[0]) == 4
+
+    def test_shared_and_private_banks(self):
+        platform = Platform(
+            "mixed",
+            [Core(identifier=0), Core(identifier=1)],
+            [MemoryBank(identifier=0), MemoryBank(identifier=1, reserved_for=1)],
+        )
+        assert [bank.identifier for bank in platform.shared_banks()] == [0]
+        assert [bank.identifier for bank in platform.private_banks()] == [1]
+
+    def test_dict_roundtrip(self):
+        platform = Platform.symmetric(3, 2, name="p", access_latency=2)
+        restored = Platform.from_dict(platform.to_dict())
+        assert restored.core_count == 3
+        assert restored.bank_count == 2
+        assert restored.bank(0).access_latency == 2
+        assert restored.name == "p"

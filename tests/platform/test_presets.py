@@ -1,0 +1,75 @@
+"""Tests for the MPPA-256 and generic platform presets."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (
+    MPPA_CLUSTER_BANKS,
+    MPPA_CLUSTER_CORES,
+    banked_manycore,
+    dual_core_single_bank,
+    manycore,
+    mppa256_cluster,
+    mppa256_full,
+    mppa256_io_subsystem,
+    partitioned_banks,
+    quad_core_single_bank,
+    single_core,
+)
+
+
+class TestMppaPresets:
+    def test_cluster_dimensions(self):
+        platform = mppa256_cluster()
+        assert platform.core_count == MPPA_CLUSTER_CORES == 16
+        assert platform.bank_count == MPPA_CLUSTER_BANKS == 16
+        assert platform.bank(0).access_latency == 1
+
+    def test_cluster_is_parametric(self):
+        platform = mppa256_cluster(4, 2, access_latency=3)
+        assert platform.core_count == 4
+        assert platform.bank_count == 2
+        assert platform.bank(1).access_latency == 3
+
+    def test_full_chip(self):
+        platform = mppa256_full()
+        assert platform.core_count == 256
+        assert platform.bank_count == 256
+        assert len(platform.clusters()) == 16
+        # core 17 belongs to cluster 1
+        assert platform.core(17).cluster == 1
+
+    def test_io_subsystem(self):
+        platform = mppa256_io_subsystem()
+        assert platform.core_count == 4
+        assert platform.bank(0).access_latency == 10
+
+
+class TestGenericPresets:
+    def test_single_and_dual(self):
+        assert single_core().core_count == 1
+        assert dual_core_single_bank().core_count == 2
+        assert quad_core_single_bank().core_count == 4
+
+    def test_manycore(self):
+        platform = manycore(32)
+        assert platform.core_count == 32
+        assert platform.bank_count == 1
+
+    def test_banked_manycore(self):
+        platform = banked_manycore(8, 4)
+        assert platform.core_count == 8
+        assert platform.bank_count == 4
+
+    def test_partitioned_banks(self):
+        platform = partitioned_banks(4, shared_banks=2)
+        assert platform.core_count == 4
+        assert platform.bank_count == 6
+        assert len(platform.private_banks()) == 4
+        assert len(platform.shared_banks()) == 2
+        # private bank k is reserved for core k
+        assert platform.bank(2).reserved_for == 2
+
+    def test_partitioned_banks_rejects_negative(self):
+        with pytest.raises(PlatformError):
+            partitioned_banks(2, shared_banks=-1)

@@ -1,0 +1,129 @@
+"""Tests for the cycle-level execution simulator."""
+
+import pytest
+
+from repro import AnalysisProblem, RoundRobinArbiter, TaskGraphBuilder, analyze
+from repro.errors import SimulationError
+from repro.examples_data import figure1_problem
+from repro.platform import quad_core_single_bank
+from repro.simulation import ExecutionBehavior, ExecutionSimulator, simulate
+
+
+def contended_problem():
+    """Two tasks on two cores hammering the same bank, plus a dependent third task."""
+    builder = TaskGraphBuilder("contended")
+    builder.task("a", wcet=20, accesses=10, core=0)
+    builder.task("b", wcet=20, accesses=10, core=1)
+    builder.task("c", wcet=10, accesses=2, core=0)
+    builder.edge("a", "c")
+    graph, mapping = builder.build_both()
+    return AnalysisProblem(graph, mapping, quad_core_single_bank(), RoundRobinArbiter())
+
+
+class TestBehaviors:
+    def test_worst_case_behavior(self):
+        problem = contended_problem()
+        behavior = ExecutionBehavior.worst_case(problem)
+        behavior.validate_against(problem)
+        assert behavior.execution_time("a") == 20
+        assert behavior.accesses("a").total == 10
+
+    def test_scaled_behavior(self):
+        problem = contended_problem()
+        behavior = ExecutionBehavior.scaled(problem, 0.5)
+        behavior.validate_against(problem)
+        assert behavior.execution_time("a") <= 20
+
+    def test_randomized_behavior_never_exceeds_declared_bounds(self):
+        problem = contended_problem()
+        behavior = ExecutionBehavior.randomized(problem, seed=5)
+        behavior.validate_against(problem)
+
+    def test_invalid_scaling(self):
+        problem = contended_problem()
+        with pytest.raises(SimulationError):
+            ExecutionBehavior.scaled(problem, 0.0)
+        with pytest.raises(SimulationError):
+            ExecutionBehavior.scaled(problem, 1.5)
+
+    def test_validate_rejects_excessive_times(self):
+        problem = contended_problem()
+        behavior = ExecutionBehavior({"a": 50, "b": 20, "c": 10}, {
+            "a": problem.graph.task("a").demand,
+            "b": problem.graph.task("b").demand,
+            "c": problem.graph.task("c").demand,
+        })
+        with pytest.raises(SimulationError):
+            behavior.validate_against(problem)
+
+    def test_unknown_task_rejected(self):
+        behavior = ExecutionBehavior({}, {})
+        with pytest.raises(SimulationError):
+            behavior.execution_time("ghost")
+
+
+class TestSimulator:
+    def test_tasks_start_at_their_release_dates(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        for entry in schedule:
+            assert result.task(entry.name).start == entry.release
+
+    def test_worst_case_simulation_respects_the_analysis(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        assert result.respects(schedule)
+        assert result.makespan <= schedule.makespan
+
+    def test_contention_produces_stalls(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        assert result.total_stall_cycles > 0
+
+    def test_isolated_task_has_no_stalls(self):
+        builder = TaskGraphBuilder("solo")
+        builder.task("only", wcet=30, accesses=10, core=0)
+        graph, mapping = builder.build_both()
+        problem = AnalysisProblem(graph, mapping, quad_core_single_bank())
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        assert result.task("only").stall_cycles == 0
+        assert result.task("only").finish == 30
+
+    def test_faster_behavior_finishes_earlier(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        worst = simulate(problem, schedule)
+        fast = simulate(problem, schedule, ExecutionBehavior.scaled(problem, 0.5))
+        assert fast.makespan <= worst.makespan
+        assert fast.respects(schedule)
+
+    def test_figure1_simulation_matches_analysis_exactly(self):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        assert result.respects(schedule)
+        assert result.makespan <= schedule.makespan == 7
+
+    def test_unschedulable_schedule_rejected(self):
+        problem = contended_problem().with_horizon(5)
+        schedule = analyze(problem)
+        assert not schedule.schedulable
+        with pytest.raises(SimulationError):
+            simulate(problem, schedule)
+
+    def test_max_cycles_guard(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        simulator = ExecutionSimulator(problem, schedule, max_cycles=3)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_accesses_performed_reported(self):
+        problem = contended_problem()
+        schedule = analyze(problem)
+        result = simulate(problem, schedule)
+        assert result.task("a").accesses_performed == 10

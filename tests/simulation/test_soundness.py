@@ -1,0 +1,77 @@
+"""V1 — property-based soundness check of the analysis against the simulator.
+
+For any execution behaviour that does not exceed the declared WCETs and memory
+demands, every simulated task must finish within its analysed window
+``[release, release + R]``.  This is the end-to-end guarantee the whole
+framework rests on (Section II-B of the paper).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AnalysisProblem, Mapping, MemoryDemand, RoundRobinArbiter, Task, TaskGraph, analyze
+from repro.platform import banked_manycore
+from repro.simulation import ExecutionBehavior, simulate
+
+
+@st.composite
+def small_problems(draw):
+    """Random problems kept small so the cycle-level simulation stays fast."""
+    task_count = draw(st.integers(min_value=1, max_value=8))
+    core_count = draw(st.integers(min_value=1, max_value=4))
+    graph = TaskGraph("sim-random")
+    names = [f"t{i}" for i in range(task_count)]
+    for name in names:
+        wcet = draw(st.integers(min_value=5, max_value=60))
+        accesses = draw(st.integers(min_value=0, max_value=wcet))  # demand fits in the WCET
+        min_release = draw(st.integers(min_value=0, max_value=20))
+        graph.add_task(
+            Task(name=name, wcet=wcet, demand=MemoryDemand({0: accesses}), min_release=min_release)
+        )
+    for consumer_index in range(1, task_count):
+        predecessors = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=consumer_index - 1),
+                max_size=2,
+                unique=True,
+            )
+        )
+        for producer_index in predecessors:
+            graph.add_dependency(names[producer_index], names[consumer_index])
+    mapping = Mapping()
+    for index, name in enumerate(names):
+        mapping.assign(name, index % core_count)
+    platform = banked_manycore(core_count, 1)
+    return AnalysisProblem(graph, mapping, platform, RoundRobinArbiter(), name="sim-random")
+
+
+_SETTINGS = dict(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(problem=small_problems())
+@settings(**_SETTINGS)
+def test_worst_case_execution_never_exceeds_the_analysed_windows(problem):
+    schedule = analyze(problem, "incremental")
+    assert schedule.schedulable
+    result = simulate(problem, schedule)
+    assert result.respects(schedule), "\n".join(result.violations(schedule))
+    assert result.makespan <= schedule.makespan
+
+
+@given(problem=small_problems(), seed=st.integers(min_value=0, max_value=1000))
+@settings(**_SETTINGS)
+def test_any_faster_behavior_also_respects_the_windows(problem, seed):
+    schedule = analyze(problem, "incremental")
+    behavior = ExecutionBehavior.randomized(problem, seed=seed)
+    result = simulate(problem, schedule, behavior)
+    assert result.respects(schedule), "\n".join(result.violations(schedule))
+
+
+@given(problem=small_problems())
+@settings(**_SETTINGS)
+def test_baseline_schedules_are_also_sound(problem):
+    schedule = analyze(problem, "fixedpoint")
+    assert schedule.schedulable
+    result = simulate(problem, schedule)
+    assert result.respects(schedule), "\n".join(result.violations(schedule))

@@ -1,0 +1,36 @@
+"""Tests for the packaged example problems and the package top level."""
+
+import repro
+from repro import analyze, validate_schedule
+from repro.examples_data import figure1_problem, figure2_problem
+
+
+def test_package_version():
+    assert repro.__version__
+    assert repro.__version__[0].isdigit()
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_figure1_problem_is_self_consistent():
+    problem = figure1_problem()
+    problem.validate()
+    assert problem.task_count == 5
+    assert problem.platform.core_count == 4
+    schedule = analyze(problem)
+    validate_schedule(problem, schedule)
+
+
+def test_figure2_problem_is_self_consistent():
+    problem = figure2_problem()
+    problem.validate()
+    assert problem.task_count == 11
+    # mapping follows the paper's example: 3 + 2 + 3 + 3 tasks on PE0..PE3
+    sizes = sorted(len(problem.mapping.order_on(core)) for core in problem.mapping.cores())
+    assert sizes == [2, 3, 3, 3]
+    schedule = analyze(problem)
+    assert schedule.schedulable
+    validate_schedule(problem, schedule)

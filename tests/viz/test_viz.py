@@ -1,0 +1,92 @@
+"""Tests for the visualization helpers (Gantt, DOT, reports)."""
+
+import pytest
+
+from repro import IncrementalAnalyzer, analyze
+from repro.examples_data import figure1_problem, figure2_problem
+from repro.viz import (
+    analysis_report,
+    format_table,
+    graph_to_dot,
+    render_cursor_snapshot,
+    render_gantt,
+    render_trace,
+    schedule_to_dot,
+)
+
+
+class TestGantt:
+    def test_gantt_mentions_every_task_and_interference(self):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        chart = render_gantt(schedule)
+        for name in problem.graph.task_names():
+            assert name in chart
+        assert "I:1" in chart and "I:2" in chart
+        assert "makespan 7" in chart
+
+    def test_gantt_without_interference_labels(self):
+        chart = render_gantt(analyze(figure1_problem()), show_interference=False)
+        assert "I:" not in chart
+
+    def test_cursor_snapshot_legend_and_symbols(self):
+        problem = figure2_problem()
+        schedule = analyze(problem)
+        cursor = schedule.makespan // 2
+        snapshot = render_cursor_snapshot(schedule, cursor)
+        assert f"t={cursor}" in snapshot
+        assert "closed" in snapshot and "alive" in snapshot and "future" in snapshot
+
+    def test_render_trace(self):
+        analyzer = IncrementalAnalyzer(figure1_problem(), trace=True)
+        analyzer.run()
+        text = render_trace(analyzer.trace)
+        assert "t=0" in text
+        limited = render_trace(analyzer.trace, limit=1)
+        assert "more cursor steps" in limited
+
+
+class TestDot:
+    def test_graph_to_dot_contains_nodes_edges_and_cores(self):
+        problem = figure1_problem()
+        dot = graph_to_dot(problem.graph, problem.mapping)
+        assert dot.startswith("digraph")
+        assert '"n0" -> "n1"' in dot
+        assert "PE0" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_graph_to_dot_without_mapping(self):
+        dot = graph_to_dot(figure1_problem().graph)
+        assert "PE0" not in dot
+
+    def test_schedule_to_dot(self):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        dot = schedule_to_dot(problem.graph, schedule)
+        assert "rel=0" in dot
+        assert "R=" in dot
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_analysis_report_sections(self):
+        problem = figure1_problem()
+        schedule = analyze(problem)
+        report = analysis_report(problem, schedule)
+        assert "SCHEDULABLE" in report
+        assert "statistics:" in report
+        assert "round-robin" in report
+        assert "n0" in report
+
+    def test_analysis_report_truncates_large_task_tables(self):
+        from repro.generators import fixed_ls_workload
+
+        problem = fixed_ls_workload(48, 8, core_count=8, seed=2).to_problem()
+        schedule = analyze(problem)
+        report = analysis_report(problem, schedule, include_gantt=False, max_task_rows=10)
+        assert "more tasks" in report

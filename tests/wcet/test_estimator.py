@@ -1,0 +1,98 @@
+"""Tests for program-based task annotation and the synthetic program generator."""
+
+import random
+
+import pytest
+
+from repro import AnalysisProblem, Task, analyze
+from repro.mapping import round_robin_mapping
+from repro.model import TaskGraphBuilder
+from repro.platform import quad_core_single_bank
+from repro.wcet import (
+    BasicBlock,
+    Procedure,
+    analyze_program,
+    annotate_graph,
+    annotate_task,
+    estimate_ranges,
+    random_procedure,
+)
+from repro.errors import WcetError
+
+
+def procedure(instructions=100, accesses=20):
+    return Procedure(
+        name="p",
+        body=BasicBlock(name="bb", instructions=instructions, accesses={0: accesses}),
+    )
+
+
+class TestAnnotation:
+    def test_annotate_task_overrides_wcet_and_demand(self):
+        task = Task(name="t", wcet=1, demand={0: 1})
+        annotated = annotate_task(task, procedure(100, 20))
+        assert annotated.wcet == 120
+        assert annotated.demand == {0: 20}
+        assert annotated.name == "t"
+
+    def test_annotate_graph_partial(self):
+        builder = TaskGraphBuilder("g")
+        builder.task("a", wcet=1)
+        builder.task("b", wcet=99)
+        graph = builder.build()
+        annotated = annotate_graph(graph, {"a": procedure(50, 5)})
+        assert annotated.task("a").wcet == 55
+        assert annotated.task("b").wcet == 99  # untouched
+        # the original graph is not modified
+        assert graph.task("a").wcet == 1
+
+    def test_annotate_graph_require_all(self):
+        builder = TaskGraphBuilder("g")
+        builder.task("a", wcet=1)
+        builder.task("b", wcet=1)
+        graph = builder.build()
+        with pytest.raises(WcetError):
+            annotate_graph(graph, {"a": procedure()}, require_all=True)
+
+    def test_end_to_end_program_to_analysis(self):
+        """Programs -> WCET/demand -> task graph -> interference analysis."""
+        rng = random.Random(0)
+        builder = TaskGraphBuilder("pipeline")
+        programs = {}
+        for name in ("stage0", "stage1", "stage2", "stage3"):
+            builder.task(name, wcet=1)
+            programs[name] = random_procedure(name, rng, target_wcet=400, target_accesses=100)
+        builder.chain("stage0", "stage1", "stage2", "stage3")
+        graph = annotate_graph(builder.build(), programs, require_all=True)
+        mapping = round_robin_mapping(graph, 4)
+        problem = AnalysisProblem(graph, mapping, quad_core_single_bank())
+        schedule = analyze(problem)
+        assert schedule.schedulable
+        assert schedule.makespan >= sum(graph.task(n).wcet for n in graph.task_names()) // 4
+
+
+class TestRandomProcedures:
+    def test_deterministic_per_seed(self):
+        a = random_procedure("p", random.Random(1), target_wcet=500, target_accesses=200)
+        b = random_procedure("p", random.Random(1), target_wcet=500, target_accesses=200)
+        assert analyze_program(a).wcet == analyze_program(b).wcet
+
+    def test_bounds_are_positive_and_bounded(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            proc = random_procedure("p", rng, target_wcet=600, target_accesses=400)
+            result = analyze_program(proc)
+            assert result.wcet > 0
+            # the structured construction never overshoots the budget by more than ~2x
+            assert result.wcet <= 2 * 600
+            assert result.total_accesses <= 2 * 400
+
+    def test_estimate_ranges(self):
+        results = estimate_ranges(10, seed=3)
+        assert len(results) == 10
+        for result in results.values():
+            assert result.wcet > 0
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(WcetError):
+            random_procedure("p", random.Random(0), target_wcet=0)

@@ -1,0 +1,101 @@
+"""Tests for the structured-program WCET analysis (OTAWA substitute)."""
+
+import pytest
+
+from repro.errors import WcetError
+from repro.wcet import (
+    BasicBlock,
+    Branch,
+    Loop,
+    Procedure,
+    Sequence_,
+    access_bound,
+    analyze_program,
+    wcet_bound,
+)
+
+
+def block(instructions, accesses=0, bank=0, cpi=1):
+    return BasicBlock(
+        name=f"bb{instructions}",
+        instructions=instructions,
+        accesses={bank: accesses} if accesses else {},
+        cycles_per_instruction=cpi,
+    )
+
+
+class TestBasicBlock:
+    def test_cycles_and_accesses(self):
+        result = analyze_program(block(10, accesses=4))
+        assert result.wcet == 14  # 10 compute + 4 access cycles at latency 1
+        assert result.accesses == {0: 4}
+
+    def test_access_latency_scales_cost(self):
+        assert wcet_bound(block(10, accesses=4), access_latency=5) == 30
+
+    def test_cycles_per_instruction(self):
+        assert wcet_bound(block(10, cpi=2)) == 20
+
+    def test_validation(self):
+        with pytest.raises(WcetError):
+            BasicBlock(name="x", instructions=-1)
+        with pytest.raises(WcetError):
+            BasicBlock(name="x", instructions=1, cycles_per_instruction=0)
+        with pytest.raises(WcetError):
+            BasicBlock(name="x", instructions=1, accesses={0: -1})
+
+
+class TestComposition:
+    def test_sequence_sums(self):
+        program = Sequence_([block(10, 2), block(20, 3)])
+        result = analyze_program(program)
+        assert result.wcet == (10 + 2) + (20 + 3)
+        assert result.accesses == {0: 5}
+
+    def test_branch_takes_worst_alternative(self):
+        program = Branch([block(10, 1), block(50, 0)], condition_cost=2)
+        result = analyze_program(program)
+        assert result.wcet == 2 + 50
+        # access bound is the per-bank max over the alternatives
+        assert result.accesses == {0: 1}
+
+    def test_branch_needs_alternatives(self):
+        with pytest.raises(WcetError):
+            Branch([])
+
+    def test_loop_multiplies(self):
+        program = Loop(body=block(10, 2), bound=5, overhead_per_iteration=1)
+        result = analyze_program(program)
+        assert result.wcet == 5 * (12 + 1)
+        assert result.accesses == {0: 10}
+
+    def test_zero_bound_loop(self):
+        result = analyze_program(Loop(body=block(10, 2), bound=0))
+        assert result.wcet == 0
+        assert result.accesses.is_empty()
+
+    def test_negative_loop_bound_rejected(self):
+        with pytest.raises(WcetError):
+            Loop(body=block(1), bound=-1)
+
+    def test_nested_structure(self):
+        inner = Loop(body=block(5, 1), bound=3)
+        program = Procedure(
+            name="task",
+            body=Sequence_([block(2), Branch([inner, block(1)]), block(4, 2)]),
+        )
+        result = analyze_program(program)
+        # branch worst case is the loop: 3 * (6 + 1) = 21; plus condition 1
+        assert result.wcet == 2 + (1 + 21) + 6
+        assert result.accesses == {0: 3 + 2}
+
+    def test_access_bound_shortcut(self):
+        assert access_bound(block(10, 7)) == {0: 7}
+
+    def test_invalid_access_latency(self):
+        with pytest.raises(WcetError):
+            analyze_program(block(1), access_latency=0)
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(WcetError):
+            analyze_program("not a program")  # type: ignore[arg-type]
