@@ -16,7 +16,7 @@ Run with::
     python examples/design_space_exploration.py
 """
 
-from repro import AnalysisProblem, RoundRobinArbiter, analyze
+from repro import AnalysisProblem, RoundRobinArbiter, analyze, analyze_many
 from repro.analysis import memory_sensitivity, schedule_statistics
 from repro.arbiter import (
     FifoArbiter,
@@ -60,10 +60,13 @@ def build_problem(mapping_name: str = "list-scheduling") -> AnalysisProblem:
 
 def explore_mappings() -> None:
     print("=== mapping heuristics ===\n")
+    names = ("layer-cyclic", "list-scheduling", "load-balanced", "memory-aware")
+    problems = [build_problem(name) for name in names]
+    # one candidate per mapping heuristic — fan the whole design space out at
+    # once instead of looping over analyze()
+    schedules = analyze_many(problems)
     rows = []
-    for name in ("layer-cyclic", "list-scheduling", "load-balanced", "memory-aware"):
-        problem = build_problem(name)
-        schedule = analyze(problem)
+    for name, problem, schedule in zip(names, problems, schedules):
         stats = schedule_statistics(problem, schedule)
         rows.append(
             [

@@ -29,6 +29,8 @@ The main subpackages are:
 * :mod:`repro.simulation` — discrete-event execution simulator used to
   validate the analysis bounds;
 * :mod:`repro.analysis` — schedulability, sensitivity and complexity studies;
+* :mod:`repro.engine` — batch-analysis engine: process-pool fan-out over many
+  problems (:func:`analyze_many`) with persistent result caching;
 * :mod:`repro.viz`, :mod:`repro.io`, :mod:`repro.cli`, :mod:`repro.bench` —
   reporting, persistence, command line and the benchmark harness reproducing
   the paper's figures.
@@ -59,10 +61,21 @@ from .core import (
     compare_schedules,
     validate_schedule,
 )
+from .engine import (
+    AnalysisJob,
+    BatchAnalyzer,
+    BatchReport,
+    ResultCache,
+    analyze_many,
+    problem_digest,
+)
 from .errors import (
     AnalysisError,
+    BatchExecutionError,
+    CacheError,
     ConvergenceError,
     DeadlockError,
+    EngineError,
     GraphError,
     MappingError,
     ModelError,
@@ -112,6 +125,13 @@ __all__ = [
     "available_algorithms",
     "compare_schedules",
     "validate_schedule",
+    # batch engine
+    "analyze_many",
+    "BatchAnalyzer",
+    "BatchReport",
+    "AnalysisJob",
+    "ResultCache",
+    "problem_digest",
     # errors
     "ReproError",
     "ModelError",
@@ -123,4 +143,7 @@ __all__ = [
     "ConvergenceError",
     "DeadlockError",
     "ValidationError",
+    "EngineError",
+    "BatchExecutionError",
+    "CacheError",
 ]

@@ -19,6 +19,8 @@ from .runner import (
     OLD_ALGORITHM,
     ComparisonResult,
     SweepConfig,
+    measure_algorithm_parallel,
+    measure_sweep,
     run_comparison,
     workload_sweep,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "SweepConfig",
     "ComparisonResult",
     "workload_sweep",
+    "measure_algorithm_parallel",
+    "measure_sweep",
     "run_comparison",
     "NEW_ALGORITHM",
     "OLD_ALGORITHM",

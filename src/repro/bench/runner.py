@@ -10,15 +10,24 @@ fitted complexity exponents and per-size speedups.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..analysis import ComplexityFit, TimingSeries, measure_algorithm
+from ..analysis import ComplexityFit, TimingPoint, TimingSeries, measure_algorithm
 from ..core import AnalysisProblem
+from ..engine import ResultCache, analyze_many, default_worker_count
 from ..errors import GenerationError
 from ..generators import fixed_ls_workload, fixed_nl_workload
 
-__all__ = ["SweepConfig", "ComparisonResult", "workload_sweep", "run_comparison"]
+__all__ = [
+    "SweepConfig",
+    "ComparisonResult",
+    "workload_sweep",
+    "measure_algorithm_parallel",
+    "measure_sweep",
+    "run_comparison",
+]
 
 #: algorithm names used throughout the harness
 NEW_ALGORITHM = "incremental"
@@ -124,24 +133,125 @@ class ComparisonResult:
         return rows
 
 
+def measure_algorithm_parallel(
+    problems: Iterable[Tuple[int, AnalysisProblem]],
+    algorithm: str,
+    *,
+    label: str = "",
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
+) -> TimingSeries:
+    """Parallel counterpart of :func:`repro.analysis.measure_algorithm`.
+
+    The sweep is fanned out over the batch engine; each point's time is the
+    analyzer's own in-worker wall time (``Schedule.stats.wall_time_seconds``),
+    so the numbers stay in the same ballpark as serial measurements while the
+    sweep itself completes in a fraction of the wall clock.  Caveats: workers
+    running concurrently contend for memory bandwidth and cores, which can
+    inflate individual timings — use serial mode for measurement-grade numbers
+    feeding complexity fits or published tables.  Timeout cut-off and
+    repetitions are serial-mode features and do not apply here; cached points
+    report the wall time of the run that produced them.
+    """
+    pairs = list(problems)
+    schedules = analyze_many(
+        [problem for _, problem in pairs],
+        algorithm,
+        max_workers=max_workers,
+        cache=cache,
+        chunksize=chunksize,
+    )
+    series = TimingSeries(label=label or algorithm, algorithm=algorithm)
+    for (size, _), schedule in zip(pairs, schedules):
+        series.add(
+            TimingPoint(
+                size=size,
+                seconds=schedule.stats.wall_time_seconds,
+                makespan=schedule.makespan,
+            )
+        )
+    return series
+
+
+def measure_sweep(
+    config: SweepConfig,
+    algorithm: str,
+    *,
+    label: str,
+    max_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+) -> TimingSeries:
+    """Measure ``algorithm`` on ``config``'s sweep, serially or via the engine.
+
+    ``max_workers=None`` means one worker per CPU, as everywhere in the engine
+    API; the default of ``1`` keeps measurement-grade serial timing.
+
+    The single switch between :func:`repro.analysis.measure_algorithm`
+    (serial: timeout cut-off, repetitions, uncontended timings) and
+    :func:`measure_algorithm_parallel` (engine fan-out) used by the comparison
+    and scaling studies.  Supplying a ``cache`` routes through the engine —
+    with ``max_workers=1`` that is the engine's serial fallback (no pool), so
+    cached sweeps work in serial mode too.  ``timeout_seconds`` / ``repetitions``
+    always win: when set, the sweep runs on the bounded serial path (with a
+    RuntimeWarning if the engine was also requested).
+    """
+    if max_workers is None:
+        max_workers = default_worker_count()
+    engine_requested = max_workers > 1 or cache is not None
+    bounded = config.timeout_seconds is not None or config.repetitions > 1
+    if engine_requested and bounded:
+        # the timeout cut-off exists to keep intractable sweep points from
+        # running at all; boundedness beats parallelism, so fall back to the
+        # serial path rather than silently running an unbounded sweep
+        warnings.warn(
+            "measure_sweep: timeout_seconds/repetitions require the serial path; "
+            "running serially (engine fan-out and cache disabled for this sweep)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if engine_requested and not bounded:
+        return measure_algorithm_parallel(
+            workload_sweep(config),
+            algorithm,
+            label=label,
+            max_workers=max_workers,
+            cache=cache,
+        )
+    return measure_algorithm(
+        workload_sweep(config),
+        algorithm,
+        label=label,
+        timeout_seconds=config.timeout_seconds,
+        repetitions=config.repetitions,
+    )
+
+
 def run_comparison(
     config: SweepConfig,
     *,
     run_baseline: bool = True,
     baseline_sizes: Optional[Sequence[int]] = None,
+    max_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ComparisonResult:
     """Time both algorithms on the sweep described by ``config``.
 
     ``baseline_sizes`` restricts the (slow) baseline to a subset of the sizes —
     the same device the paper uses with its benchmark timeout; the incremental
-    algorithm always runs the full sweep.
+    algorithm always runs the full sweep.  ``max_workers > 1`` — or supplying a
+    ``cache`` — opts into the batch engine: points are then analysed through it
+    (in parallel when ``max_workers > 1``) and per-point times are in-worker
+    wall times.  ``timeout_seconds`` / ``repetitions`` take precedence over the
+    engine: when either is set the sweep runs on the bounded serial path and a
+    RuntimeWarning notes that the engine (and cache) were disabled.
     """
-    new_series = measure_algorithm(
-        workload_sweep(config),
+    new_series = measure_sweep(
+        config,
         NEW_ALGORITHM,
         label=f"{config.label}-new",
-        timeout_seconds=config.timeout_seconds,
-        repetitions=config.repetitions,
+        max_workers=max_workers,
+        cache=cache,
     )
     if run_baseline:
         if baseline_sizes is None:
@@ -156,12 +266,12 @@ def run_comparison(
                 timeout_seconds=config.timeout_seconds,
                 repetitions=config.repetitions,
             )
-        old_series = measure_algorithm(
-            workload_sweep(baseline_config),
+        old_series = measure_sweep(
+            baseline_config,
             OLD_ALGORITHM,
             label=f"{config.label}-old",
-            timeout_seconds=config.timeout_seconds,
-            repetitions=config.repetitions,
+            max_workers=max_workers,
+            cache=cache,
         )
     else:
         old_series = TimingSeries(label=f"{config.label}-old", algorithm=OLD_ALGORITHM)

@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..analysis import ComplexityFit, TimingSeries, measure_algorithm
+from ..analysis import ComplexityFit, TimingSeries
 from ..viz.report import format_table
-from .runner import NEW_ALGORITHM, OLD_ALGORITHM, SweepConfig, workload_sweep
+from .runner import NEW_ALGORITHM, OLD_ALGORITHM, SweepConfig, measure_sweep
 
 __all__ = ["ScalingReport", "run_scaling_study", "format_scaling_report"]
 
@@ -55,24 +55,29 @@ def run_scaling_study(
     baseline_sizes: Tuple[int, ...] = (64, 128, 256),
     target_size: int = PAPER_SCALING_TARGET,
     seed: int = 2020,
+    max_workers: Optional[int] = 1,
 ) -> ScalingReport:
     """Measure the incremental algorithm up to ≥ ``target_size`` tasks.
 
     The baseline is only measured on ``baseline_sizes`` (small graphs) to fit
     its growth law; its runtime at the target size is extrapolated from that
-    fit rather than measured.
+    fit rather than measured.  ``max_workers > 1`` fans the sweep points out
+    over the batch engine (per-point times are in-worker wall times).
     """
     new_config = SweepConfig(mode=mode, parameter=parameter, sizes=sizes, seed=seed)
-    new_series = measure_algorithm(
-        workload_sweep(new_config), NEW_ALGORITHM, label=f"{new_config.label}-scaling"
+    new_series = measure_sweep(
+        new_config, NEW_ALGORITHM, label=f"{new_config.label}-scaling", max_workers=max_workers
     )
     baseline_fit: Optional[ComplexityFit] = None
     if baseline_sizes:
         baseline_config = SweepConfig(
             mode=mode, parameter=parameter, sizes=baseline_sizes, seed=seed
         )
-        baseline_series = measure_algorithm(
-            workload_sweep(baseline_config), OLD_ALGORITHM, label=f"{baseline_config.label}-baseline"
+        baseline_series = measure_sweep(
+            baseline_config,
+            OLD_ALGORITHM,
+            label=f"{baseline_config.label}-baseline",
+            max_workers=max_workers,
         )
         try:
             baseline_fit = baseline_series.fit()

@@ -4,6 +4,7 @@ Sub-commands
 ------------
 ``generate``   generate a random layer-by-layer problem and save it as JSON
 ``analyze``    run an analysis algorithm on a problem file and report/save the schedule
+``batch``      analyse many problem files through the parallel, cached batch engine
 ``compare``    run both algorithms on a problem file and compare their schedules
 ``figure3``    reproduce one or all panels of Figure 3 of the paper
 ``headline``   reproduce the headline speedup table of Section V
@@ -29,10 +30,18 @@ from ..bench import (
     run_scaling_study,
 )
 from ..core import analyze, available_algorithms, compare_schedules
-from ..errors import ReproError
+from ..engine import BatchAnalyzer, ProgressEvent
+from ..errors import BatchExecutionError, ReproError
 from ..generators import fixed_ls_workload, fixed_nl_workload
-from ..io import load_problem, save_problem, save_schedule, write_schedule_csv
-from ..viz import analysis_report
+from ..io import (
+    load_problem,
+    save_batch_results,
+    save_problem,
+    save_schedule,
+    write_batch_csv,
+    write_schedule_csv,
+)
+from ..viz import analysis_report, format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--csv", help="write the schedule as CSV to this path")
     analyze_cmd.add_argument("--no-gantt", action="store_true", help="omit the ASCII Gantt chart")
 
+    batch = subparsers.add_parser(
+        "batch", help="analyse many problem files in parallel with result caching"
+    )
+    batch.add_argument("problems", nargs="+", help="problem JSON files")
+    batch.add_argument("--algorithm", default="incremental", choices=available_algorithms())
+    batch.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: one per CPU)"
+    )
+    batch.add_argument(
+        "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
+    )
+    batch.add_argument("--chunksize", type=int, default=None, help="jobs per worker chunk")
+    batch.add_argument("--output", help="write all schedules as one JSON batch document")
+    batch.add_argument("--csv", help="write a one-row-per-problem CSV summary")
+    batch.add_argument("--quiet", action="store_true", help="suppress per-chunk progress")
+
     compare = subparsers.add_parser("compare", help="run both algorithms and compare")
     compare.add_argument("problem", help="problem JSON file")
 
@@ -80,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     scaling = subparsers.add_parser("scaling", help="reproduce the >8000-task scaling claim")
     scaling.add_argument("--target", type=int, default=8192, help="largest task count to analyse")
     scaling.add_argument("--seed", type=int, default=2020)
+    scaling.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan sweep points out over this many processes (timings become in-worker)",
+    )
 
     subparsers.add_parser("info", help="list algorithms and arbiters")
     return parser
@@ -114,6 +145,81 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0 if schedule.schedulable else 2
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    problems = [load_problem(path) for path in args.problems]
+
+    def on_progress(event: ProgressEvent) -> None:
+        print(
+            f"\r[{event.done}/{event.total}] {event.job_name}",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    analyzer = BatchAnalyzer(
+        args.algorithm,
+        max_workers=args.workers,
+        cache=args.cache_dir,
+        chunksize=args.chunksize,
+    )
+    failures = {}
+    report = None
+    results_cached = False
+    try:
+        report = analyzer.run(problems, progress=None if args.quiet else on_progress)
+        schedules = report.schedules
+    except BatchExecutionError as exc:
+        # completed schedules are preserved — report what we have
+        schedules = [schedule for schedule in exc.results if schedule is not None]
+        failures = exc.failures
+        results_cached = exc.results_cached
+    if not args.quiet:
+        print(file=sys.stderr)
+    rows = [
+        [
+            schedule.problem_name,
+            str(len(schedule)),
+            str(schedule.makespan),
+            "yes" if schedule.schedulable else "NO",
+            f"{schedule.stats.wall_time_seconds:.3f}",
+        ]
+        for schedule in schedules
+    ]
+    print(format_table(["problem", "tasks", "makespan", "schedulable", "seconds"], rows))
+    stats = analyzer.cache.stats
+    if report is not None:
+        computed = (
+            f"{report.computed} analysed on {report.workers} worker(s)"
+            if report.computed
+            else "0 analysed"
+        )
+        print(
+            f"\n{report.total} problem(s): {computed}, {report.cached} served from cache "
+            f"(hits={stats.hits}, misses={stats.misses})"
+        )
+    else:
+        retry_hint = (
+            " (cached for retry)"
+            if results_cached and analyzer.cache.path is not None
+            else ""
+        )
+        print(
+            f"\n{len(failures)} of {len(problems)} problem(s) FAILED; "
+            f"{len(schedules)} completed{retry_hint}:"
+        )
+        for index, message in sorted(failures.items()):
+            print(f"  [{index}] {message}")
+    if args.output:
+        save_batch_results(schedules, args.output)
+        print(f"batch results written to {args.output}")
+    if args.csv:
+        write_batch_csv(schedules, args.csv)
+        print(f"batch CSV written to {args.csv}")
+    if failures:
+        return 1
+    return 0 if all(schedule.schedulable for schedule in schedules) else 2
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
     incremental = analyze(problem, "incremental")
@@ -140,7 +246,9 @@ def _command_headline(args: argparse.Namespace) -> int:
 
 def _command_scaling(args: argparse.Namespace) -> int:
     sizes = tuple(sorted({512, 1024, 2048, 4096, max(args.target, 512)}))
-    report = run_scaling_study(sizes=sizes, target_size=args.target, seed=args.seed)
+    report = run_scaling_study(
+        sizes=sizes, target_size=args.target, seed=args.seed, max_workers=args.workers
+    )
     print(format_scaling_report(report))
     return 0
 
@@ -155,6 +263,7 @@ def _command_info(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _command_generate,
     "analyze": _command_analyze,
+    "batch": _command_batch,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "headline": _command_headline,

@@ -1,0 +1,234 @@
+"""High-level batch API: :func:`analyze_many` and :class:`BatchAnalyzer`.
+
+This is the throughput-oriented front door of the engine.  A batch run
+
+1. wraps every problem in an :class:`~repro.engine.jobs.AnalysisJob`,
+2. resolves each job against the :class:`~repro.engine.cache.ResultCache`
+   (content digest + algorithm + schema version) — hits never reach a worker,
+   and content-identical problems submitted in the same batch are analysed
+   only once,
+3. fans the misses out over the process pool of
+   :mod:`repro.engine.executor` (or runs them serially for ``max_workers=1``),
+4. stores fresh results back into the cache, and
+5. returns schedules in the order the problems were submitted.
+
+A warm cache therefore turns a whole sweep into pure lookups: re-running the
+same sweep performs zero analyzer invocations (see the cache's hit/miss
+counters in :attr:`BatchAnalyzer.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import warnings
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core import AnalysisProblem, Schedule
+from ..core.analyzer import INCREMENTAL
+from ..errors import BatchExecutionError, CacheError, EngineError
+from .cache import PathLike, ResultCache
+from .executor import (
+    ProgressCallback,
+    ProgressEvent,
+    _summarize,
+    default_worker_count,
+    run_jobs,
+)
+from .jobs import AnalysisJob
+
+__all__ = ["BatchReport", "BatchAnalyzer", "analyze_many"]
+
+
+@dataclass
+class BatchReport:
+    """Outcome summary of one batch run (the schedules live in ``schedules``).
+
+    ``computed`` counts actual analyzer invocations; ``cached`` counts jobs
+    served without one (cache hits plus intra-batch duplicates); ``workers``
+    is the number of workers actually used (0 when everything came from the
+    cache, never more than the number of computed jobs).
+    """
+
+    schedules: List[Schedule]
+    algorithm: str
+    cached: int
+    computed: int
+    workers: int
+
+    @property
+    def total(self) -> int:
+        return self.cached + self.computed
+
+    def __iter__(self):
+        return iter(self.schedules)
+
+
+class BatchAnalyzer:
+    """Reusable batch front end bound to one algorithm, pool size and cache.
+
+    ``cache`` may be a :class:`ResultCache`, a directory path (a persistent
+    cache is created there), or ``None`` for a fresh memory-only cache.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = INCREMENTAL,
+        *,
+        max_workers: Optional[int] = None,
+        cache: Union[ResultCache, PathLike, None] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(path=cache)
+
+    def run(
+        self,
+        problems: Iterable[AnalysisProblem],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> BatchReport:
+        """Analyse every problem; cached results are served without running."""
+        jobs = [
+            AnalysisJob(problem=problem, algorithm=self.algorithm, index=index)
+            for index, problem in enumerate(problems)
+        ]
+        total = len(jobs)
+        schedules: List[Optional[Schedule]] = [None] * total
+        misses: List[AnalysisJob] = []
+        pending: Dict[str, int] = {}  # cache key -> index of the job that computes it
+        duplicates: Dict[int, int] = {}  # duplicate job index -> source job index
+        hits = 0
+        for job in jobs:
+            key = job.cache_key
+            if key in pending:
+                # identical problem already queued in this batch: analyse it once
+                duplicates[job.index] = pending[key]
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                # the digest is content-based: a hit may have been produced
+                # under another problem name, so relabel for this caller
+                hit.problem_name = job.name
+                schedules[job.index] = hit
+                hits += 1
+            else:
+                pending[key] = job.index
+                misses.append(job)
+        served = total - len(misses)  # cache hits + intra-batch duplicates
+        if progress is not None and hits:
+            progress(ProgressEvent(done=hits, total=total, job_name="(cache)"))
+
+        failures: Dict[int, str] = {}  # original batch index -> "<name>: <error>"
+        cache_broken = False
+        if misses:
+            miss_order = [job.index for job in misses]
+
+            def on_progress(event: ProgressEvent) -> None:
+                if progress is not None:
+                    progress(
+                        ProgressEvent(
+                            done=hits + event.done, total=total, job_name=event.job_name
+                        )
+                    )
+
+            try:
+                fresh = run_jobs(
+                    misses,
+                    max_workers=self.max_workers,
+                    chunksize=self.chunksize,
+                    progress=on_progress if progress is not None else None,
+                )
+            except BatchExecutionError as exc:
+                # keep (and cache) what completed; re-raise below with the
+                # miss-list positions translated back to batch indices
+                fresh = exc.results
+                failures = {
+                    miss_order[position]: message
+                    for position, message in exc.failures.items()
+                }
+            for original_index, schedule in zip(miss_order, fresh):
+                if schedule is None:
+                    continue
+                schedules[original_index] = schedule
+                if not cache_broken:
+                    try:
+                        self.cache.put(jobs[original_index].cache_key, schedule)
+                    except CacheError as exc:
+                        # never discard computed results over a cache failure
+                        cache_broken = True
+                        warnings.warn(
+                            f"result cache writes disabled for this batch: {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+        for index, source_index in duplicates.items():
+            source = schedules[source_index]
+            if source is None:
+                # the job computing this duplicate's content failed; mark the
+                # duplicate as failed too (below) rather than silently None
+                continue
+            clone = Schedule.from_dict(source.to_dict())
+            clone.problem_name = jobs[index].name
+            schedules[index] = clone
+        if progress is not None and duplicates:
+            progress(ProgressEvent(done=total, total=total, job_name="(deduplicated)"))
+
+        if failures:
+            for index, source_index in duplicates.items():
+                if schedules[index] is None:
+                    failures[index] = (
+                        f"{jobs[index].name}: duplicate of failed job at index {source_index}"
+                    )
+            fate = "could not be cached" if cache_broken else "were cached"
+            raise BatchExecutionError(
+                f"{len(failures)} of {total} job(s) failed "
+                f"(completed results {fate}): {_summarize(failures)}",
+                failures=failures,
+                results=schedules,
+                results_cached=not cache_broken,
+            )
+
+        if any(schedule is None for schedule in schedules):
+            raise EngineError("batch run finished with missing results")
+        configured = default_worker_count() if self.max_workers is None else int(self.max_workers)
+        workers = min(configured, len(misses)) if misses else 0  # workers actually used
+        return BatchReport(
+            schedules=schedules,  # type: ignore[arg-type]
+            algorithm=self.algorithm,
+            cached=served,
+            computed=len(misses),
+            workers=workers,
+        )
+
+
+def analyze_many(
+    problems: Iterable[AnalysisProblem],
+    algorithm: str = INCREMENTAL,
+    *,
+    max_workers: Optional[int] = None,
+    cache: Union[ResultCache, PathLike, None] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Schedule]:
+    """Analyse many problems at once; returns schedules in submission order.
+
+    The parallel counterpart of :func:`repro.analyze`::
+
+        from repro import analyze_many
+        schedules = analyze_many(problems, max_workers=8, cache="~/.cache/repro")
+
+    ``max_workers=None`` uses one worker per CPU; ``max_workers=1`` is a
+    strictly serial fallback.  ``cache`` accepts a directory path for a
+    persistent cache shared across runs.  Results are independent of the
+    worker count — the parallel path produces schedules identical to the
+    serial one.
+    """
+    analyzer = BatchAnalyzer(
+        algorithm, max_workers=max_workers, cache=cache, chunksize=chunksize
+    )
+    return analyzer.run(problems, progress=progress).schedules

@@ -1,0 +1,224 @@
+"""Two-tier result cache for the batch-analysis engine.
+
+Tier 1 is a bounded in-memory LRU; tier 2 is an optional persistent on-disk
+JSON store (one file per entry under ``path``).  Keys come from
+:attr:`repro.engine.jobs.AnalysisJob.cache_key`, i.e. problem content digest +
+algorithm + schema version, so a cache directory can be shared between sweeps,
+re-runs and even machines: any analysis of identical problem content is a hit.
+
+The cache counts hits and misses (:class:`CacheStats`), which is how the test
+suite proves that a warm re-run of a sweep performs *zero* analyzer
+invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core import Schedule
+from ..errors import CacheError, ValidationError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+PathLike = Union[str, Path]
+
+_ENTRY_FORMAT = "repro-cache-entry"
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _is_entry_name(stem: str) -> bool:
+    """True for the SHA-256 hex stems the cache itself writes."""
+    return len(stem) == 64 and set(stem) <= _HEX_DIGITS
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss bookkeeping; ``hits = memory_hits + disk_hits``."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return (self.hits / self.lookups) if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+class ResultCache:
+    """LRU memory cache over an optional persistent JSON store.
+
+    ``path=None`` gives a memory-only cache; otherwise entries are also
+    written to ``path`` (created on demand) and survive the process.
+    ``memory_limit`` bounds the number of in-memory entries (the disk tier is
+    unbounded); ``memory_limit=0`` disables the memory tier entirely.
+    """
+
+    def __init__(self, path: Optional[PathLike] = None, *, memory_limit: int = 1024) -> None:
+        if memory_limit < 0:
+            raise CacheError(f"memory_limit must be >= 0, got {memory_limit}")
+        self.path = None if path is None else Path(path).expanduser()
+        self.memory_limit = int(memory_limit)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+        if self.path is not None:
+            try:
+                self.path.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CacheError(f"cannot create cache directory {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Schedule]:
+        """Cached schedule for ``key``, or ``None`` (counted as hit or miss)."""
+        with self._lock:
+            record = self._memory.get(key)
+            if record is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return Schedule.from_dict(record)
+        record = self._read_disk(key)
+        if record is not None:
+            # a tampered/truncated entry can carry a malformed schedule even
+            # when the envelope validates: treat that as a miss, not a crash
+            try:
+                schedule = Schedule.from_dict(record)
+            except (AttributeError, KeyError, TypeError, ValueError, ValidationError):
+                schedule = None
+            if schedule is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._remember(key, record)
+                return schedule
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, schedule: Schedule) -> None:
+        """Store ``schedule`` under ``key`` in both tiers."""
+        record = schedule.to_dict()
+        with self._lock:
+            self._remember(key, record)
+            self.stats.stores += 1
+        self._write_disk(key, record)
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is cached (does not touch the hit/miss counters)."""
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self.path is not None and self._entry_path(key).exists()
+
+    def clear(self, *, disk: bool = True) -> None:
+        """Drop the memory tier and (optionally) delete on-disk entries.
+
+        Only files that look like cache entries (64-hex-char SHA-256 stem) are
+        deleted, so pointing the cache at a directory that also holds user
+        JSON files never destroys them.
+        """
+        with self._lock:
+            self._memory.clear()
+        if disk and self.path is not None:
+            for entry in self.path.glob("*.json"):
+                if not _is_entry_name(entry.stem):
+                    continue
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        """Number of distinct cached entries across both tiers."""
+        with self._lock:
+            names = {
+                hashlib.sha256(key.encode("utf-8")).hexdigest() for key in self._memory
+            }
+        if self.path is not None:
+            names.update(
+                entry.stem for entry in self.path.glob("*.json") if _is_entry_name(entry.stem)
+            )
+        return len(names)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _remember(self, key: str, record: Dict[str, object]) -> None:
+        if self.memory_limit == 0:
+            return
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_limit:
+            self._memory.popitem(last=False)
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.path is not None
+        filename = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.path / f"{filename}.json"
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, object]]:
+        if self.path is None:
+            return None
+        entry = self._entry_path(key)
+        try:
+            document = json.loads(entry.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable entry: treat as a miss, it will be rewritten
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != _ENTRY_FORMAT
+            or document.get("key") != key
+        ):
+            return None
+        schedule = document.get("schedule")
+        return schedule if isinstance(schedule, dict) else None
+
+    def _write_disk(self, key: str, record: Dict[str, object]) -> None:
+        if self.path is None:
+            return
+        document = {"format": _ENTRY_FORMAT, "key": key, "schedule": record}
+        entry = self._entry_path(key)
+        # atomic replace so concurrent readers never see a half-written entry
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=str(self.path),
+                prefix=entry.stem,
+                suffix=".tmp",
+                delete=False,
+            )
+            with handle:
+                json.dump(document, handle)
+            os.replace(handle.name, entry)
+        except OSError as exc:
+            raise CacheError(f"cannot write cache entry {entry}: {exc}") from exc

@@ -1,0 +1,188 @@
+"""Process-pool fan-out for analysis jobs.
+
+:func:`run_jobs` executes a list of :class:`~repro.engine.jobs.AnalysisJob`
+across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* jobs are grouped into *chunks* so per-task IPC overhead is amortized over
+  many small problems (one pickled payload round-trip per chunk, not per job);
+* results are restored to **submission order** no matter which worker finishes
+  first, so a parallel sweep is a drop-in replacement for a serial loop;
+* an optional ``progress`` callback receives :class:`ProgressEvent` updates as
+  chunks complete (streamed, not buffered until the end);
+* ``max_workers=1`` falls back to a plain in-process loop — no pool, no
+  serialization, same results — which is also the safe mode on platforms
+  where forking is undesirable.
+
+Workers rebuild each problem from its JSON payload (see
+:meth:`AnalysisJob.from_payload`) and resolve the algorithm through the
+registry of :mod:`repro.core.analyzer`.  With the default ``fork`` start
+method on Linux, algorithms registered at runtime in the parent are visible in
+the workers; with ``spawn``, only algorithms registered at import time are.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import Schedule
+from ..errors import BatchExecutionError, EngineError
+from .jobs import AnalysisJob
+
+__all__ = ["ProgressEvent", "ProgressCallback", "default_worker_count", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streamed progress update: ``done`` of ``total`` jobs finished."""
+
+    done: int
+    total: int
+    job_name: str = ""
+
+    @property
+    def fraction(self) -> float:
+        return (self.done / self.total) if self.total else 1.0
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def default_worker_count() -> int:
+    """Number of workers used when the caller does not pin one (CPU count)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Tuple[int, Dict[str, Any]]]:
+    """Worker entry point: run every job of one chunk, return indexed outcomes.
+
+    Each outcome is ``{"schedule": ...}`` or ``{"error": ...}`` — one failing
+    job must not poison the other jobs of its chunk (or of the batch).
+    """
+    results: List[Tuple[int, Dict[str, Any]]] = []
+    for payload in payloads:
+        job = AnalysisJob.from_payload(payload)
+        try:
+            results.append((job.index, {"schedule": job.run().to_dict()}))
+        except Exception as exc:  # noqa: BLE001 - reported per job, batch continues
+            results.append((job.index, {"error": f"{type(exc).__name__}: {exc}"}))
+    return results
+
+
+def _chunk(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def run_jobs(
+    jobs: Sequence[AnalysisJob],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Schedule]:
+    """Run ``jobs`` and return their schedules in submission order.
+
+    ``max_workers=None`` uses :func:`default_worker_count`; ``max_workers=1``
+    runs serially in-process.  ``chunksize=None`` picks a chunk size that
+    gives each worker a few chunks (load balancing without per-job IPC).
+
+    A failing job does not abort the batch: every other job still runs, and a
+    :class:`~repro.errors.BatchExecutionError` carrying the completed
+    schedules (``.results``, ``None`` at failed positions) and the failure
+    messages (``.failures``) is raised at the end.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+    if chunksize is not None and chunksize < 1:
+        raise EngineError(f"chunksize must be >= 1, got {chunksize}")
+    jobs = list(jobs)
+    total = len(jobs)
+    if total == 0:
+        return []
+    workers = default_worker_count() if max_workers is None else int(max_workers)
+    workers = min(workers, total)
+
+    if workers == 1:
+        # serial fallback: same jobs, same registry path, no pool overhead
+        serial_results: List[Optional[Schedule]] = []
+        serial_failures: Dict[int, str] = {}
+        for done, job in enumerate(jobs, start=1):
+            try:
+                serial_results.append(job.run())
+            except Exception as exc:  # noqa: BLE001 - collected, raised at the end
+                serial_results.append(None)
+                serial_failures[done - 1] = f"{job.name}: {type(exc).__name__}: {exc}"
+            if progress is not None:
+                progress(ProgressEvent(done=done, total=total, job_name=job.name))
+        if serial_failures:
+            raise BatchExecutionError(
+                f"{len(serial_failures)} of {total} job(s) failed: "
+                f"{_summarize(serial_failures)}",
+                failures=serial_failures,
+                results=serial_results,
+            )
+        return serial_results  # type: ignore[return-value]
+
+    if chunksize is None:
+        chunksize = max(1, total // (workers * 4))
+    # result ordering is defined by submission position; the caller's own
+    # job.index is left untouched (it may carry outer-batch semantics)
+    payloads = []
+    for position, job in enumerate(jobs):
+        payload = job.to_payload()
+        payload["index"] = position
+        payloads.append(payload)
+    chunks = _chunk(payloads, chunksize)
+    outcomes: Dict[int, Dict[str, Any]] = {}
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_run_chunk, chunk): [payload["index"] for payload in chunk]
+            for chunk in chunks
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                positions = pending.pop(future)
+                last_name = ""
+                try:
+                    chunk_outcomes = future.result()
+                except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable payload
+                    # the whole chunk is lost, but the batch must carry on
+                    chunk_outcomes = [
+                        (position, {"error": f"{type(exc).__name__}: {exc}"})
+                        for position in positions
+                    ]
+                for position, outcome in chunk_outcomes:
+                    outcomes[position] = outcome
+                    done += 1
+                    last_name = jobs[position].name
+                if progress is not None:
+                    progress(ProgressEvent(done=done, total=total, job_name=last_name))
+    missing = [jobs[position].name for position in range(total) if position not in outcomes]
+    if missing:
+        raise EngineError(f"batch lost results for {len(missing)} job(s): {missing[:5]}")
+    results: List[Optional[Schedule]] = []
+    failures: Dict[int, str] = {}
+    for position in range(total):
+        outcome = outcomes[position]
+        if "error" in outcome:
+            results.append(None)
+            failures[position] = f"{jobs[position].name}: {outcome['error']}"
+        else:
+            results.append(Schedule.from_dict(outcome["schedule"]))
+    if failures:
+        raise BatchExecutionError(
+            f"{len(failures)} of {total} job(s) failed: {_summarize(failures)}",
+            failures=failures,
+            results=results,
+        )
+    return results  # type: ignore[return-value]
+
+
+def _summarize(failures: Dict[int, str], limit: int = 3) -> str:
+    shown = list(failures.values())[:limit]
+    suffix = ", ..." if len(failures) > limit else ""
+    return "; ".join(shown) + suffix

@@ -1,0 +1,225 @@
+"""Job specification for the batch-analysis engine.
+
+An :class:`AnalysisJob` is the unit of work the engine schedules: an
+:class:`~repro.core.AnalysisProblem` plus the name of the algorithm to run on
+it (resolved through :func:`repro.core.analyzer.analyze`, i.e. the plug-in
+registry — custom algorithms registered with
+:func:`~repro.core.analyzer.register_algorithm` work transparently).
+
+Content digests
+---------------
+The engine keys its result cache by a *canonical content digest* of the
+problem: a SHA-256 over a normalized JSON rendering built from the primitives
+of :mod:`repro.model.serialization` (tasks sorted by name, dependencies sorted
+by endpoint, mapping and platform in their canonical dict forms, plus the
+arbiter name and the horizon).  Two problems with identical content — however
+they were constructed, in whatever process — produce the same digest, which is
+what makes on-disk cache entries reusable across runs and machines.
+
+Jobs travel to worker processes as payloads that are JSON-compatible except
+for the arbiter, which rides along as the live object so parameterized
+policies survive the process boundary intact (the JSON problem format only
+records the arbiter's registry name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core import AnalysisProblem, Schedule
+from ..core.analyzer import analyze
+from ..errors import EngineError
+from ..model import graph_to_dict, mapping_to_dict
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_problem_dict",
+    "problem_digest",
+    "AnalysisJob",
+]
+
+#: bump when the digest recipe or the cached schedule format changes —
+#: old on-disk cache entries are then ignored rather than misread.
+SCHEMA_VERSION = 1
+
+
+def _normalize(value: Any, depth: int = 0) -> Any:
+    """Recursively render ``value`` as deterministic JSON-compatible data.
+
+    Objects are rendered as their qualified type name plus their normalized
+    ``__dict__`` (never ``repr``, whose default includes the memory address
+    and would give a different digest in every process).  ``depth`` bounds
+    pathological nesting/cycles.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if depth >= 8:
+        return f"<depth-limit:{type(value).__name__}>"
+    if isinstance(value, dict):
+        return {
+            str(key): _normalize(item, depth + 1)
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item, depth + 1) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_normalize(item, depth + 1) for item in value), key=repr)
+    state = getattr(value, "__dict__", None)
+    if isinstance(state, dict):
+        return {
+            "__type__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "state": _normalize(state, depth + 1),
+        }
+    return f"{type(value).__module__}.{type(value).__qualname__}"
+
+
+def _arbiter_signature(arbiter: Any) -> Dict[str, Any]:
+    """Deterministic rendering of an arbiter *including its parameters*.
+
+    The registry-facing arbiter ``name`` alone is not enough: two
+    ``weighted-round-robin`` arbiters with different weights produce different
+    interference bounds and must not share cache entries.  Arbiters keep their
+    configuration in plain instance attributes, so the signature normalizes
+    those recursively.
+    """
+    state: Dict[str, Any] = {}
+    for klass in reversed(type(arbiter).__mro__):  # __slots__ attributes count too
+        slots = getattr(klass, "__slots__", ()) or ()
+        for slot in ([slots] if isinstance(slots, str) else slots):
+            if hasattr(arbiter, slot):
+                state[slot] = getattr(arbiter, slot)
+    instance_dict = getattr(arbiter, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        state.update(instance_dict)
+    return {
+        "type": type(arbiter).__name__,
+        "name": arbiter.name,
+        "state": _normalize(state),
+    }
+
+
+def canonical_problem_dict(problem: AnalysisProblem) -> Dict[str, Any]:
+    """Normalized, order-independent dict rendering of a problem.
+
+    Unlike :func:`repro.io.json_io.problem_to_dict` (which preserves
+    construction order for human readability) this sorts every collection so
+    the rendering — and therefore the digest — does not depend on the order in
+    which tasks or dependencies were added.
+    """
+    graph = graph_to_dict(problem.graph)
+    graph.pop("name", None)  # names are labels, not content (hits are relabeled)
+    graph["tasks"] = sorted(graph["tasks"], key=lambda record: record["name"])
+    graph["dependencies"] = sorted(
+        graph["dependencies"], key=lambda record: (record["producer"], record["consumer"])
+    )
+    platform = problem.platform.to_dict()
+    platform.pop("name", None)  # labels again: only structure and latencies count
+    platform.pop("description", None)
+    for record in platform.get("cores", []):
+        record.pop("name", None)
+    for record in platform.get("banks", []):
+        record.pop("name", None)
+    return {
+        "graph": graph,
+        "mapping": mapping_to_dict(problem.mapping),
+        "platform": platform,
+        "arbiter": _arbiter_signature(problem.arbiter),
+        "horizon": problem.horizon,
+    }
+
+
+def problem_digest(problem: AnalysisProblem) -> str:
+    """SHA-256 hex digest of the canonical problem content."""
+    try:
+        payload = json.dumps(
+            canonical_problem_dict(problem), sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise EngineError(f"problem {problem.name!r} cannot be digested: {exc}") from exc
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class AnalysisJob:
+    """One unit of batch work: run ``algorithm`` on ``problem``.
+
+    ``index`` is the job's position in the submitted batch; the engine uses it
+    to restore deterministic result ordering regardless of which worker
+    finishes first.
+    """
+
+    problem: AnalysisProblem
+    algorithm: str = "incremental"
+    index: int = 0
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def name(self) -> str:
+        return self.problem.name
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the problem (computed once, then memoized)."""
+        if self._digest is None:
+            self._digest = problem_digest(self.problem)
+        return self._digest
+
+    @property
+    def cache_key(self) -> str:
+        """Cache key: problem content + algorithm + schema version."""
+        return f"{self.digest}:{self.algorithm.strip().lower()}:v{SCHEMA_VERSION}"
+
+    def run(self) -> Schedule:
+        """Execute the job in-process through the algorithm registry."""
+        return analyze(self.problem, self.algorithm)
+
+    # ------------------------------------------------------------------
+    # process-boundary transport
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Payload for shipping the job to a worker process.
+
+        Everything but the arbiter travels as JSON-compatible data.  The
+        arbiter rides along as the live object (the pool pickles payloads
+        anyway): the JSON problem format records only the arbiter *name*, and
+        rebuilding by name would silently drop custom parameterizations —
+        parallel results must match serial ones exactly.
+        """
+        from ..io.json_io import problem_to_dict  # local import: io depends on core
+
+        return {
+            "index": self.index,
+            "algorithm": self.algorithm,
+            "digest": self.digest,
+            "problem": problem_to_dict(self.problem),
+            "arbiter": self.problem.arbiter,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "AnalysisJob":
+        """Rebuild a job from :meth:`to_payload` output (in a worker process)."""
+        from ..io.json_io import problem_from_dict
+
+        try:
+            problem_data = payload["problem"]
+            arbiter = payload.get("arbiter")
+            if arbiter is not None:
+                # the live object supersedes the recorded name — and custom
+                # arbiters may not be registered in the worker at all, so the
+                # by-name lookup must not even be attempted
+                problem_data = {**problem_data, "arbiter": "round-robin"}
+            problem = problem_from_dict(problem_data)
+            if arbiter is not None:
+                problem = problem.with_arbiter(arbiter)
+            return cls(
+                problem=problem,
+                algorithm=str(payload["algorithm"]),
+                index=int(payload["index"]),
+                _digest=payload.get("digest"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EngineError(f"invalid job payload: {exc}") from exc

@@ -99,6 +99,33 @@ class SerializationError(ReproError):
     """A problem or schedule could not be serialized or deserialized."""
 
 
+class EngineError(ReproError):
+    """The batch-analysis engine was misconfigured or a batch run failed."""
+
+
+class BatchExecutionError(EngineError):
+    """One or more jobs of a batch failed; completed results are preserved.
+
+    ``failures`` maps submission indices to ``"<job name>: <error>"``
+    descriptions (indices, because job names need not be unique); ``results``
+    holds the schedules of the jobs that *did* complete (``None`` at failed
+    positions, in submission order), so callers can keep — and cache —
+    finished work instead of discarding the whole batch.  ``results_cached``
+    is True when the completed schedules were persisted to the result cache
+    (a retry then only recomputes the failed jobs).
+    """
+
+    def __init__(self, message: str, *, failures=None, results=None, results_cached=False) -> None:
+        super().__init__(message)
+        self.failures = dict(failures or {})
+        self.results = list(results or [])
+        self.results_cached = bool(results_cached)
+
+
+class CacheError(EngineError):
+    """The result cache is corrupt or its directory cannot be used."""
+
+
 class SimulationError(ReproError):
     """The execution simulator detected an inconsistent configuration."""
 

@@ -1,11 +1,20 @@
-"""Persistence: JSON problems/schedules and CSV exports."""
+"""Persistence: JSON problems/schedules/batches and CSV exports."""
 
-from .csv_io import schedule_to_csv, timing_series_to_csv, write_schedule_csv, write_timing_csv
+from .csv_io import (
+    batch_summary_to_csv,
+    schedule_to_csv,
+    timing_series_to_csv,
+    write_batch_csv,
+    write_schedule_csv,
+    write_timing_csv,
+)
 from .json_io import (
+    load_batch_results,
     load_problem,
     load_schedule,
     problem_from_dict,
     problem_to_dict,
+    save_batch_results,
     save_problem,
     save_schedule,
 )
@@ -17,8 +26,12 @@ __all__ = [
     "load_problem",
     "save_schedule",
     "load_schedule",
+    "save_batch_results",
+    "load_batch_results",
     "schedule_to_csv",
     "write_schedule_csv",
     "timing_series_to_csv",
     "write_timing_csv",
+    "batch_summary_to_csv",
+    "write_batch_csv",
 ]

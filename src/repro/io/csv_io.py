@@ -16,12 +16,28 @@ from ..analysis import TimingSeries
 from ..core import Schedule
 from ..errors import SerializationError
 
-__all__ = ["schedule_to_csv", "write_schedule_csv", "timing_series_to_csv", "write_timing_csv"]
+__all__ = [
+    "schedule_to_csv",
+    "write_schedule_csv",
+    "timing_series_to_csv",
+    "write_timing_csv",
+    "batch_summary_to_csv",
+    "write_batch_csv",
+]
 
 PathLike = Union[str, Path]
 
 _SCHEDULE_HEADER = ["task", "core", "release", "wcet", "interference", "response_time", "finish"]
 _TIMING_HEADER = ["label", "algorithm", "size", "seconds", "makespan", "timed_out"]
+_BATCH_HEADER = [
+    "problem",
+    "algorithm",
+    "tasks",
+    "makespan",
+    "schedulable",
+    "total_interference",
+    "analysis_seconds",
+]
 
 
 def schedule_to_csv(schedule: Schedule) -> str:
@@ -75,4 +91,32 @@ def write_timing_csv(series: Iterable[TimingSeries], path: PathLike) -> Path:
     """Write :func:`timing_series_to_csv` output to ``path``."""
     path = Path(path)
     path.write_text(timing_series_to_csv(series), encoding="utf-8")
+    return path
+
+
+def batch_summary_to_csv(schedules: Iterable[Schedule]) -> str:
+    """Render a batch run (``repro batch`` / :func:`repro.analyze_many`) as a
+    one-row-per-problem CSV summary."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_BATCH_HEADER)
+    for schedule in schedules:
+        writer.writerow(
+            [
+                schedule.problem_name,
+                schedule.algorithm,
+                len(schedule),
+                schedule.makespan,
+                int(schedule.schedulable),
+                schedule.total_interference,
+                f"{schedule.stats.wall_time_seconds:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_batch_csv(schedules: Iterable[Schedule], path: PathLike) -> Path:
+    """Write :func:`batch_summary_to_csv` output to ``path``."""
+    path = Path(path)
+    path.write_text(batch_summary_to_csv(schedules), encoding="utf-8")
     return path

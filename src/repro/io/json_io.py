@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Iterable, List, Union
 
 from ..arbiter import create_arbiter
 from ..core import AnalysisProblem, Schedule
@@ -38,12 +38,15 @@ __all__ = [
     "load_problem",
     "save_schedule",
     "load_schedule",
+    "save_batch_results",
+    "load_batch_results",
 ]
 
 PathLike = Union[str, Path]
 
 _PROBLEM_FORMAT = "repro-problem"
 _SCHEDULE_FORMAT = "repro-schedule"
+_BATCH_FORMAT = "repro-batch"
 _VERSION = 1
 
 
@@ -112,6 +115,35 @@ def save_schedule(schedule: Schedule, path: PathLike) -> Path:
     document = {"format": _SCHEDULE_FORMAT, "version": _VERSION, **schedule.to_dict()}
     path.write_text(json.dumps(document, indent=2), encoding="utf-8")
     return path
+
+
+def save_batch_results(schedules: Iterable[Schedule], path: PathLike) -> Path:
+    """Write many schedules (one batch run) to ``path`` as a single JSON document."""
+    schedules = list(schedules)
+    document = {
+        "format": _BATCH_FORMAT,
+        "version": _VERSION,
+        "count": len(schedules),
+        "schedules": [schedule.to_dict() for schedule in schedules],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    return path
+
+
+def load_batch_results(path: PathLike) -> List[Schedule]:
+    """Load the schedules of a :func:`save_batch_results` document."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read batch file {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != _BATCH_FORMAT:
+        raise SerializationError(f"not a {_BATCH_FORMAT} document: {path}")
+    try:
+        return [Schedule.from_dict(record) for record in data.get("schedules", [])]
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid schedule record in batch file {path}: {exc}") from exc
 
 
 def load_schedule(path: PathLike) -> Schedule:

@@ -1,0 +1,79 @@
+"""Tests for the bench layer's opt-in parallel mode (engine-backed sweeps)."""
+
+from __future__ import annotations
+
+from repro.bench import SweepConfig, measure_algorithm_parallel, run_comparison, workload_sweep
+from repro.engine import ResultCache
+
+
+def _config() -> SweepConfig:
+    return SweepConfig(mode="LS", parameter=4, sizes=(16, 24, 32), core_count=4, seed=5)
+
+
+def test_measure_algorithm_parallel_covers_all_sizes():
+    series = measure_algorithm_parallel(
+        workload_sweep(_config()), "incremental", label="test", max_workers=2
+    )
+    assert series.sizes() == [16, 24, 32]
+    assert all(not point.timed_out for point in series.points)
+    assert all(point.makespan > 0 for point in series.points)
+
+
+def test_parallel_comparison_matches_serial_schedules():
+    serial = run_comparison(_config(), max_workers=1)
+    parallel = run_comparison(_config(), max_workers=2)
+    # timing differs run to run; the analysed problems and their outcomes must not
+    assert [p.size for p in serial.new_series.points] == [
+        p.size for p in parallel.new_series.points
+    ]
+    assert [p.makespan for p in serial.new_series.points] == [
+        p.makespan for p in parallel.new_series.points
+    ]
+    assert [p.makespan for p in serial.old_series.points] == [
+        p.makespan for p in parallel.old_series.points
+    ]
+
+
+def test_measure_sweep_serial_mode_honours_cache():
+    """A supplied cache must work even at max_workers=1 (engine serial path)."""
+    from repro.bench import measure_sweep
+
+    cache = ResultCache()
+    measure_sweep(_config(), "incremental", label="t", max_workers=1, cache=cache)
+    misses = cache.stats.misses
+    assert misses == 3
+    series = measure_sweep(_config(), "incremental", label="t", max_workers=1, cache=cache)
+    assert cache.stats.misses == misses  # warm
+    assert cache.stats.hits == 3
+    assert series.sizes() == [16, 24, 32]
+
+
+def test_run_comparison_accepts_none_workers():
+    """max_workers=None means one worker per CPU, like everywhere in the engine API."""
+    result = run_comparison(_config(), max_workers=None)
+    assert [p.size for p in result.new_series.points] == [16, 24, 32]
+
+
+def test_measure_sweep_timeout_forces_bounded_serial_path():
+    """timeout/repetitions win over the engine: the sweep stays bounded."""
+    import pytest
+
+    from repro.bench import measure_sweep
+
+    config = SweepConfig(
+        mode="LS", parameter=4, sizes=(16, 24), core_count=4, seed=5, timeout_seconds=60.0
+    )
+    cache = ResultCache()
+    with pytest.warns(RuntimeWarning, match="require the serial path"):
+        series = measure_sweep(config, "incremental", label="t", max_workers=4, cache=cache)
+    assert series.sizes() == [16, 24]
+    assert cache.stats.lookups == 0  # engine (and its cache) not used
+
+
+def test_parallel_comparison_reuses_cache():
+    cache = ResultCache()
+    run_comparison(_config(), max_workers=2, cache=cache)
+    misses_after_first = cache.stats.misses
+    run_comparison(_config(), max_workers=2, cache=cache)
+    assert cache.stats.misses == misses_after_first  # warm: no new analyses
+    assert cache.stats.hits >= 6  # 3 sizes x 2 algorithms

@@ -1,0 +1,148 @@
+"""Tests for the two-tier result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import analyze
+from repro.engine import AnalysisJob, ResultCache
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def job(diamond_problem):
+    return AnalysisJob(problem=diamond_problem)
+
+
+@pytest.fixture
+def schedule(diamond_problem):
+    return analyze(diamond_problem)
+
+
+def test_memory_hit_and_miss_counters(job, schedule):
+    cache = ResultCache()
+    assert cache.get(job.cache_key) is None
+    assert cache.stats.misses == 1
+    cache.put(job.cache_key, schedule)
+    hit = cache.get(job.cache_key)
+    assert hit is not None
+    assert hit.makespan == schedule.makespan
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hit_rate() == 0.5
+
+
+def test_disk_round_trip(tmp_path, job, schedule):
+    warm = ResultCache(path=tmp_path / "cache")
+    warm.put(job.cache_key, schedule)
+    # a brand-new cache instance (fresh memory tier) must hit on disk
+    cold = ResultCache(path=tmp_path / "cache")
+    restored = cold.get(job.cache_key)
+    assert restored is not None
+    assert cold.stats.disk_hits == 1
+    assert restored.to_dict() == schedule.to_dict()
+    # the disk hit promotes the entry to the memory tier
+    again = cold.get(job.cache_key)
+    assert again is not None
+    assert cold.stats.memory_hits == 1
+
+
+def test_contains_and_len(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    assert not cache.contains(job.cache_key)
+    cache.put(job.cache_key, schedule)
+    assert cache.contains(job.cache_key)
+    assert len(cache) == 1
+    assert cache.stats.lookups == 0  # contains() does not count as a lookup
+
+
+def test_lru_eviction(schedule):
+    cache = ResultCache(memory_limit=2)
+    cache.put("a", schedule)
+    cache.put("b", schedule)
+    cache.get("a")  # refresh "a": the LRU victim becomes "b"
+    cache.put("c", schedule)
+    assert cache.contains("a")
+    assert not cache.contains("b")
+    assert cache.contains("c")
+
+
+def test_memory_limit_zero_disables_memory_tier(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache", memory_limit=0)
+    cache.put(job.cache_key, schedule)
+    assert cache.get(job.cache_key) is not None
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.memory_hits == 0
+
+
+def test_malformed_schedule_in_valid_envelope_is_a_miss(tmp_path, job, schedule):
+    """Valid JSON + valid envelope but a broken schedule record must not crash get()."""
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    document = json.loads(entry.read_text(encoding="utf-8"))
+    document["schedule"]["entries"] = [{"name": "broken"}]  # missing required fields
+    entry.write_text(json.dumps(document), encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+    assert cold.stats.misses == 1
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    for entry in (tmp_path / "cache").glob("*.json"):
+        entry.write_text("{ not json", encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+    assert cold.stats.misses == 1
+
+
+def test_key_collision_guard(tmp_path, job, schedule):
+    """An entry whose recorded key mismatches the lookup key is ignored."""
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    document = json.loads(entry.read_text(encoding="utf-8"))
+    document["key"] = "someone-else"
+    entry.write_text(json.dumps(document), encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+
+
+def test_clear(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(job.cache_key) is None
+
+
+def test_clear_never_deletes_foreign_json_files(tmp_path, job, schedule):
+    """A cache pointed at a directory with user JSON must only touch its own entries."""
+    directory = tmp_path / "mixed"
+    directory.mkdir()
+    foreign = directory / "my-problem.json"
+    foreign.write_text('{"precious": true}', encoding="utf-8")
+    cache = ResultCache(path=directory)
+    cache.put(job.cache_key, schedule)
+    assert len(cache) == 1  # foreign file is not counted as an entry
+    cache.clear()
+    assert foreign.exists()
+    assert len(cache) == 0
+
+
+def test_negative_memory_limit_rejected():
+    with pytest.raises(CacheError):
+        ResultCache(memory_limit=-1)
+
+
+def test_tilde_in_cache_path_is_expanded(tmp_path, monkeypatch):
+    """cache='~/...' (the documented idiom) must not create a literal '~' dir."""
+    monkeypatch.setenv("HOME", str(tmp_path))
+    cache = ResultCache(path="~/.cache/repro-test")
+    assert cache.path == tmp_path / ".cache" / "repro-test"
+    assert cache.path.is_dir()

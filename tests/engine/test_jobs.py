@@ -1,0 +1,222 @@
+"""Tests for AnalysisJob and the canonical problem digest."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import AnalysisProblem, RoundRobinArbiter, Task, TaskGraph
+from repro.engine import SCHEMA_VERSION, AnalysisJob, canonical_problem_dict, problem_digest
+from repro.errors import EngineError
+from repro.generators import fixed_ls_workload
+from repro.io import save_problem
+from repro.model import Mapping, MemoryDemand
+from repro.platform import quad_core_single_bank
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def _build_diamond(order: str) -> AnalysisProblem:
+    """The same diamond problem with graph contents declared in different orders.
+
+    The mapping (and hence the per-core execution order) is identical; only the
+    insertion order of tasks and dependencies into the graph differs.
+    """
+    tasks = {
+        "src": Task(name="src", wcet=10, demand=MemoryDemand({0: 4})),
+        "left": Task(name="left", wcet=20, demand=MemoryDemand({0: 6})),
+        "right": Task(name="right", wcet=15, demand=MemoryDemand({0: 8})),
+        "sink": Task(name="sink", wcet=10, demand=MemoryDemand({0: 2})),
+    }
+    edges = [("src", "left", 2), ("src", "right", 2), ("left", "sink", 1), ("right", "sink", 1)]
+    names = list(tasks)
+    if order == "reverse":
+        names = names[::-1]
+        edges = edges[::-1]
+    graph = TaskGraph(name="diamond")
+    for name in names:
+        graph.add_task(tasks[name])
+    for producer, consumer, volume in edges:
+        graph.add_dependency(producer, consumer, volume)
+    return AnalysisProblem(
+        graph=graph,
+        mapping=Mapping({0: ["src", "left"], 1: ["right", "sink"]}),
+        platform=quad_core_single_bank(),
+        arbiter=RoundRobinArbiter(),
+        name="diamond",
+    )
+
+
+def test_digest_is_deterministic(small_problem):
+    assert problem_digest(small_problem) == problem_digest(small_problem)
+
+
+def test_digest_ignores_declaration_order():
+    assert problem_digest(_build_diamond("forward")) == problem_digest(_build_diamond("reverse"))
+
+
+def test_digest_distinguishes_content():
+    problems = [
+        fixed_ls_workload(32, 4, core_count=4, seed=seed).to_problem() for seed in range(4)
+    ]
+    digests = {problem_digest(problem) for problem in problems}
+    assert len(digests) == len(problems)
+
+
+def test_digest_sensitive_to_arbiter_parameters(diamond_problem):
+    """Same content, same arbiter *name*, different parameters -> different digest."""
+    from repro.arbiter import MultiLevelRoundRobinArbiter
+
+    narrow = diamond_problem.with_arbiter(MultiLevelRoundRobinArbiter(group_size=2))
+    wide = diamond_problem.with_arbiter(MultiLevelRoundRobinArbiter(group_size=4))
+    assert narrow.arbiter.name == wide.arbiter.name
+    assert problem_digest(narrow) != problem_digest(wide)
+
+
+def test_payload_preserves_arbiter_parameters(diamond_problem):
+    """Workers must run the exact arbiter instance, not a by-name default."""
+    from repro.arbiter import MultiLevelRoundRobinArbiter
+
+    problem = diamond_problem.with_arbiter(MultiLevelRoundRobinArbiter(group_size=4))
+    job = AnalysisJob(problem=problem)
+    clone = AnalysisJob.from_payload(job.to_payload())
+    assert clone.problem.arbiter._group_size == 4
+
+
+def test_digest_handles_object_valued_arbiter_state(diamond_problem):
+    """Custom arbiters holding arbitrary objects digest deterministically."""
+    from repro.arbiter import RoundRobinArbiter
+
+    class Cfg:
+        def __init__(self, level):
+            self.level = level
+
+    class CustomArbiter(RoundRobinArbiter):
+        name = "custom-object-state"
+
+        def __init__(self, level):
+            super().__init__()
+            self._cfg = {1: Cfg(level)}
+
+    low = diamond_problem.with_arbiter(CustomArbiter(1))
+    high = diamond_problem.with_arbiter(CustomArbiter(2))
+    assert problem_digest(low) == problem_digest(diamond_problem.with_arbiter(CustomArbiter(1)))
+    assert problem_digest(low) != problem_digest(high)
+
+
+def test_digest_sees_slots_arbiter_state(diamond_problem):
+    """Arbiters keeping configuration in __slots__ must not collide."""
+    from repro.arbiter import RoundRobinArbiter
+
+    class SlottedArbiter(RoundRobinArbiter):
+        name = "slotted"
+        __slots__ = ("slot_len",)
+
+        def __init__(self, slot_len):
+            super().__init__()
+            self.slot_len = slot_len
+
+    two = diamond_problem.with_arbiter(SlottedArbiter(2))
+    ten = diamond_problem.with_arbiter(SlottedArbiter(10))
+    assert problem_digest(two) != problem_digest(ten)
+    assert problem_digest(two) == problem_digest(diamond_problem.with_arbiter(SlottedArbiter(2)))
+
+
+def test_digest_ignores_platform_labels(diamond_problem):
+    """Platform/core/bank names and descriptions are labels, not content."""
+    from repro.platform import Platform
+
+    record = diamond_problem.platform.to_dict()
+    record["name"] = "renamed-platform"
+    record["description"] = "same silicon, new sticker"
+    for core in record["cores"]:
+        core["name"] = core["name"] + "-renamed"
+    relabeled = AnalysisProblem(
+        graph=diamond_problem.graph,
+        mapping=diamond_problem.mapping,
+        platform=Platform.from_dict(record),
+        arbiter=diamond_problem.arbiter,
+        name=diamond_problem.name,
+    )
+    assert problem_digest(relabeled) == problem_digest(diamond_problem)
+
+
+def test_digest_ignores_graph_and_problem_names(diamond_problem):
+    """Names are labels, not content: renaming the graph keeps the digest."""
+    from repro.model import graph_from_dict, graph_to_dict
+
+    record = graph_to_dict(diamond_problem.graph)
+    record["name"] = "another-label"
+    renamed = AnalysisProblem(
+        graph=graph_from_dict(record),
+        mapping=diamond_problem.mapping,
+        platform=diamond_problem.platform,
+        arbiter=diamond_problem.arbiter,
+        name="another-problem-name",
+    )
+    assert problem_digest(renamed) == problem_digest(diamond_problem)
+
+
+def test_digest_sensitive_to_horizon(diamond_problem):
+    assert problem_digest(diamond_problem) != problem_digest(
+        diamond_problem.with_horizon(10_000)
+    )
+
+
+def test_canonical_dict_sorts_tasks(diamond_problem):
+    names = [record["name"] for record in canonical_problem_dict(diamond_problem)["graph"]["tasks"]]
+    assert names == sorted(names)
+
+
+def test_digest_stable_across_process_boundary(tmp_path, small_problem):
+    """The digest of a problem reloaded in a *fresh interpreter* matches."""
+    path = save_problem(small_problem, tmp_path / "problem.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    script = (
+        "import sys\n"
+        "from repro.io import load_problem\n"
+        "from repro.engine import problem_digest\n"
+        "print(problem_digest(load_problem(sys.argv[1])))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert result.stdout.strip() == problem_digest(small_problem)
+
+
+def test_job_cache_key_includes_algorithm_and_version(diamond_problem):
+    incremental = AnalysisJob(problem=diamond_problem, algorithm="incremental")
+    fixedpoint = AnalysisJob(problem=diamond_problem, algorithm="fixedpoint")
+    assert incremental.digest == fixedpoint.digest
+    assert incremental.cache_key != fixedpoint.cache_key
+    assert incremental.cache_key.endswith(f":v{SCHEMA_VERSION}")
+
+
+def test_job_payload_round_trip(diamond_problem):
+    job = AnalysisJob(problem=diamond_problem, algorithm="fixedpoint", index=3)
+    clone = AnalysisJob.from_payload(job.to_payload())
+    assert clone.index == 3
+    assert clone.algorithm == "fixedpoint"
+    assert clone.digest == job.digest
+    assert problem_digest(clone.problem) == job.digest
+
+
+def test_job_run_matches_direct_analyze(diamond_problem):
+    from repro import analyze
+
+    job = AnalysisJob(problem=diamond_problem)
+    assert job.run().to_dict()["entries"] == analyze(diamond_problem).to_dict()["entries"]
+
+
+def test_invalid_payload_raises():
+    with pytest.raises(EngineError):
+        AnalysisJob.from_payload({"algorithm": "incremental"})

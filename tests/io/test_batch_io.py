@@ -1,0 +1,61 @@
+"""Tests for batch-result persistence (JSON document + CSV summary)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro import analyze, analyze_many
+from repro.errors import SerializationError
+from repro.generators import fixed_ls_workload
+from repro.io import batch_summary_to_csv, load_batch_results, save_batch_results, write_batch_csv
+
+
+@pytest.fixture
+def schedules():
+    problems = [
+        fixed_ls_workload(16, 4, core_count=4, seed=seed).to_problem() for seed in range(3)
+    ]
+    return analyze_many(problems, max_workers=1)
+
+
+def test_batch_json_round_trip(tmp_path, schedules):
+    path = save_batch_results(schedules, tmp_path / "batch.json")
+    restored = load_batch_results(path)
+    assert len(restored) == 3
+    for one, two in zip(schedules, restored):
+        assert one.to_dict() == two.to_dict()
+
+
+def test_load_batch_rejects_other_documents(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "something-else"}', encoding="utf-8")
+    with pytest.raises(SerializationError):
+        load_batch_results(path)
+
+
+def test_load_batch_rejects_malformed_schedule_records(tmp_path):
+    path = tmp_path / "tampered.json"
+    path.write_text(
+        '{"format": "repro-batch", "version": 1, "schedules": [42]}', encoding="utf-8"
+    )
+    with pytest.raises(SerializationError):
+        load_batch_results(path)
+
+
+def test_batch_csv_has_one_row_per_problem(tmp_path, schedules):
+    path = write_batch_csv(schedules, tmp_path / "batch.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert len(rows) == 4
+    assert rows[0][:4] == ["problem", "algorithm", "tasks", "makespan"]
+    for row, schedule in zip(rows[1:], schedules):
+        assert row[0] == schedule.problem_name
+        assert int(row[3]) == schedule.makespan
+
+
+def test_batch_csv_text(schedules):
+    text = batch_summary_to_csv(schedules)
+    assert text.count("\n") >= 4
+    assert "incremental" in text
