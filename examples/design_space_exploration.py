@@ -17,7 +17,7 @@ Run with::
 """
 
 from repro import AnalysisProblem, RoundRobinArbiter, analyze, analyze_many
-from repro.analysis import memory_sensitivity, schedule_statistics
+from repro.analysis import SearchDriver, memory_sensitivity, schedule_statistics
 from repro.arbiter import (
     FifoArbiter,
     FixedPriorityArbiter,
@@ -91,9 +91,10 @@ def explore_arbiters() -> None:
         "TDM": TdmArbiter(total_cores=CORES),
         "FIFO": FifoArbiter(),
     }
-    print(format_arbiter_ablation(arbiter_ablation(problem, policies)))
+    # fan all six arbiter candidates out through the batch engine at once
+    print(format_arbiter_ablation(arbiter_ablation(problem, policies, max_workers=2)))
     print()
-    grouping = grouping_ablation(problem)
+    grouping = grouping_ablation(problem, max_workers=2)
     print(
         "per-core grouping hypothesis (ablation A1): "
         f"grouped makespan {grouping.grouped_makespan} vs naive per-task accounting "
@@ -103,18 +104,34 @@ def explore_arbiters() -> None:
 
 
 def explore_memory_headroom() -> None:
-    print("=== memory-demand headroom (sensitivity) ===\n")
+    print("=== memory-demand headroom (batched sensitivity search) ===\n")
     problem = build_problem()
     baseline = analyze(problem)
     # give the system 25% margin over the current worst case and ask how much
     # the memory traffic may grow before that deadline breaks
     deadline = int(baseline.makespan * 1.25)
-    result = memory_sensitivity(problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05)
+    # a batched driver fans each generation of probe problems out through the
+    # cache-backed engine; the verdict is identical to the serial search's
+    driver = SearchDriver(speculation=2)
+    result = memory_sensitivity(
+        problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver
+    )
     print(f"deadline                      : {deadline} cycles (makespan + 25%)")
     print(f"largest schedulable scaling   : {result.breaking_factor:.2f}x the current memory demand")
     if result.makespan_at_break is not None:
         print(f"makespan at that scaling      : {result.makespan_at_break} cycles")
-    print(f"analysis runs during the search: {len(result.probes)}")
+    print(f"probes recorded by the search  : {len(result.probes)}")
+    print(
+        f"probe evaluations              : {driver.total_computed} analysed, "
+        f"{driver.total_cached} from cache"
+    )
+    # a warm repeat of the whole search is pure cache lookups
+    computed_before = driver.total_computed
+    memory_sensitivity(problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver)
+    print(
+        "warm-cache repeat              : "
+        f"{driver.total_computed - computed_before} analyzer invocations"
+    )
 
 
 def main() -> None:

@@ -12,10 +12,16 @@ from .schedulability import (
     SchedulabilityReport,
     check_schedulability,
     minimal_horizon,
+    minimal_horizon_many,
     task_slack,
 )
-from .sensitivity import (
+from .search import (
+    SearchDriver,
+    SearchProgressEvent,
     SensitivityResult,
+    bracket_search,
+)
+from .sensitivity import (
     memory_sensitivity,
     scale_memory_demand,
     scale_wcets,
@@ -29,6 +35,10 @@ __all__ = [
     "check_schedulability",
     "task_slack",
     "minimal_horizon",
+    "minimal_horizon_many",
+    "SearchDriver",
+    "SearchProgressEvent",
+    "bracket_search",
     "SensitivityResult",
     "memory_sensitivity",
     "wcet_sensitivity",

@@ -12,10 +12,11 @@ questions a system integrator asks next:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core import AnalysisProblem, Schedule, analyze
 from ..errors import AnalysisError
+from .search import SearchDriver, resolve_algorithm
 
 __all__ = [
     "DeadlineMiss",
@@ -23,6 +24,7 @@ __all__ = [
     "check_schedulability",
     "task_slack",
     "minimal_horizon",
+    "minimal_horizon_many",
 ]
 
 
@@ -112,18 +114,56 @@ def task_slack(problem: AnalysisProblem, schedule: Schedule) -> Dict[str, int]:
 def minimal_horizon(
     problem: AnalysisProblem,
     *,
-    algorithm: str = "incremental",
+    algorithm: Optional[str] = None,
+    driver: Optional[SearchDriver] = None,
 ) -> int:
     """Smallest horizon under which the problem is schedulable.
 
     For the time-triggered model this is simply the makespan of the analysis
     run without a horizon; the function exists to make that explicit (and to
-    fail loudly when even the unconstrained problem deadlocks).
+    fail loudly when even the unconstrained problem deadlocks).  A
+    :class:`~repro.analysis.search.SearchDriver` routes the probe through the
+    cache-backed batch engine under the driver's algorithm (a conflicting
+    explicit ``algorithm`` is rejected).
     """
-    unconstrained = analyze(problem.with_horizon(None), algorithm)
+    algorithm = resolve_algorithm(algorithm, driver)
+    if driver is None:
+        unconstrained = analyze(problem.with_horizon(None), algorithm)
+    else:
+        driver.begin_search()
+        unconstrained = driver.evaluate([problem.with_horizon(None)])[0]
     if not unconstrained.schedulable:
         raise AnalysisError(
             f"problem {problem.name!r} cannot be scheduled at all "
             "(the per-core order probably contradicts the dependencies)"
         )
     return unconstrained.makespan
+
+
+def minimal_horizon_many(
+    problems: Sequence[AnalysisProblem],
+    *,
+    algorithm: Optional[str] = None,
+    driver: Optional[SearchDriver] = None,
+) -> List[int]:
+    """:func:`minimal_horizon` of every problem, as one generation of probes.
+
+    With a batched driver all unconstrained probe problems fan out through the
+    engine in a single generation; serially (``driver=None``) they are
+    analysed one by one.  Verdicts are identical either way.
+    """
+    algorithm = resolve_algorithm(algorithm, driver)
+    unconstrained = [problem.with_horizon(None) for problem in problems]
+    if driver is None:
+        schedules = [analyze(probe, algorithm) for probe in unconstrained]
+    else:
+        driver.begin_search()
+        schedules = driver.evaluate(unconstrained)
+    deadlocked = [
+        problem.name for problem, schedule in zip(problems, schedules) if not schedule.schedulable
+    ]
+    if deadlocked:
+        raise AnalysisError(
+            f"{len(deadlocked)} problem(s) cannot be scheduled at all: {deadlocked[:5]}"
+        )
+    return [schedule.makespan for schedule in schedules]

@@ -5,16 +5,24 @@ one dimension of the workload — memory demand or execution time — and search
 for the largest scaling factor that keeps the task set schedulable.  This is
 the kind of design-space question the fast incremental analysis makes
 practical at many-core scale (the motivation of Section I of the paper).
+
+The factor search itself lives in :mod:`repro.analysis.search`
+(:func:`~repro.analysis.search.bracket_search`): by default it runs serially
+with plain :func:`repro.analyze` calls, but passing a batched
+:class:`~repro.analysis.search.SearchDriver` fans each generation of probe
+problems out through the cache-backed batch engine — same verdicts, same probe
+trace, a fraction of the wall clock, and zero analyzer invocations on a warm
+cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
-from ..core import AnalysisProblem, analyze
+from ..core import AnalysisProblem
 from ..errors import AnalysisError
 from ..model import MemoryDemand, TaskGraph
+from .search import SearchDriver, SensitivityResult, bracket_search, resolve_algorithm
 
 __all__ = [
     "scale_memory_demand",
@@ -26,13 +34,24 @@ __all__ = [
 
 
 def scale_memory_demand(graph: TaskGraph, factor: float) -> TaskGraph:
-    """Copy of ``graph`` with every task's per-bank demand multiplied by ``factor``."""
+    """Copy of ``graph`` with every task's per-bank demand multiplied by ``factor``.
+
+    A nonzero demand never rounds down to zero (sub-unity factors clamp to one
+    access, mirroring :func:`scale_wcets`): dropping a bank entry entirely
+    would remove the task from interference arbitration on that bank and make
+    sensitivity searches report optimistic breaking factors.
+    """
     if factor < 0:
         raise AnalysisError("scaling factor must be non-negative")
     scaled = graph.copy()
     for task in graph:
-        demand = MemoryDemand({bank: int(round(count * factor)) for bank, count in task.demand.items()})
-        scaled.replace_task(task.with_demand(demand))
+        counts = {}
+        for bank, count in task.demand.items():
+            scaled_count = int(round(count * factor))
+            if count > 0 and factor > 0:
+                scaled_count = max(scaled_count, 1)
+            counts[bank] = scaled_count
+        scaled.replace_task(task.with_demand(MemoryDemand(counts)))
     return scaled
 
 
@@ -46,67 +65,39 @@ def scale_wcets(graph: TaskGraph, factor: float) -> TaskGraph:
     return scaled
 
 
-@dataclass(frozen=True)
-class SensitivityResult:
-    """Outcome of a sensitivity search."""
-
-    #: largest factor found schedulable (0.0 when even the unscaled problem fails)
-    breaking_factor: float
-    #: makespan at the breaking factor (None when nothing was schedulable)
-    makespan_at_break: Optional[int]
-    #: every factor probed with its verdict, in probing order
-    probes: Tuple[Tuple[float, bool], ...]
-
-    def probed_factors(self) -> List[float]:
-        return [factor for factor, _ in self.probes]
-
-
 def _sensitivity_search(
     problem: AnalysisProblem,
-    rebuild: Callable[[float], AnalysisProblem],
+    rebuild,
     *,
-    algorithm: str,
+    algorithm: Optional[str],
     max_factor: float,
     tolerance: float,
+    driver: Optional[SearchDriver] = None,
 ) -> SensitivityResult:
     if problem.horizon is None:
         raise AnalysisError("sensitivity analysis needs a problem with a horizon (global deadline)")
-    probes: List[Tuple[float, bool]] = []
-
-    def feasible(factor: float) -> Tuple[bool, Optional[int]]:
-        candidate = rebuild(factor)
-        schedule = analyze(candidate, algorithm)
-        ok = schedule.schedulable
-        probes.append((factor, ok))
-        return ok, schedule.makespan if ok else None
-
-    ok, makespan = feasible(1.0)
-    if not ok:
-        return SensitivityResult(0.0, None, tuple(probes))
-    best_factor, best_makespan = 1.0, makespan
-
-    low, high = 1.0, max_factor
-    ok_high, makespan_high = feasible(high)
-    if ok_high:
-        return SensitivityResult(high, makespan_high, tuple(probes))
-    while high - low > tolerance:
-        mid = (low + high) / 2.0
-        ok_mid, makespan_mid = feasible(mid)
-        if ok_mid:
-            low, best_factor, best_makespan = mid, mid, makespan_mid
-        else:
-            high = mid
-    return SensitivityResult(best_factor, best_makespan, tuple(probes))
+    if driver is None:
+        driver = SearchDriver(resolve_algorithm(algorithm, None), batch=False)
+    else:
+        resolve_algorithm(algorithm, driver)  # reject a conflicting explicit algorithm
+    return bracket_search(rebuild, driver=driver, max_factor=max_factor, tolerance=tolerance)
 
 
 def memory_sensitivity(
     problem: AnalysisProblem,
     *,
-    algorithm: str = "incremental",
+    algorithm: Optional[str] = None,
     max_factor: float = 16.0,
     tolerance: float = 0.05,
+    driver: Optional[SearchDriver] = None,
 ) -> SensitivityResult:
-    """Largest memory-demand scaling that stays within the problem's horizon."""
+    """Largest memory-demand scaling that stays within the problem's horizon.
+
+    ``driver=None`` probes serially with ``algorithm`` (default incremental);
+    a :class:`SearchDriver` batches the probe generations through the engine
+    under the driver's algorithm (a conflicting explicit ``algorithm`` is
+    rejected).
+    """
 
     def rebuild(factor: float) -> AnalysisProblem:
         return AnalysisProblem(
@@ -120,18 +111,30 @@ def memory_sensitivity(
         )
 
     return _sensitivity_search(
-        problem, rebuild, algorithm=algorithm, max_factor=max_factor, tolerance=tolerance
+        problem,
+        rebuild,
+        algorithm=algorithm,
+        max_factor=max_factor,
+        tolerance=tolerance,
+        driver=driver,
     )
 
 
 def wcet_sensitivity(
     problem: AnalysisProblem,
     *,
-    algorithm: str = "incremental",
+    algorithm: Optional[str] = None,
     max_factor: float = 16.0,
     tolerance: float = 0.05,
+    driver: Optional[SearchDriver] = None,
 ) -> SensitivityResult:
-    """Largest WCET scaling that stays within the problem's horizon."""
+    """Largest WCET scaling that stays within the problem's horizon.
+
+    ``driver=None`` probes serially with ``algorithm`` (default incremental);
+    a :class:`SearchDriver` batches the probe generations through the engine
+    under the driver's algorithm (a conflicting explicit ``algorithm`` is
+    rejected).
+    """
 
     def rebuild(factor: float) -> AnalysisProblem:
         return AnalysisProblem(
@@ -145,5 +148,10 @@ def wcet_sensitivity(
         )
 
     return _sensitivity_search(
-        problem, rebuild, algorithm=algorithm, max_factor=max_factor, tolerance=tolerance
+        problem,
+        rebuild,
+        algorithm=algorithm,
+        max_factor=max_factor,
+        tolerance=tolerance,
+        driver=driver,
     )

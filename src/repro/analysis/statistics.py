@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from ..arbiter import NullArbiter
 from ..core import AnalysisProblem, Schedule, analyze
 from ..model.properties import longest_path_length
+from .search import SearchDriver, resolve_algorithm
 
 __all__ = ["ScheduleStatistics", "schedule_statistics", "interference_cost"]
 
@@ -77,17 +78,31 @@ def interference_cost(
     problem: AnalysisProblem,
     schedule: Optional[Schedule] = None,
     *,
-    algorithm: str = "incremental",
+    algorithm: Optional[str] = None,
+    driver: Optional[SearchDriver] = None,
 ) -> Dict[str, float]:
     """Cost of interference: makespan with interference vs interference ignored.
 
     This reproduces the comparison of the two timing diagrams of Figure 1 of
     the paper (t = 7 with interference vs t = 6 without).  Returns a dict with
-    the two makespans and their ratio.
+    the two makespans and their ratio.  A
+    :class:`~repro.analysis.search.SearchDriver` evaluates the probe pair (the
+    real arbiter and the interference-free reference) as one cache-backed
+    generation under the driver's algorithm instead of two serial calls (a
+    conflicting explicit ``algorithm`` is rejected).
     """
-    if schedule is None:
-        schedule = analyze(problem, algorithm)
-    reference = analyze(problem.with_arbiter(NullArbiter()), algorithm)
+    algorithm = resolve_algorithm(algorithm, driver)
+    reference_problem = problem.with_arbiter(NullArbiter())
+    if driver is not None:
+        driver.begin_search()
+        if schedule is None:
+            schedule, reference = driver.evaluate([problem, reference_problem])
+        else:
+            reference = driver.evaluate([reference_problem])[0]
+    else:
+        if schedule is None:
+            schedule = analyze(problem, algorithm)
+        reference = analyze(reference_problem, algorithm)
     with_interference = schedule.makespan
     without_interference = reference.makespan
     ratio = (

@@ -7,6 +7,11 @@
   wrapper arbiter so the analysis code stays untouched.
 * A2 — arbitration policies: analyse the same workload under every registered
   arbiter and compare makespans and analysis runtimes.
+
+Both ablations accept ``max_workers`` to fan their candidate problems out
+through the batch engine (:func:`repro.engine.analyze_many`) instead of a
+serial loop; timings then come from the in-worker wall clock of each
+schedule, like ``repro scaling --workers`` does.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Dict, List, Mapping, Optional
 
 from ..arbiter import BusArbiter, RoundRobinArbiter
 from ..core import AnalysisProblem, Schedule, analyze
+from ..engine import analyze_many
 from ..platform import MemoryBank
 from ..viz.report import format_table
 
@@ -70,10 +76,25 @@ class GroupingAblationResult:
         return self.ungrouped_makespan / self.grouped_makespan
 
 
-def grouping_ablation(problem: AnalysisProblem, *, algorithm: str = "incremental") -> GroupingAblationResult:
-    """Quantify the benefit of the per-core grouping hypothesis on ``problem``."""
-    grouped = analyze(problem.with_arbiter(RoundRobinArbiter()), algorithm)
-    ungrouped = analyze(problem.with_arbiter(PerTaskRoundRobinArbiter()), algorithm)
+def grouping_ablation(
+    problem: AnalysisProblem,
+    *,
+    algorithm: str = "incremental",
+    max_workers: Optional[int] = None,
+) -> GroupingAblationResult:
+    """Quantify the benefit of the per-core grouping hypothesis on ``problem``.
+
+    ``max_workers`` analyses the grouped and ungrouped candidates as one batch
+    instead of two serial calls (identical makespans either way).
+    """
+    candidates = [
+        problem.with_arbiter(RoundRobinArbiter()),
+        problem.with_arbiter(PerTaskRoundRobinArbiter()),
+    ]
+    if max_workers is not None:
+        grouped, ungrouped = analyze_many(candidates, algorithm, max_workers=max_workers)
+    else:
+        grouped, ungrouped = (analyze(candidate, algorithm) for candidate in candidates)
     return GroupingAblationResult(
         grouped_makespan=grouped.makespan,
         ungrouped_makespan=ungrouped.makespan,
@@ -95,23 +116,33 @@ def arbiter_ablation(
     arbiters: Mapping[str, BusArbiter],
     *,
     algorithm: str = "incremental",
+    max_workers: Optional[int] = None,
 ) -> List[ArbiterAblationRow]:
-    """Analyse ``problem`` under each arbiter of ``arbiters`` (name -> instance)."""
-    rows: List[ArbiterAblationRow] = []
-    for name, arbiter in arbiters.items():
-        candidate = problem.with_arbiter(arbiter)
-        start = time.perf_counter()
-        schedule = analyze(candidate, algorithm)
-        elapsed = time.perf_counter() - start
-        rows.append(
-            ArbiterAblationRow(
-                arbiter=name,
-                makespan=schedule.makespan,
-                total_interference=schedule.total_interference,
-                analysis_seconds=elapsed,
-            )
+    """Analyse ``problem`` under each arbiter of ``arbiters`` (name -> instance).
+
+    ``max_workers`` fans every arbiter candidate out through the batch engine
+    at once; per-row timings are then the in-worker analysis wall clock.
+    """
+    names = list(arbiters)
+    candidates = [problem.with_arbiter(arbiters[name]) for name in names]
+    if max_workers is not None:
+        schedules = analyze_many(candidates, algorithm, max_workers=max_workers)
+        timings = [schedule.stats.wall_time_seconds for schedule in schedules]
+    else:
+        schedules, timings = [], []
+        for candidate in candidates:
+            start = time.perf_counter()
+            schedules.append(analyze(candidate, algorithm))
+            timings.append(time.perf_counter() - start)
+    return [
+        ArbiterAblationRow(
+            arbiter=name,
+            makespan=schedule.makespan,
+            total_interference=schedule.total_interference,
+            analysis_seconds=elapsed,
         )
-    return rows
+        for name, schedule, elapsed in zip(names, schedules, timings)
+    ]
 
 
 def format_arbiter_ablation(rows: List[ArbiterAblationRow]) -> str:

@@ -5,6 +5,7 @@ Sub-commands
 ``generate``   generate a random layer-by-layer problem and save it as JSON
 ``analyze``    run an analysis algorithm on a problem file and report/save the schedule
 ``batch``      analyse many problem files through the parallel, cached batch engine
+``search``     design-space search (sensitivity / minimal horizon) with batched probes
 ``compare``    run both algorithms on a problem file and compare their schedules
 ``figure3``    reproduce one or all panels of Figure 3 of the paper
 ``headline``   reproduce the headline speedup table of Section V
@@ -15,10 +16,18 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .. import __version__
+from ..analysis import (
+    SearchDriver,
+    SearchProgressEvent,
+    memory_sensitivity,
+    minimal_horizon,
+    wcet_sensitivity,
+)
 from ..arbiter import available_arbiters, create_arbiter
 from ..bench import (
     PANELS,
@@ -89,6 +98,41 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", help="write all schedules as one JSON batch document")
     batch.add_argument("--csv", help="write a one-row-per-problem CSV summary")
     batch.add_argument("--quiet", action="store_true", help="suppress per-chunk progress")
+
+    search = subparsers.add_parser(
+        "search",
+        help="design-space search: sensitivity or minimal horizon with batched probes",
+    )
+    search.add_argument("problem", help="problem JSON file")
+    search.add_argument(
+        "--kind",
+        choices=["memory", "wcet", "horizon"],
+        default="memory",
+        help="memory/wcet sensitivity bracketing, or the minimal feasible horizon",
+    )
+    search.add_argument("--algorithm", default="incremental", choices=available_algorithms())
+    search.add_argument("--max-factor", type=float, default=16.0, help="bracketing ceiling")
+    search.add_argument("--tolerance", type=float, default=0.05, help="bisection tolerance")
+    search.add_argument(
+        "--horizon", type=int, help="override the problem's horizon (global deadline)"
+    )
+    search.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: one per CPU)"
+    )
+    search.add_argument(
+        "--serial", action="store_true", help="legacy one-probe-at-a-time mode (no cache)"
+    )
+    search.add_argument(
+        "--speculation",
+        type=int,
+        default=2,
+        help="bisection levels probed speculatively per generation",
+    )
+    search.add_argument(
+        "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
+    )
+    search.add_argument("--output", help="write the search result as JSON")
+    search.add_argument("--quiet", action="store_true", help="suppress per-generation progress")
 
     compare = subparsers.add_parser("compare", help="run both algorithms and compare")
     compare.add_argument("problem", help="problem JSON file")
@@ -220,6 +264,84 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0 if all(schedule.schedulable for schedule in schedules) else 2
 
 
+def _command_search(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    if args.horizon is not None:
+        problem = problem.with_horizon(args.horizon)
+    if args.kind in ("memory", "wcet") and problem.horizon is None:
+        print(
+            "error: sensitivity search needs a horizon (global deadline); "
+            "set one with --horizon",
+            file=sys.stderr,
+        )
+        return 1
+
+    def on_progress(event: SearchProgressEvent) -> None:
+        eta = event.eta_seconds()
+        eta_text = f", eta ~{eta:.1f}s" if eta is not None else ""
+        print(
+            f"\r[gen {event.generation}] {event.total_probes} probes "
+            f"({event.computed} analysed, {event.cached} cached) "
+            f"{event.elapsed_seconds:.1f}s elapsed{eta_text}   ",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    driver = SearchDriver(
+        args.algorithm,
+        batch=not args.serial,
+        max_workers=args.workers,
+        cache=args.cache_dir,
+        speculation=args.speculation,
+        progress=None if args.quiet else on_progress,
+    )
+    if args.kind == "horizon":
+        horizon = minimal_horizon(problem, algorithm=args.algorithm, driver=driver)
+        document = {"kind": "horizon", "problem": problem.name, "minimal_horizon": horizon}
+        exit_code = 0
+    else:
+        sensitivity = memory_sensitivity if args.kind == "memory" else wcet_sensitivity
+        result = sensitivity(
+            problem,
+            algorithm=args.algorithm,
+            max_factor=args.max_factor,
+            tolerance=args.tolerance,
+            driver=driver,
+        )
+        document = {"kind": args.kind, "problem": problem.name, **result.to_dict()}
+        exit_code = 0 if result.breaking_factor > 0 else 2
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.kind == "horizon":
+        print(f"minimal feasible horizon of {problem.name!r}: {document['minimal_horizon']} cycles")
+    else:
+        dimension = "memory demand" if args.kind == "memory" else "WCETs"
+        print(
+            f"largest schedulable {dimension} scaling of {problem.name!r}: "
+            f"{document['breaking_factor']:.2f}x"
+            + (
+                f" (makespan {document['makespan_at_break']} within horizon {problem.horizon})"
+                if document["makespan_at_break"] is not None
+                else " (infeasible at the unscaled baseline)"
+            )
+        )
+        print(f"probes recorded: {len(document['probes'])}")
+    stats = driver.stats
+    if stats is not None:
+        print(
+            f"probe evaluations: {driver.total_computed} analysed, "
+            f"{driver.total_cached} served from cache "
+            f"(hits={stats.hits}, misses={stats.misses})"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"search result written to {args.output}")
+    return exit_code
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
     incremental = analyze(problem, "incremental")
@@ -264,6 +386,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "analyze": _command_analyze,
     "batch": _command_batch,
+    "search": _command_search,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "headline": _command_headline,

@@ -6,6 +6,7 @@ from .analyzer import (
     analyze,
     analyze_or_raise,
     available_algorithms,
+    get_algorithm,
     register_algorithm,
 )
 from .comparison import ScheduleComparison, compare_schedules
@@ -31,6 +32,7 @@ __all__ = [
     "analyze",
     "analyze_or_raise",
     "available_algorithms",
+    "get_algorithm",
     "register_algorithm",
     "INCREMENTAL",
     "FIXEDPOINT",

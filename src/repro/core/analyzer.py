@@ -21,6 +21,7 @@ __all__ = [
     "analyze",
     "analyze_or_raise",
     "available_algorithms",
+    "get_algorithm",
     "register_algorithm",
     "INCREMENTAL",
     "FIXEDPOINT",
@@ -50,20 +51,25 @@ def available_algorithms() -> List[str]:
     return sorted(_ALGORITHMS)
 
 
+def get_algorithm(name: str) -> AlgorithmFunction:
+    """Registered algorithm function for ``name`` (the batch engine ships these
+    to pool workers so runtime registrations survive the ``spawn`` boundary)."""
+    key = name.strip().lower()
+    try:
+        return _ALGORITHMS[key]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+
+
 def analyze(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:
     """Run the named algorithm on ``problem`` and return its :class:`Schedule`.
 
     The returned schedule may be flagged unschedulable; no exception is raised
     for that outcome (use :func:`analyze_or_raise` if you prefer exceptions).
     """
-    key = algorithm.strip().lower()
-    try:
-        function = _ALGORITHMS[key]
-    except KeyError:
-        raise AnalysisError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
-        ) from None
-    return function(problem)
+    return get_algorithm(algorithm)(problem)
 
 
 def analyze_or_raise(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:

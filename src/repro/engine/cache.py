@@ -21,7 +21,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..core import Schedule
 from ..errors import CacheError, ValidationError
@@ -31,6 +31,9 @@ __all__ = ["CacheStats", "ResultCache"]
 PathLike = Union[str, Path]
 
 _ENTRY_FORMAT = "repro-cache-entry"
+
+#: suffix appended to quarantined (corrupt) entry files
+_CORRUPT_SUFFIX = ".corrupt"
 
 _HEX_DIGITS = set("0123456789abcdef")
 
@@ -42,12 +45,18 @@ def _is_entry_name(stem: str) -> bool:
 
 @dataclass
 class CacheStats:
-    """Hit/miss bookkeeping; ``hits = memory_hits + disk_hits``."""
+    """Hit/miss bookkeeping; ``hits = memory_hits + disk_hits``.
+
+    ``corrupt`` counts disk entries that could not be decoded (truncated JSON
+    left by a killed process, tampered envelopes, malformed schedules); each
+    is quarantined on first sight and the lookup proceeds as a miss.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -66,6 +75,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
 
@@ -104,19 +114,13 @@ class ResultCache:
                 self._memory.move_to_end(key)
                 self.stats.memory_hits += 1
                 return Schedule.from_dict(record)
-        record = self._read_disk(key)
-        if record is not None:
-            # a tampered/truncated entry can carry a malformed schedule even
-            # when the envelope validates: treat that as a miss, not a crash
-            try:
-                schedule = Schedule.from_dict(record)
-            except (AttributeError, KeyError, TypeError, ValueError, ValidationError):
-                schedule = None
-            if schedule is not None:
-                with self._lock:
-                    self.stats.disk_hits += 1
-                    self._remember(key, record)
-                return schedule
+        loaded = self._read_disk(key)
+        if loaded is not None:
+            record, schedule = loaded
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._remember(key, record)
+            return schedule
         with self._lock:
             self.stats.misses += 1
         return None
@@ -140,14 +144,18 @@ class ResultCache:
         """Drop the memory tier and (optionally) delete on-disk entries.
 
         Only files that look like cache entries (64-hex-char SHA-256 stem) are
-        deleted, so pointing the cache at a directory that also holds user
-        JSON files never destroys them.
+        deleted — including quarantined ``.corrupt`` ones — so pointing the
+        cache at a directory that also holds user JSON files never destroys
+        them.
         """
         with self._lock:
             self._memory.clear()
         if disk and self.path is not None:
-            for entry in self.path.glob("*.json"):
-                if not _is_entry_name(entry.stem):
+            for entry in list(self.path.glob("*.json")) + list(
+                self.path.glob(f"*.json{_CORRUPT_SUFFIX}")
+            ):
+                stem = entry.name.split(".", 1)[0]
+                if not _is_entry_name(stem):
                     continue
                 try:
                     entry.unlink()
@@ -183,24 +191,72 @@ class ResultCache:
         filename = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.path / f"{filename}.json"
 
-    def _read_disk(self, key: str) -> Optional[Dict[str, object]]:
+    def _read_disk(self, key: str) -> Optional[Tuple[Dict[str, object], Schedule]]:
+        """Validated (record, schedule) pair for ``key``, or ``None`` on a miss.
+
+        Corruption of any kind — unparsable JSON, a foreign envelope, a
+        malformed schedule — quarantines the entry and reads as a miss.
+        """
         if self.path is None:
             return None
         entry = self._entry_path(key)
         try:
-            document = json.loads(entry.read_text(encoding="utf-8"))
+            text = entry.read_text(encoding="utf-8")
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
-            return None  # unreadable entry: treat as a miss, it will be rewritten
+        except OSError:
+            return None  # unreadable (permissions, I/O): a miss, but not corrupt
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            # truncated/garbled entry, e.g. left by a killed process: without
+            # quarantine it would shadow the digest and surface again on every
+            # later lookup — move it aside, count it, and report a miss
+            self._mark_corrupt(entry, text)
+            return None
         if (
             not isinstance(document, dict)
             or document.get("format") != _ENTRY_FORMAT
             or document.get("key") != key
         ):
+            self._mark_corrupt(entry, text)
             return None
-        schedule = document.get("schedule")
-        return schedule if isinstance(schedule, dict) else None
+        record = document.get("schedule")
+        if not isinstance(record, dict):
+            self._mark_corrupt(entry, text)
+            return None
+        # a tampered entry can carry a malformed schedule even when the
+        # envelope validates; checked here, while the raw text is still in
+        # hand, so quarantining can verify the file was not rewritten since
+        try:
+            schedule = Schedule.from_dict(record)
+        except (AttributeError, KeyError, TypeError, ValueError, ValidationError):
+            self._mark_corrupt(entry, text)
+            return None
+        return record, schedule
+
+    def _mark_corrupt(self, entry: Path, observed: str) -> None:
+        """Quarantine a corrupt entry file and count it in the statistics.
+
+        ``observed`` is the raw text judged corrupt.  Another process sharing
+        the store may have atomically rewritten the entry (recompute + put)
+        between our read and now, so the file is re-read and left alone if its
+        content changed — quarantining it then would evict a healthy entry.
+        """
+        with self._lock:
+            self.stats.corrupt += 1
+        try:
+            if entry.read_text(encoding="utf-8") != observed:
+                return  # concurrently replaced; the new entry may be healthy
+        except OSError:
+            return  # gone or unreadable: nothing left to quarantine
+        try:
+            os.replace(entry, entry.with_name(entry.name + _CORRUPT_SUFFIX))
+        except OSError:
+            try:
+                entry.unlink()
+            except OSError:
+                pass  # read-only store: the entry stays, but the miss already counted
 
     def _write_disk(self, key: str, record: Dict[str, object]) -> None:
         if self.path is None:

@@ -15,13 +15,18 @@ across a :class:`concurrent.futures.ProcessPoolExecutor`:
 
 Workers rebuild each problem from its JSON payload (see
 :meth:`AnalysisJob.from_payload`) and resolve the algorithm through the
-registry of :mod:`repro.core.analyzer`.  With the default ``fork`` start
-method on Linux, algorithms registered at runtime in the parent are visible in
-the workers; with ``spawn``, only algorithms registered at import time are.
+registry of :mod:`repro.core.analyzer`.  Runtime-registered algorithms travel
+*inside the payload* (re-registered by the worker before the job runs), so
+plug-ins work under every multiprocessing start method — ``fork`` and
+``spawn`` alike.  Set the ``REPRO_MP_START_METHOD`` environment variable to
+pin the pool's start method (e.g. ``spawn`` to reproduce the
+macOS/Windows default on Linux, which is also what CI does to guard the
+payload-registration path).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -31,7 +36,27 @@ from ..core import Schedule
 from ..errors import BatchExecutionError, EngineError
 from .jobs import AnalysisJob
 
-__all__ = ["ProgressEvent", "ProgressCallback", "default_worker_count", "run_jobs"]
+__all__ = [
+    "ProgressEvent",
+    "ProgressCallback",
+    "START_METHOD_ENV",
+    "default_worker_count",
+    "run_jobs",
+]
+
+#: environment variable pinning the pool's multiprocessing start method
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Multiprocessing context for the pool (None = interpreter default)."""
+    method = (os.environ.get(START_METHOD_ENV) or "").strip().lower()
+    if not method:
+        return None
+    try:
+        return multiprocessing.get_context(method)
+    except ValueError as exc:
+        raise EngineError(f"invalid {START_METHOD_ENV}={method!r}: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -137,7 +162,7 @@ def run_jobs(
     chunks = _chunk(payloads, chunksize)
     outcomes: Dict[int, Dict[str, Any]] = {}
     done = 0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
         pending = {
             pool.submit(_run_chunk, chunk): [payload["index"] for payload in chunk]
             for chunk in chunks

@@ -19,19 +19,26 @@ what makes on-disk cache entries reusable across runs and machines.
 Jobs travel to worker processes as payloads that are JSON-compatible except
 for the arbiter, which rides along as the live object so parameterized
 policies survive the process boundary intact (the JSON problem format only
-records the arbiter's registry name).
+records the arbiter's registry name), and the algorithm registration, which
+rides along as the registered function whenever it is picklable.  Re-registering
+that function in the worker (see :meth:`AnalysisJob.from_payload`) is what
+makes runtime-registered plug-in algorithms work under the ``spawn``
+multiprocessing start method, where workers do not inherit the parent's
+registry: only import-time registrations would otherwise be visible.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import pickle
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from ..core import AnalysisProblem, Schedule
-from ..core.analyzer import analyze
-from ..errors import EngineError
+from ..core.analyzer import analyze, get_algorithm, register_algorithm
+from ..errors import AnalysisError, EngineError
 from ..model import graph_to_dict, mapping_to_dict
 
 __all__ = [
@@ -131,6 +138,48 @@ def canonical_problem_dict(problem: AnalysisProblem) -> Dict[str, Any]:
     }
 
 
+#: trial-pickle verdicts per live function object (a batch re-checks each
+#: registered function once, not once per job; entries die with the function)
+_PORTABLE_MEMO: "weakref.WeakKeyDictionary[Any, bool]" = weakref.WeakKeyDictionary()
+
+
+def _portable_algorithm(name: str) -> Optional[Any]:
+    """The registered function for ``name`` if it can cross a spawn boundary.
+
+    Returns ``None`` for unknown names (the worker will raise the proper
+    unknown-algorithm error) and for functions pickle rejects (closures such
+    as the ``cached-*`` wrappers, lambdas): shipping those would fail the
+    whole chunk at submission, whereas leaving them out preserves the old
+    registry-based behaviour.  Functions defined in ``__main__`` are not
+    shipped either: ``pickle.dumps`` succeeds on them by reference, but a
+    ``spawn`` worker re-imports the main script with its ``if __name__ ==
+    "__main__"`` guard false, so guard-defined functions would not resolve and
+    the failed unpickle would kill the worker (``BrokenProcessPool``) instead
+    of producing a clean per-job error.
+    """
+    try:
+        function = get_algorithm(name)
+    except AnalysisError:
+        return None
+    if getattr(function, "__module__", "__main__") == "__main__":
+        return None
+    try:
+        portable = _PORTABLE_MEMO.get(function)
+    except TypeError:  # not weak-referenceable (e.g. a partial): check every time
+        portable = None
+    if portable is None:
+        try:
+            pickle.dumps(function)
+            portable = True
+        except Exception:  # noqa: BLE001 - any pickling failure means "do not ship"
+            portable = False
+        try:
+            _PORTABLE_MEMO[function] = portable
+        except TypeError:
+            pass
+    return function if portable else None
+
+
 def problem_digest(problem: AnalysisProblem) -> str:
     """SHA-256 hex digest of the canonical problem content."""
     try:
@@ -188,6 +237,15 @@ class AnalysisJob:
         anyway): the JSON problem format records only the arbiter *name*, and
         rebuilding by name would silently drop custom parameterizations —
         parallel results must match serial ones exactly.
+
+        The registered algorithm *function* also rides along when it survives
+        pickling (module-level plug-ins pickle as cheap by-reference stubs).
+        Workers re-register it before running, so runtime-registered
+        algorithms work under the ``spawn`` start method, not just ``fork``.
+        Closures and lambdas are silently left out — those still rely on the
+        worker's own registry (inherited under ``fork``, import-time under
+        ``spawn``), which keeps the engine's built-in ``cached-*`` wrappers
+        working unchanged.
         """
         from ..io.json_io import problem_to_dict  # local import: io depends on core
 
@@ -197,6 +255,7 @@ class AnalysisJob:
             "digest": self.digest,
             "problem": problem_to_dict(self.problem),
             "arbiter": self.problem.arbiter,
+            "algorithm_function": _portable_algorithm(self.algorithm),
         }
 
     @classmethod
@@ -205,6 +264,11 @@ class AnalysisJob:
         from ..io.json_io import problem_from_dict
 
         try:
+            function = payload.get("algorithm_function")
+            if function is not None:
+                # make the parent's runtime registration visible in this
+                # process (a no-op re-registration everywhere else)
+                register_algorithm(str(payload["algorithm"]), function, overwrite=True)
             problem_data = payload["problem"]
             arbiter = payload.get("arbiter")
             if arbiter is not None:

@@ -1,0 +1,260 @@
+"""Tests for the batch-aware design-space search layer.
+
+Acceptance tests of PR 2: batched sensitivity / minimal-horizon searches must
+return verdicts identical to the serial implementations (including the probe
+trace), and a warm-cache repeat of a whole search must perform zero analyzer
+invocations (proven through the cache's hit/miss counters).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.analysis import (
+    SearchDriver,
+    SearchProgressEvent,
+    interference_cost,
+    memory_sensitivity,
+    minimal_horizon,
+    minimal_horizon_many,
+    scale_memory_demand,
+    wcet_sensitivity,
+)
+from repro.analysis.sensitivity import SensitivityResult
+from repro.errors import AnalysisError
+from repro.examples_data import figure1_problem
+from repro.generators import fixed_ls_workload
+
+
+def _workload_problem(seed: int = 1, horizon: int = None):
+    problem = fixed_ls_workload(24, 4, core_count=4, seed=seed).to_problem()
+    return problem.with_horizon(horizon) if horizon is not None else problem
+
+
+class TestBatchedSerialEquivalence:
+    @pytest.mark.parametrize("speculation", [0, 1, 2, 3])
+    def test_memory_sensitivity_identical_to_serial(self, speculation):
+        problem = figure1_problem().with_horizon(12)
+        serial = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1)
+        driver = SearchDriver(max_workers=1, speculation=speculation)
+        batched = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1, driver=driver)
+        assert batched == serial  # breaking factor, makespan AND probe trace
+
+    def test_wcet_sensitivity_identical_to_serial(self):
+        problem = figure1_problem().with_horizon(40)
+        serial = wcet_sensitivity(problem, max_factor=16.0, tolerance=0.05)
+        batched = wcet_sensitivity(
+            problem, max_factor=16.0, tolerance=0.05, driver=SearchDriver(max_workers=1)
+        )
+        assert batched == serial
+
+    def test_equivalence_with_real_process_pool(self):
+        problem = _workload_problem(seed=3)
+        horizon = int(minimal_horizon(problem) * 1.2)
+        problem = problem.with_horizon(horizon)
+        serial = memory_sensitivity(problem, max_factor=8.0, tolerance=0.25)
+        batched = memory_sensitivity(
+            problem, max_factor=8.0, tolerance=0.25, driver=SearchDriver(max_workers=2)
+        )
+        assert batched == serial
+
+    def test_infeasible_baseline_identical(self):
+        problem = figure1_problem().with_horizon(6)
+        serial = memory_sensitivity(problem, tolerance=0.5)
+        batched = memory_sensitivity(problem, tolerance=0.5, driver=SearchDriver(max_workers=1))
+        assert serial.breaking_factor == batched.breaking_factor == 0.0
+        assert batched == serial
+
+    def test_saturating_at_max_factor_identical(self):
+        problem = figure1_problem().with_horizon(10_000)
+        serial = memory_sensitivity(problem, max_factor=4.0, tolerance=0.5)
+        batched = memory_sensitivity(
+            problem, max_factor=4.0, tolerance=0.5, driver=SearchDriver(max_workers=1)
+        )
+        assert serial.breaking_factor == batched.breaking_factor == 4.0
+        assert batched == serial
+
+    def test_minimal_horizon_identical(self):
+        problem = _workload_problem(seed=2)
+        assert minimal_horizon(problem) == minimal_horizon(
+            problem, driver=SearchDriver(max_workers=1)
+        )
+
+    def test_minimal_horizon_many_identical(self):
+        problems = [_workload_problem(seed=seed) for seed in range(4)]
+        serial = minimal_horizon_many(problems)
+        batched = minimal_horizon_many(problems, driver=SearchDriver(max_workers=2))
+        assert serial == batched
+        assert serial == [minimal_horizon(problem) for problem in problems]
+
+    def test_interference_cost_identical(self):
+        problem = figure1_problem()
+        serial = interference_cost(problem)
+        batched = interference_cost(problem, driver=SearchDriver(max_workers=1))
+        assert serial == batched
+        assert batched["makespan_with_interference"] == 7.0
+        assert batched["makespan_without_interference"] == 6.0
+
+
+class TestWarmCache:
+    def test_warm_repeat_performs_zero_analyzer_invocations(self):
+        problem = figure1_problem().with_horizon(12)
+        driver = SearchDriver(max_workers=1, speculation=2)
+        cold = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1, driver=driver)
+        assert driver.total_computed > 0
+        misses_after_cold = driver.stats.misses
+        computed_after_cold = driver.total_computed
+        warm = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1, driver=driver)
+        assert warm == cold
+        assert driver.total_computed == computed_after_cold  # zero analyzer invocations
+        assert driver.stats.misses == misses_after_cold  # every lookup hit
+        assert driver.stats.hits > 0
+
+    def test_neighbouring_searches_share_probe_results(self):
+        """A tighter-tolerance re-search reuses the coarse search's probes."""
+        problem = figure1_problem().with_horizon(12)
+        driver = SearchDriver(max_workers=1, speculation=0)
+        memory_sensitivity(problem, max_factor=16.0, tolerance=0.5, driver=driver)
+        computed_coarse = driver.total_computed
+        fine = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1, driver=driver)
+        # the coarse probes (baseline, ceiling, first bisection levels) all hit
+        assert driver.stats.hits >= computed_coarse
+        assert fine == memory_sensitivity(problem, max_factor=16.0, tolerance=0.1)
+
+    def test_warm_minimal_horizon_many(self):
+        problems = [_workload_problem(seed=seed) for seed in range(3)]
+        driver = SearchDriver(max_workers=1)
+        first = minimal_horizon_many(problems, driver=driver)
+        computed = driver.total_computed
+        second = minimal_horizon_many(problems, driver=driver)
+        assert first == second
+        assert driver.total_computed == computed
+
+
+class TestDriver:
+    def test_progress_events_stream_generations(self):
+        events: List[SearchProgressEvent] = []
+        driver = SearchDriver(max_workers=1, speculation=2, progress=events.append)
+        memory_sensitivity(figure1_problem().with_horizon(12), driver=driver)
+        assert events
+        assert [event.generation for event in events] == list(range(1, len(events) + 1))
+        assert events[-1].total_probes == sum(event.probes for event in events)
+        assert all(event.elapsed_seconds >= 0.0 for event in events)
+
+    def test_progress_resets_between_searches(self):
+        events: List[SearchProgressEvent] = []
+        driver = SearchDriver(max_workers=1, progress=events.append)
+        problem = figure1_problem().with_horizon(12)
+        memory_sensitivity(problem, driver=driver)
+        first_search = len(events)
+        wcet_sensitivity(problem.with_horizon(40), driver=driver)
+        assert events[first_search].generation == 1  # counter restarted
+
+    def test_progress_resets_for_every_search_entry_point(self):
+        """minimal_horizon(_many) and interference_cost begin fresh searches too."""
+        events: List[SearchProgressEvent] = []
+        driver = SearchDriver(max_workers=1, progress=events.append)
+        problem = figure1_problem().with_horizon(12)
+        memory_sensitivity(problem, driver=driver)  # leaves a nonzero generation counter
+        for run_search in (
+            lambda: minimal_horizon(problem, driver=driver),
+            lambda: minimal_horizon_many([problem], driver=driver),
+            lambda: interference_cost(problem, driver=driver),
+        ):
+            events.clear()
+            run_search()
+            assert [event.generation for event in events] == list(range(1, len(events) + 1))
+
+    def test_eta_estimate_available_mid_search(self):
+        events: List[SearchProgressEvent] = []
+        driver = SearchDriver(max_workers=1, speculation=1, progress=events.append)
+        memory_sensitivity(figure1_problem().with_horizon(12), driver=driver)
+        assert any(event.eta_seconds() is not None for event in events)
+
+    def test_serial_driver_forces_no_speculation_and_no_cache(self):
+        driver = SearchDriver(batch=False, speculation=5)
+        assert driver.speculation == 0
+        assert driver.cache is None
+        assert driver.stats is None
+
+    def test_negative_speculation_rejected(self):
+        with pytest.raises(AnalysisError):
+            SearchDriver(speculation=-1)
+
+    def test_invalid_bracket_parameters_rejected(self):
+        problem = figure1_problem().with_horizon(12)
+        with pytest.raises(AnalysisError):
+            memory_sensitivity(problem, max_factor=1.0)
+        with pytest.raises(AnalysisError):
+            memory_sensitivity(problem, tolerance=0.0)
+
+    def test_sensitivity_requires_horizon_with_driver_too(self):
+        with pytest.raises(AnalysisError):
+            memory_sensitivity(figure1_problem(), driver=SearchDriver(max_workers=1))
+
+    def test_conflicting_explicit_algorithm_rejected(self):
+        """algorithm= and driver= must agree — no silent preference."""
+        problem = figure1_problem().with_horizon(12)
+        driver = SearchDriver("incremental", max_workers=1)
+        with pytest.raises(AnalysisError, match="conflicts"):
+            memory_sensitivity(problem, algorithm="fixedpoint", driver=driver)
+        with pytest.raises(AnalysisError, match="conflicts"):
+            minimal_horizon(problem, algorithm="fixedpoint", driver=driver)
+        with pytest.raises(AnalysisError, match="conflicts"):
+            interference_cost(problem, algorithm="fixedpoint", driver=driver)
+
+    def test_matching_explicit_algorithm_accepted_with_driver(self):
+        problem = figure1_problem().with_horizon(12)
+        driver = SearchDriver("fixedpoint", max_workers=1)
+        result = memory_sensitivity(problem, algorithm="fixedpoint", driver=driver)
+        assert result == memory_sensitivity(problem, algorithm="fixedpoint")
+
+    def test_final_generation_reports_zero_remaining(self):
+        """The ETA estimate converges: the last bisection generation sees 0 left."""
+        events: List[SearchProgressEvent] = []
+        driver = SearchDriver(max_workers=1, speculation=2, progress=events.append)
+        memory_sensitivity(figure1_problem().with_horizon(12), max_factor=16.0, driver=driver)
+        remaining = [event.remaining_generations for event in events]
+        assert remaining[-1] == 0
+        # estimates never increase as the search progresses
+        assert all(a >= b for a, b in zip(remaining, remaining[1:]))
+
+    def test_result_to_dict_round_trips_probes(self):
+        result = memory_sensitivity(figure1_problem().with_horizon(12))
+        record = result.to_dict()
+        assert record["breaking_factor"] == result.breaking_factor
+        assert record["probes"] == [[factor, ok] for factor, ok in result.probes]
+        assert isinstance(result, SensitivityResult)
+
+
+class TestDemandRoundingRegression:
+    def test_small_nonzero_demand_never_drops_to_zero(self):
+        """int(round(count * factor)) must not silently erase a bank demand."""
+        graph = figure1_problem().graph
+        scaled = scale_memory_demand(graph, 0.1)  # e.g. 3 accesses * 0.1 -> 1, not 0
+        for task in graph:
+            for bank, count in task.demand.items():
+                if count > 0:
+                    assert scaled.task(task.name).demand[bank] >= 1
+
+    def test_zero_factor_still_zeroes_demand(self):
+        scaled = scale_memory_demand(figure1_problem().graph, 0.0)
+        assert scaled.total_accesses == 0
+
+    def test_zero_demand_stays_zero(self):
+        graph = figure1_problem().graph
+        scaled = scale_memory_demand(graph, 0.5)
+        for task in graph:
+            for bank, count in task.demand.items():
+                if count == 0:
+                    assert scaled.task(task.name).demand[bank] == 0
+
+    def test_sub_unity_sensitivity_not_optimistic(self):
+        """The fixed scaling keeps sub-unity probes pessimistic (demand >= 1)."""
+        graph = figure1_problem().graph
+        scaled = scale_memory_demand(graph, 0.01)
+        assert scaled.total_accesses >= sum(
+            1 for task in graph for _, count in task.demand.items() if count > 0
+        )

@@ -132,3 +132,21 @@ class TestAblations:
         assert by_name["fifo"].makespan >= by_name["rr"].makespan
         table = format_arbiter_ablation(rows)
         assert "fifo" in table and "makespan" in table
+
+    def test_batched_arbiter_ablation_matches_serial(self):
+        problem = fixed_ls_workload(24, 4, core_count=4, seed=6).to_problem()
+        arbiters = {"rr": RoundRobinArbiter(), "fifo": FifoArbiter()}
+        serial = arbiter_ablation(problem, arbiters)
+        batched = arbiter_ablation(problem, arbiters, max_workers=2)
+        assert [row.arbiter for row in batched] == [row.arbiter for row in serial]
+        assert [row.makespan for row in batched] == [row.makespan for row in serial]
+        assert [row.total_interference for row in batched] == [
+            row.total_interference for row in serial
+        ]
+        assert all(row.analysis_seconds >= 0.0 for row in batched)
+
+    def test_batched_grouping_ablation_matches_serial(self):
+        problem = fixed_ls_workload(32, 8, core_count=8, seed=5).to_problem()
+        serial = grouping_ablation(problem)
+        batched = grouping_ablation(problem, max_workers=2)
+        assert batched == serial

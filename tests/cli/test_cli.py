@@ -92,6 +92,92 @@ class TestGenerateAnalyzeCompare:
         assert "fixedpoint" in output
 
 
+class TestSearch:
+    def generate(self, tmp_path):
+        path = tmp_path / "problem.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--mode", "LS",
+                    "--parameter", "4",
+                    "--tasks", "24",
+                    "--cores", "4",
+                    "--seed", "1",
+                    "--output", str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_minimal_horizon_search(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        capsys.readouterr()
+        assert main(["search", str(problem_path), "--kind", "horizon", "--workers", "1"]) == 0
+        assert "minimal feasible horizon" in capsys.readouterr().out
+
+    def test_memory_search_writes_result_json(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        result_path = tmp_path / "result.json"
+        code = main(
+            [
+                "search", str(problem_path),
+                "--kind", "memory",
+                "--horizon", "1000000",
+                "--max-factor", "4",
+                "--tolerance", "0.5",
+                "--workers", "1",
+                "--quiet",
+                "--output", str(result_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "largest schedulable memory demand scaling" in output
+        assert "probe evaluations" in output
+        document = json.loads(result_path.read_text(encoding="utf-8"))
+        assert document["kind"] == "memory"
+        assert document["breaking_factor"] > 0
+        assert document["probes"]
+
+    def test_wcet_search_serial_mode(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        code = main(
+            [
+                "search", str(problem_path),
+                "--kind", "wcet",
+                "--horizon", "1000000",
+                "--max-factor", "4",
+                "--tolerance", "0.5",
+                "--serial",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "largest schedulable WCETs scaling" in capsys.readouterr().out
+
+    def test_sensitivity_without_horizon_is_a_usage_error(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        assert main(["search", str(problem_path), "--kind", "memory", "--quiet"]) == 1
+        assert "--horizon" in capsys.readouterr().err
+
+    def test_infeasible_baseline_exit_code(self, tmp_path, capsys):
+        problem_path = self.generate(tmp_path)
+        code = main(
+            [
+                "search", str(problem_path),
+                "--kind", "memory",
+                "--horizon", "1",  # nothing fits in one cycle
+                "--tolerance", "0.5",
+                "--workers", "1",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "infeasible at the unscaled baseline" in capsys.readouterr().out
+
+
 class TestBenchCommands:
     def test_figure3_single_small_panel(self, capsys, monkeypatch):
         # shrink the quick profile so the CLI test stays fast

@@ -101,6 +101,102 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path, job, schedule):
     assert cold.stats.misses == 1
 
 
+def test_truncated_entry_is_quarantined_and_counted(tmp_path, job, schedule):
+    """A half-written entry (killed process) must not shadow the digest forever."""
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    text = entry.read_text(encoding="utf-8")
+    entry.write_text(text[: len(text) // 2], encoding="utf-8")  # truncate mid-document
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+    assert cold.stats.corrupt == 1
+    assert cold.stats.to_dict()["corrupt"] == 1
+    # the bad file was moved aside ...
+    assert not entry.exists()
+    assert entry.with_name(entry.name + ".corrupt").exists()
+    # ... so a recompute-and-store round trip fully heals the digest
+    cold.put(job.cache_key, schedule)
+    fresh = ResultCache(path=tmp_path / "cache")
+    assert fresh.get(job.cache_key) is not None
+    assert fresh.stats.corrupt == 0
+
+
+def test_corrupt_entry_counted_once_not_per_lookup(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    for entry in (tmp_path / "cache").glob("*.json"):
+        entry.write_text("{ not json", encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    for _ in range(3):
+        assert cold.get(job.cache_key) is None
+    assert cold.stats.corrupt == 1  # quarantined on first sight
+    assert cold.stats.misses == 3
+
+
+def test_malformed_schedule_is_quarantined(tmp_path, job, schedule):
+    """A valid envelope carrying a broken schedule is corrupt too."""
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    document = json.loads(entry.read_text(encoding="utf-8"))
+    document["schedule"]["entries"] = [{"name": "broken"}]
+    entry.write_text(json.dumps(document), encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+    assert cold.stats.corrupt == 1
+    assert not entry.exists()
+
+
+def test_disk_hit_deserializes_the_schedule_once(tmp_path, job, schedule, monkeypatch):
+    """The validation pass in _read_disk is the deserialization — not a second one."""
+    import repro.engine.cache as cache_module
+
+    warm = ResultCache(path=tmp_path / "cache")
+    warm.put(job.cache_key, schedule)
+    calls = []
+    real_from_dict = cache_module.Schedule.from_dict
+
+    class CountingSchedule:
+        @staticmethod
+        def from_dict(record):
+            calls.append(1)
+            return real_from_dict(record)
+
+    monkeypatch.setattr(cache_module, "Schedule", CountingSchedule)
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is not None
+    assert len(calls) == 1
+
+
+def test_concurrently_rewritten_entry_is_not_quarantined(tmp_path, job, schedule):
+    """Quarantine must not evict an entry another process rewrote in the meantime."""
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    # simulate the race: a reader judged some (now stale) content corrupt
+    # after a writer already replaced the file with this healthy entry
+    cache._mark_corrupt(entry, "{ the truncated text the reader saw")
+    assert entry.exists()  # the healthy entry was left alone
+    assert not entry.with_name(entry.name + ".corrupt").exists()
+    assert cache.stats.corrupt == 1  # the corrupt sighting is still recorded
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is not None
+
+
+def test_clear_removes_quarantined_entries(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    entry = next((tmp_path / "cache").glob("*.json"))
+    entry.write_text("{ not json", encoding="utf-8")
+    cold = ResultCache(path=tmp_path / "cache")
+    assert cold.get(job.cache_key) is None
+    quarantined = list((tmp_path / "cache").glob("*.json.corrupt"))
+    assert quarantined
+    cold.clear()
+    assert not list((tmp_path / "cache").glob("*.json.corrupt"))
+
+
 def test_key_collision_guard(tmp_path, job, schedule):
     """An entry whose recorded key mismatches the lookup key is ignored."""
     cache = ResultCache(path=tmp_path / "cache")
