@@ -18,6 +18,7 @@ Run with::
 
 from repro import AnalysisProblem, RoundRobinArbiter, analyze, analyze_many
 from repro.analysis import SearchDriver, memory_sensitivity, schedule_statistics
+from repro.service import EngineRuntime
 from repro.arbiter import (
     FifoArbiter,
     FixedPriorityArbiter,
@@ -110,28 +111,42 @@ def explore_memory_headroom() -> None:
     # give the system 25% margin over the current worst case and ask how much
     # the memory traffic may grow before that deadline breaks
     deadline = int(baseline.makespan * 1.25)
-    # a batched driver fans each generation of probe problems out through the
-    # cache-backed engine; the verdict is identical to the serial search's
-    driver = SearchDriver(speculation=2)
-    result = memory_sensitivity(
-        problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver
-    )
-    print(f"deadline                      : {deadline} cycles (makespan + 25%)")
-    print(f"largest schedulable scaling   : {result.breaking_factor:.2f}x the current memory demand")
-    if result.makespan_at_break is not None:
-        print(f"makespan at that scaling      : {result.makespan_at_break} cycles")
-    print(f"probes recorded by the search  : {len(result.probes)}")
-    print(
-        f"probe evaluations              : {driver.total_computed} analysed, "
-        f"{driver.total_cached} from cache"
-    )
-    # a warm repeat of the whole search is pure cache lookups
-    computed_before = driver.total_computed
-    memory_sensitivity(problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver)
-    print(
-        "warm-cache repeat              : "
-        f"{driver.total_computed - computed_before} analyzer invocations"
-    )
+    # the search runs on a *persistent* runtime: every bisection generation
+    # reuses one warm worker pool (zero per-generation pool constructions),
+    # and the speculation lookahead adapts to the pool's worker count; the
+    # verdict is identical to the serial search's
+    with EngineRuntime() as runtime:
+        driver = SearchDriver(runtime=runtime)
+        result = memory_sensitivity(
+            problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver
+        )
+        print(f"deadline                      : {deadline} cycles (makespan + 25%)")
+        print(
+            f"largest schedulable scaling   : {result.breaking_factor:.2f}x the current memory demand"
+        )
+        if result.makespan_at_break is not None:
+            print(f"makespan at that scaling      : {result.makespan_at_break} cycles")
+        print(f"probes recorded by the search  : {len(result.probes)}")
+        print(
+            f"probe evaluations              : {driver.total_computed} analysed, "
+            f"{driver.total_cached} from cache"
+        )
+        # a warm repeat of the whole search is pure cache lookups
+        computed_before = driver.total_computed
+        memory_sensitivity(
+            problem.with_horizon(deadline), max_factor=8.0, tolerance=0.05, driver=driver
+        )
+        stats = runtime.stats()
+        print(
+            "warm-cache repeat              : "
+            f"{driver.total_computed - computed_before} analyzer invocations"
+        )
+        print(
+            "runtime telemetry              : "
+            f"{stats.pools_created} pool construction(s) for the whole exploration, "
+            f"{stats.jobs_run} jobs, cache hit rate "
+            f"{runtime.cache.stats.hit_rate():.0%}"
+        )
 
 
 def main() -> None:

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Boot ``repro-rta serve`` on an ephemeral port and smoke-test the JSON API.
+
+Used by CI (and runnable by hand) to prove the service stack end to end
+through a *real* subprocess and real HTTP: health check, single analysis,
+batch round-trip against the in-process engine, a minimal-horizon search and
+the telemetry endpoint.
+
+Usage::
+
+    python scripts/serve_smoke.py [--backend process|thread|inline] [--workers N]
+
+Exits 0 on success, 1 on any mismatch or timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import analyze_many  # noqa: E402
+from repro.analysis import minimal_horizon  # noqa: E402
+from repro.generators import fixed_ls_workload  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="process")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli.main",
+        "serve",
+        "--port",
+        "0",
+        "--backend",
+        args.backend,
+        "--workers",
+        str(args.workers),
+    ]
+    print("+", " ".join(command), flush=True)
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        # the first stdout line is machine-readable: "serving on http://host:port".
+        # A reader thread feeds a queue so the deadline holds even when the
+        # server wedges without printing anything (readline would block forever).
+        lines: "queue.Queue[str]" = queue.Queue()
+        reader = threading.Thread(
+            target=lambda: [lines.put(raw) for raw in process.stdout], daemon=True
+        )
+        reader.start()
+        deadline = time.monotonic() + args.timeout
+        url = None
+        while time.monotonic() < deadline:
+            try:
+                line = lines.get(timeout=0.2).strip()
+            except queue.Empty:
+                if process.poll() is not None:
+                    print("FAIL: server exited early", flush=True)
+                    return 1
+                continue
+            if line.startswith("serving on "):
+                url = line.removeprefix("serving on ")
+                break
+        if url is None:
+            print("FAIL: server never announced its URL within the timeout", flush=True)
+            return 1
+        print(f"server up at {url}", flush=True)
+        client = ServiceClient(url, timeout=args.timeout)
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+        print("healthz ok", flush=True)
+
+        problems = [
+            fixed_ls_workload(24, 4, core_count=4, seed=seed).to_problem()
+            for seed in range(3)
+        ]
+        local = analyze_many(problems, max_workers=1)
+        remote_one = client.analyze(problems[0])
+        assert remote_one.to_dict()["entries"] == local[0].to_dict()["entries"]
+        print(f"analyze ok (makespan {remote_one.makespan})", flush=True)
+
+        remote = client.analyze_many(problems)
+        assert [r.to_dict()["entries"] for r in remote] == [
+            l.to_dict()["entries"] for l in local
+        ], "batch round-trip diverged from the in-process engine"
+        print(f"batch ok ({len(remote)} schedules, submission order preserved)", flush=True)
+
+        search = client.search(problems[0], kind="horizon")
+        assert search["minimal_horizon"] == minimal_horizon(problems[0]), search
+        print(f"search ok (minimal horizon {search['minimal_horizon']})", flush=True)
+
+        stats = client.stats()
+        assert stats["queue"]["submitted"] >= 4, stats
+        assert stats["runtime"]["backend"] == args.backend, stats
+        print(
+            "stats ok "
+            f"(jobs_run={stats['runtime']['jobs_run']}, "
+            f"pools_created={stats['runtime']['pools_created']}, "
+            f"cache={stats['runtime']['cache']})",
+            flush=True,
+        )
+        print("SMOKE PASSED", flush=True)
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy", "networkx"],
+    install_requires=[],
+    extras_require={"graph": ["networkx"]},
     entry_points={"console_scripts": ["repro-rta = repro.cli.main:main"]},
 )

@@ -31,6 +31,9 @@ The main subpackages are:
 * :mod:`repro.analysis` — schedulability, sensitivity and complexity studies;
 * :mod:`repro.engine` — batch-analysis engine: process-pool fan-out over many
   problems (:func:`analyze_many`) with persistent result caching;
+* :mod:`repro.service` — persistent analysis runtime (one warm worker pool
+  shared across batches and searches), asynchronous job queue and the
+  stdlib HTTP JSON API server behind ``repro-rta serve``;
 * :mod:`repro.viz`, :mod:`repro.io`, :mod:`repro.cli`, :mod:`repro.bench` —
   reporting, persistence, command line and the benchmark harness reproducing
   the paper's figures.

@@ -19,6 +19,7 @@ from .search import (
     SearchDriver,
     SearchProgressEvent,
     SensitivityResult,
+    adaptive_speculation,
     bracket_search,
 )
 from .sensitivity import (
@@ -38,6 +39,7 @@ __all__ = [
     "minimal_horizon_many",
     "SearchDriver",
     "SearchProgressEvent",
+    "adaptive_speculation",
     "bracket_search",
     "SensitivityResult",
     "memory_sensitivity",

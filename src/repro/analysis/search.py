@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import AnalysisProblem, Schedule, analyze
 from ..core.analyzer import INCREMENTAL
-from ..engine import BatchAnalyzer, CacheStats, ResultCache
+from ..engine import BatchAnalyzer, CacheStats, ResultCache, default_worker_count
 from ..errors import AnalysisError
 
 __all__ = [
@@ -46,9 +46,25 @@ __all__ = [
     "SearchProgressEvent",
     "SearchProgressCallback",
     "SearchDriver",
+    "adaptive_speculation",
     "bracket_search",
     "resolve_algorithm",
 ]
+
+
+def adaptive_speculation(workers: int) -> int:
+    """Bisection-lookahead levels that saturate ``workers`` parallel slots.
+
+    A speculative generation of ``s`` lookahead levels carries up to
+    ``2**s - 1`` bisection-ladder probes; this picks the smallest ``s`` that
+    keeps every worker busy, so wider pools automatically probe deeper while
+    a serial pool does not waste analyzer invocations on rungs it cannot run
+    in parallel anyway.  (The search verdict is identical for every value —
+    speculation only trades wasted probes for wall-clock.)
+    """
+    if workers <= 1:
+        return 1
+    return max(1, math.ceil(math.log2(workers + 1)))
 
 
 @dataclass(frozen=True)
@@ -116,6 +132,14 @@ class SearchDriver:
     repeating a search (or running a neighbouring one) turns shared probes
     into pure lookups.  ``cache`` accepts a :class:`~repro.engine.ResultCache`
     or a directory path for a persistent store.
+
+    ``runtime`` binds the driver to a persistent
+    :class:`repro.service.EngineRuntime`: every generation then executes on
+    the runtime's warm pool — a whole multi-generation search performs zero
+    pool constructions — and shares its result cache (unless an explicit
+    ``cache`` is given).  ``speculation=None`` (the default) adapts the
+    lookahead to the worker count via :func:`adaptive_speculation`; pass an
+    integer to pin it.
     """
 
     def __init__(
@@ -126,18 +150,40 @@ class SearchDriver:
         max_workers: Optional[int] = None,
         cache: Union[ResultCache, str, None] = None,
         chunksize: Optional[int] = None,
-        speculation: int = 2,
+        speculation: Optional[int] = None,
         progress: Optional[SearchProgressCallback] = None,
+        runtime: Optional[object] = None,
     ) -> None:
-        if speculation < 0:
+        if speculation is not None and speculation < 0:
             raise AnalysisError(f"speculation must be >= 0, got {speculation}")
         self.algorithm = algorithm
         self.batch = bool(batch)
-        #: bisection-lookahead levels per generation (0 in serial mode)
-        self.speculation = int(speculation) if self.batch else 0
+        if runtime is not None and not self.batch:
+            raise AnalysisError("a serial driver (batch=False) cannot use a runtime")
+        self.runtime = runtime
+        if runtime is not None:
+            workers = int(runtime.workers)
+        elif max_workers is not None:
+            workers = int(max_workers)
+        else:
+            workers = default_worker_count()
+        #: bisection-lookahead levels per generation (0 in serial mode);
+        #: defaults adaptively to the worker count (ROADMAP: adaptive speculation)
+        if not self.batch:
+            self.speculation = 0
+        elif speculation is None:
+            self.speculation = adaptive_speculation(workers)
+        else:
+            self.speculation = int(speculation)
         self.progress = progress
         self._analyzer: Optional[BatchAnalyzer] = (
-            BatchAnalyzer(algorithm, max_workers=max_workers, cache=cache, chunksize=chunksize)
+            BatchAnalyzer(
+                algorithm,
+                max_workers=max_workers,
+                cache=cache,
+                chunksize=chunksize,
+                runtime=runtime,
+            )
             if self.batch
             else None
         )

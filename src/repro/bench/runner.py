@@ -141,6 +141,7 @@ def measure_algorithm_parallel(
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
+    runtime: Optional[object] = None,
 ) -> TimingSeries:
     """Parallel counterpart of :func:`repro.analysis.measure_algorithm`.
 
@@ -153,6 +154,11 @@ def measure_algorithm_parallel(
     feeding complexity fits or published tables.  Timeout cut-off and
     repetitions are serial-mode features and do not apply here; cached points
     report the wall time of the run that produced them.
+
+    ``runtime`` executes the sweep on a persistent
+    :class:`repro.service.EngineRuntime` — back-to-back sweeps (e.g. both
+    algorithms of a comparison) then share one warm pool instead of paying
+    pool startup per series.
     """
     pairs = list(problems)
     schedules = analyze_many(
@@ -161,6 +167,7 @@ def measure_algorithm_parallel(
         max_workers=max_workers,
         cache=cache,
         chunksize=chunksize,
+        runtime=runtime,
     )
     series = TimingSeries(label=label or algorithm, algorithm=algorithm)
     for (size, _), schedule in zip(pairs, schedules):
@@ -181,6 +188,7 @@ def measure_sweep(
     label: str,
     max_workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    runtime: Optional[object] = None,
 ) -> TimingSeries:
     """Measure ``algorithm`` on ``config``'s sweep, serially or via the engine.
 
@@ -190,15 +198,21 @@ def measure_sweep(
     The single switch between :func:`repro.analysis.measure_algorithm`
     (serial: timeout cut-off, repetitions, uncontended timings) and
     :func:`measure_algorithm_parallel` (engine fan-out) used by the comparison
-    and scaling studies.  Supplying a ``cache`` routes through the engine —
+    and scaling studies.  Supplying a ``cache`` — or a persistent ``runtime``
+    (its workers and shared cache are then used; combine with
+    ``max_workers`` is rejected by the engine) — routes through the engine;
     with ``max_workers=1`` that is the engine's serial fallback (no pool), so
     cached sweeps work in serial mode too.  ``timeout_seconds`` / ``repetitions``
     always win: when set, the sweep runs on the bounded serial path (with a
     RuntimeWarning if the engine was also requested).
     """
-    if max_workers is None:
-        max_workers = default_worker_count()
-    engine_requested = max_workers > 1 or cache is not None
+    if runtime is not None:
+        engine_requested = True
+        max_workers = None
+    else:
+        if max_workers is None:
+            max_workers = default_worker_count()
+        engine_requested = max_workers > 1 or cache is not None
     bounded = config.timeout_seconds is not None or config.repetitions > 1
     if engine_requested and bounded:
         # the timeout cut-off exists to keep intractable sweep points from
@@ -217,6 +231,7 @@ def measure_sweep(
             label=label,
             max_workers=max_workers,
             cache=cache,
+            runtime=runtime,
         )
     return measure_algorithm(
         workload_sweep(config),
@@ -234,13 +249,15 @@ def run_comparison(
     baseline_sizes: Optional[Sequence[int]] = None,
     max_workers: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    runtime: Optional[object] = None,
 ) -> ComparisonResult:
     """Time both algorithms on the sweep described by ``config``.
 
     ``baseline_sizes`` restricts the (slow) baseline to a subset of the sizes —
     the same device the paper uses with its benchmark timeout; the incremental
     algorithm always runs the full sweep.  ``max_workers > 1`` — or supplying a
-    ``cache`` — opts into the batch engine: points are then analysed through it
+    ``cache`` or a persistent ``runtime`` (both series then share one warm
+    pool) — opts into the batch engine: points are then analysed through it
     (in parallel when ``max_workers > 1``) and per-point times are in-worker
     wall times.  ``timeout_seconds`` / ``repetitions`` take precedence over the
     engine: when either is set the sweep runs on the bounded serial path and a
@@ -252,6 +269,7 @@ def run_comparison(
         label=f"{config.label}-new",
         max_workers=max_workers,
         cache=cache,
+        runtime=runtime,
     )
     if run_baseline:
         if baseline_sizes is None:
@@ -272,6 +290,7 @@ def run_comparison(
             label=f"{config.label}-old",
             max_workers=max_workers,
             cache=cache,
+            runtime=runtime,
         )
     else:
         old_series = TimingSeries(label=f"{config.label}-old", algorithm=OLD_ALGORITHM)

@@ -6,6 +6,7 @@ Sub-commands
 ``analyze``    run an analysis algorithm on a problem file and report/save the schedule
 ``batch``      analyse many problem files through the parallel, cached batch engine
 ``search``     design-space search (sensitivity / minimal horizon) with batched probes
+``serve``      boot the persistent analysis service (warm pool + HTTP JSON API)
 ``compare``    run both algorithms on a problem file and compare their schedules
 ``figure3``    reproduce one or all panels of Figure 3 of the paper
 ``headline``   reproduce the headline speedup table of Section V
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from .. import __version__
@@ -50,6 +52,7 @@ from ..io import (
     write_batch_csv,
     write_schedule_csv,
 )
+from ..service import BACKENDS, AnalysisServer, EngineRuntime
 from ..viz import analysis_report, format_table
 
 __all__ = ["main", "build_parser"]
@@ -125,14 +128,43 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--speculation",
         type=int,
-        default=2,
-        help="bisection levels probed speculatively per generation",
+        default=None,
+        help="bisection levels probed speculatively per generation "
+        "(default: adaptive from the worker count)",
     )
     search.add_argument(
         "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
     )
     search.add_argument("--output", help="write the search result as JSON")
     search.add_argument("--quiet", action="store_true", help="suppress per-generation progress")
+
+    serve = subparsers.add_parser(
+        "serve", help="boot the persistent analysis service (warm pool + HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8517, help="TCP port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--backend", choices=list(BACKENDS), default="process", help="worker-pool backend"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="worker count (default: one per CPU)"
+    )
+    serve.add_argument(
+        "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
+    )
+    serve.add_argument(
+        "--recycle-after",
+        type=int,
+        default=None,
+        help="recycle pool workers after this many jobs (default: never)",
+    )
+    serve.add_argument("--algorithm", default="incremental", choices=available_algorithms())
+    serve.add_argument(
+        "--max-pending", type=int, default=1024, help="job-queue backpressure bound"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
 
     compare = subparsers.add_parser("compare", help="run both algorithms and compare")
     compare.add_argument("problem", help="problem JSON file")
@@ -191,10 +223,20 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 def _command_batch(args: argparse.Namespace) -> int:
     problems = [load_problem(path) for path in args.problems]
+    started = time.perf_counter()
 
     def on_progress(event: ProgressEvent) -> None:
+        # same ETA the search progress shows: average time per finished job
+        # extrapolated over the remainder (cache hits make it conservative)
+        elapsed = time.perf_counter() - started
+        if 0 < event.done < event.total:
+            eta = (elapsed / event.done) * (event.total - event.done)
+            eta_text = f", eta ~{eta:.1f}s"
+        else:
+            eta_text = ""
         print(
-            f"\r[{event.done}/{event.total}] {event.job_name}",
+            f"\r[{event.done}/{event.total}] {event.job_name} "
+            f"{elapsed:.1f}s elapsed{eta_text}   ",
             end="",
             file=sys.stderr,
             flush=True,
@@ -288,29 +330,39 @@ def _command_search(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    # batched searches run on a persistent runtime: every generation reuses
+    # one warm pool instead of paying pool startup per 2–3-probe round
+    runtime = (
+        None
+        if args.serial
+        else EngineRuntime(max_workers=args.workers, cache=args.cache_dir)
+    )
     driver = SearchDriver(
         args.algorithm,
         batch=not args.serial,
-        max_workers=args.workers,
-        cache=args.cache_dir,
         speculation=args.speculation,
         progress=None if args.quiet else on_progress,
+        runtime=runtime,
     )
-    if args.kind == "horizon":
-        horizon = minimal_horizon(problem, algorithm=args.algorithm, driver=driver)
-        document = {"kind": "horizon", "problem": problem.name, "minimal_horizon": horizon}
-        exit_code = 0
-    else:
-        sensitivity = memory_sensitivity if args.kind == "memory" else wcet_sensitivity
-        result = sensitivity(
-            problem,
-            algorithm=args.algorithm,
-            max_factor=args.max_factor,
-            tolerance=args.tolerance,
-            driver=driver,
-        )
-        document = {"kind": args.kind, "problem": problem.name, **result.to_dict()}
-        exit_code = 0 if result.breaking_factor > 0 else 2
+    try:
+        if args.kind == "horizon":
+            horizon = minimal_horizon(problem, algorithm=args.algorithm, driver=driver)
+            document = {"kind": "horizon", "problem": problem.name, "minimal_horizon": horizon}
+            exit_code = 0
+        else:
+            sensitivity = memory_sensitivity if args.kind == "memory" else wcet_sensitivity
+            result = sensitivity(
+                problem,
+                algorithm=args.algorithm,
+                max_factor=args.max_factor,
+                tolerance=args.tolerance,
+                driver=driver,
+            )
+            document = {"kind": args.kind, "problem": problem.name, **result.to_dict()}
+            exit_code = 0 if result.breaking_factor > 0 else 2
+    finally:
+        if runtime is not None:
+            runtime.close()
     if not args.quiet:
         print(file=sys.stderr)
     if args.kind == "horizon":
@@ -340,6 +392,42 @@ def _command_search(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"search result written to {args.output}")
     return exit_code
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    runtime = EngineRuntime(
+        backend=args.backend,
+        max_workers=args.workers,
+        recycle_after=args.recycle_after,
+        cache=args.cache_dir,
+    )
+    server = AnalysisServer(
+        runtime,
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        max_pending=args.max_pending,
+        quiet=not args.verbose,
+    )
+    stats = runtime.stats()
+    cache_text = args.cache_dir if args.cache_dir else "in-memory"
+    # the URL line is machine-readable on purpose: smoke tests and scripts
+    # booting `repro-rta serve --port 0` parse the bound port from it
+    print(f"serving on {server.url}", flush=True)
+    print(
+        f"runtime: backend={stats.backend} workers={stats.workers} "
+        f"cache={cache_text} algorithm={args.algorithm}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.close()
+        runtime.close()
+    return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -387,6 +475,7 @@ _COMMANDS = {
     "analyze": _command_analyze,
     "batch": _command_batch,
     "search": _command_search,
+    "serve": _command_serve,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "headline": _command_headline,

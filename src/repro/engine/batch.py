@@ -68,6 +68,13 @@ class BatchAnalyzer:
 
     ``cache`` may be a :class:`ResultCache`, a directory path (a persistent
     cache is created there), or ``None`` for a fresh memory-only cache.
+
+    ``runtime`` binds the analyzer to a persistent
+    :class:`repro.service.EngineRuntime` instead of the per-call process pool:
+    cache misses then execute on the runtime's warm workers (zero pool
+    constructions per batch) and, unless an explicit ``cache`` is given, the
+    runtime's shared result cache is used.  Worker count and pool backend are
+    the runtime's — passing ``max_workers`` alongside ``runtime`` is an error.
     """
 
     def __init__(
@@ -77,8 +84,18 @@ class BatchAnalyzer:
         max_workers: Optional[int] = None,
         cache: Union[ResultCache, PathLike, None] = None,
         chunksize: Optional[int] = None,
+        runtime: Optional[object] = None,
     ) -> None:
         self.algorithm = algorithm
+        self.runtime = runtime
+        if runtime is not None:
+            if max_workers is not None:
+                raise EngineError(
+                    "pass max_workers to the EngineRuntime, not to BatchAnalyzer, "
+                    "when a runtime is given"
+                )
+            if cache is None:
+                cache = runtime.cache  # one cache shared by every runtime client
         self.max_workers = max_workers
         self.chunksize = chunksize
         if isinstance(cache, ResultCache):
@@ -137,12 +154,19 @@ class BatchAnalyzer:
                     )
 
             try:
-                fresh = run_jobs(
-                    misses,
-                    max_workers=self.max_workers,
-                    chunksize=self.chunksize,
-                    progress=on_progress if progress is not None else None,
-                )
+                if self.runtime is not None:
+                    fresh = self.runtime.run(
+                        misses,
+                        chunksize=self.chunksize,
+                        progress=on_progress if progress is not None else None,
+                    )
+                else:
+                    fresh = run_jobs(
+                        misses,
+                        max_workers=self.max_workers,
+                        chunksize=self.chunksize,
+                        progress=on_progress if progress is not None else None,
+                    )
             except BatchExecutionError as exc:
                 # keep (and cache) what completed; re-raise below with the
                 # miss-list positions translated back to batch indices
@@ -195,7 +219,10 @@ class BatchAnalyzer:
 
         if any(schedule is None for schedule in schedules):
             raise EngineError("batch run finished with missing results")
-        configured = default_worker_count() if self.max_workers is None else int(self.max_workers)
+        if self.runtime is not None:
+            configured = int(self.runtime.workers)
+        else:
+            configured = default_worker_count() if self.max_workers is None else int(self.max_workers)
         workers = min(configured, len(misses)) if misses else 0  # workers actually used
         return BatchReport(
             schedules=schedules,  # type: ignore[arg-type]
@@ -214,6 +241,7 @@ def analyze_many(
     cache: Union[ResultCache, PathLike, None] = None,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    runtime: Optional[object] = None,
 ) -> List[Schedule]:
     """Analyse many problems at once; returns schedules in submission order.
 
@@ -224,11 +252,13 @@ def analyze_many(
 
     ``max_workers=None`` uses one worker per CPU; ``max_workers=1`` is a
     strictly serial fallback.  ``cache`` accepts a directory path for a
-    persistent cache shared across runs.  Results are independent of the
-    worker count — the parallel path produces schedules identical to the
-    serial one.
+    persistent cache shared across runs.  ``runtime`` executes the batch on a
+    persistent :class:`repro.service.EngineRuntime` (warm pool, shared cache)
+    instead of a per-call pool.  Results are independent of the worker count
+    and pool lifetime — every path produces schedules identical to the serial
+    one.
     """
     analyzer = BatchAnalyzer(
-        algorithm, max_workers=max_workers, cache=cache, chunksize=chunksize
+        algorithm, max_workers=max_workers, cache=cache, chunksize=chunksize, runtime=runtime
     )
     return analyzer.run(problems, progress=progress).schedules

@@ -42,6 +42,8 @@ __all__ = [
     "START_METHOD_ENV",
     "default_worker_count",
     "run_jobs",
+    "run_jobs_on",
+    "run_jobs_serial",
 ]
 
 #: environment variable pinning the pool's multiprocessing start method
@@ -100,58 +102,64 @@ def _chunk(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
     return [items[start : start + size] for start in range(0, len(items), size)]
 
 
-def run_jobs(
+def run_jobs_serial(
+    jobs: Sequence[AnalysisJob],
+    progress: Optional[ProgressCallback] = None,
+) -> List[Schedule]:
+    """Run ``jobs`` serially in-process: same registry path, no pool overhead.
+
+    The serial fallback of :func:`run_jobs` (``max_workers=1``) and of the
+    ``inline`` backend of :class:`repro.service.EngineRuntime`.  Failure
+    semantics match the pooled path: every job runs, a
+    :class:`~repro.errors.BatchExecutionError` is raised at the end.
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    results: List[Optional[Schedule]] = []
+    failures: Dict[int, str] = {}
+    for done, job in enumerate(jobs, start=1):
+        try:
+            results.append(job.run())
+        except Exception as exc:  # noqa: BLE001 - collected, raised at the end
+            results.append(None)
+            failures[done - 1] = f"{job.name}: {type(exc).__name__}: {exc}"
+        if progress is not None:
+            progress(ProgressEvent(done=done, total=total, job_name=job.name))
+    if failures:
+        raise BatchExecutionError(
+            f"{len(failures)} of {total} job(s) failed: {_summarize(failures)}",
+            failures=failures,
+            results=results,
+        )
+    return results  # type: ignore[return-value]
+
+
+def run_jobs_on(
+    pool: Any,
     jobs: Sequence[AnalysisJob],
     *,
-    max_workers: Optional[int] = None,
+    workers: int,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> List[Schedule]:
-    """Run ``jobs`` and return their schedules in submission order.
+    """Run ``jobs`` on an already-constructed executor, in submission order.
 
-    ``max_workers=None`` uses :func:`default_worker_count`; ``max_workers=1``
-    runs serially in-process.  ``chunksize=None`` picks a chunk size that
-    gives each worker a few chunks (load balancing without per-job IPC).
-
-    A failing job does not abort the batch: every other job still runs, and a
-    :class:`~repro.errors.BatchExecutionError` carrying the completed
-    schedules (``.results``, ``None`` at failed positions) and the failure
-    messages (``.failures``) is raised at the end.
+    ``pool`` is anything with the :class:`concurrent.futures.Executor`
+    ``submit`` interface — the transient :class:`ProcessPoolExecutor` of
+    :func:`run_jobs`, or the persistent process/thread pool owned by a
+    :class:`repro.service.EngineRuntime`.  The pool is *not* shut down here;
+    its lifetime belongs to the caller (which is exactly what makes warm
+    reuse across batches possible).  ``workers`` sizes the default chunking
+    so each worker gets a few chunks.
     """
-    if max_workers is not None and max_workers < 1:
-        raise EngineError(f"max_workers must be >= 1, got {max_workers}")
     if chunksize is not None and chunksize < 1:
         raise EngineError(f"chunksize must be >= 1, got {chunksize}")
     jobs = list(jobs)
     total = len(jobs)
     if total == 0:
         return []
-    workers = default_worker_count() if max_workers is None else int(max_workers)
-    workers = min(workers, total)
-
-    if workers == 1:
-        # serial fallback: same jobs, same registry path, no pool overhead
-        serial_results: List[Optional[Schedule]] = []
-        serial_failures: Dict[int, str] = {}
-        for done, job in enumerate(jobs, start=1):
-            try:
-                serial_results.append(job.run())
-            except Exception as exc:  # noqa: BLE001 - collected, raised at the end
-                serial_results.append(None)
-                serial_failures[done - 1] = f"{job.name}: {type(exc).__name__}: {exc}"
-            if progress is not None:
-                progress(ProgressEvent(done=done, total=total, job_name=job.name))
-        if serial_failures:
-            raise BatchExecutionError(
-                f"{len(serial_failures)} of {total} job(s) failed: "
-                f"{_summarize(serial_failures)}",
-                failures=serial_failures,
-                results=serial_results,
-            )
-        return serial_results  # type: ignore[return-value]
-
     if chunksize is None:
-        chunksize = max(1, total // (workers * 4))
+        chunksize = max(1, total // (max(1, workers) * 4))
     # result ordering is defined by submission position; the caller's own
     # job.index is left untouched (it may carry outer-batch semantics)
     payloads = []
@@ -162,30 +170,29 @@ def run_jobs(
     chunks = _chunk(payloads, chunksize)
     outcomes: Dict[int, Dict[str, Any]] = {}
     done = 0
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        pending = {
-            pool.submit(_run_chunk, chunk): [payload["index"] for payload in chunk]
-            for chunk in chunks
-        }
-        while pending:
-            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                positions = pending.pop(future)
-                last_name = ""
-                try:
-                    chunk_outcomes = future.result()
-                except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable payload
-                    # the whole chunk is lost, but the batch must carry on
-                    chunk_outcomes = [
-                        (position, {"error": f"{type(exc).__name__}: {exc}"})
-                        for position in positions
-                    ]
-                for position, outcome in chunk_outcomes:
-                    outcomes[position] = outcome
-                    done += 1
-                    last_name = jobs[position].name
-                if progress is not None:
-                    progress(ProgressEvent(done=done, total=total, job_name=last_name))
+    pending = {
+        pool.submit(_run_chunk, chunk): [payload["index"] for payload in chunk]
+        for chunk in chunks
+    }
+    while pending:
+        finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in finished:
+            positions = pending.pop(future)
+            last_name = ""
+            try:
+                chunk_outcomes = future.result()
+            except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable payload
+                # the whole chunk is lost, but the batch must carry on
+                chunk_outcomes = [
+                    (position, {"error": f"{type(exc).__name__}: {exc}"})
+                    for position in positions
+                ]
+            for position, outcome in chunk_outcomes:
+                outcomes[position] = outcome
+                done += 1
+                last_name = jobs[position].name
+            if progress is not None:
+                progress(ProgressEvent(done=done, total=total, job_name=last_name))
     missing = [jobs[position].name for position in range(total) if position not in outcomes]
     if missing:
         raise EngineError(f"batch lost results for {len(missing)} job(s): {missing[:5]}")
@@ -205,6 +212,49 @@ def run_jobs(
             results=results,
         )
     return results  # type: ignore[return-value]
+
+
+def run_jobs(
+    jobs: Sequence[AnalysisJob],
+    *,
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Schedule]:
+    """Run ``jobs`` and return their schedules in submission order.
+
+    ``max_workers=None`` uses :func:`default_worker_count`; ``max_workers=1``
+    runs serially in-process.  ``chunksize=None`` picks a chunk size that
+    gives each worker a few chunks (load balancing without per-job IPC).
+
+    The pool is constructed and torn down per call; long-lived callers that
+    run many batches should hold a :class:`repro.service.EngineRuntime`
+    instead, which keeps one warm pool across calls.
+
+    A failing job does not abort the batch: every other job still runs, and a
+    :class:`~repro.errors.BatchExecutionError` carrying the completed
+    schedules (``.results``, ``None`` at failed positions) and the failure
+    messages (``.failures``) is raised at the end.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+    if chunksize is not None and chunksize < 1:
+        raise EngineError(f"chunksize must be >= 1, got {chunksize}")
+    jobs = list(jobs)
+    total = len(jobs)
+    if total == 0:
+        return []
+    workers = default_worker_count() if max_workers is None else int(max_workers)
+    workers = min(workers, total)
+
+    if workers == 1:
+        # serial fallback: same jobs, same registry path, no pool overhead
+        return run_jobs_serial(jobs, progress)
+
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return run_jobs_on(
+            pool, jobs, workers=workers, chunksize=chunksize, progress=progress
+        )
 
 
 def _summarize(failures: Dict[int, str], limit: int = 3) -> str:

@@ -126,6 +126,19 @@ class CacheError(EngineError):
     """The result cache is corrupt or its directory cannot be used."""
 
 
+class ServiceError(ReproError):
+    """The analysis service (runtime, job queue or API server) was misused.
+
+    Raised e.g. when submitting work to a closed :class:`repro.service`
+    runtime/queue, or when a :class:`~repro.service.ServiceClient` cannot
+    reach the server or receives an error response from it.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The job queue's backpressure bound was hit and the submission gave up."""
+
+
 class SimulationError(ReproError):
     """The execution simulator detected an inconsistent configuration."""
 

@@ -9,6 +9,8 @@ from .csv_io import (
     write_timing_csv,
 )
 from .json_io import (
+    batch_results_from_dict,
+    batch_results_to_dict,
     load_batch_results,
     load_problem,
     load_schedule,
@@ -26,6 +28,8 @@ __all__ = [
     "load_problem",
     "save_schedule",
     "load_schedule",
+    "batch_results_to_dict",
+    "batch_results_from_dict",
     "save_batch_results",
     "load_batch_results",
     "schedule_to_csv",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..arbiter import create_arbiter
 from ..core import AnalysisProblem, Schedule
@@ -38,6 +38,8 @@ __all__ = [
     "load_problem",
     "save_schedule",
     "load_schedule",
+    "batch_results_to_dict",
+    "batch_results_from_dict",
     "save_batch_results",
     "load_batch_results",
 ]
@@ -117,17 +119,46 @@ def save_schedule(schedule: Schedule, path: PathLike) -> Path:
     return path
 
 
-def save_batch_results(schedules: Iterable[Schedule], path: PathLike) -> Path:
-    """Write many schedules (one batch run) to ``path`` as a single JSON document."""
+def batch_results_to_dict(schedules: Iterable[Schedule]) -> Dict[str, Any]:
+    """Self-describing ``repro-batch`` document for many schedules.
+
+    The in-memory form behind :func:`save_batch_results`; also the wire format
+    of the :mod:`repro.service` batch API responses.
+    """
     schedules = list(schedules)
-    document = {
+    return {
         "format": _BATCH_FORMAT,
         "version": _VERSION,
         "count": len(schedules),
         "schedules": [schedule.to_dict() for schedule in schedules],
     }
+
+
+def batch_results_from_dict(data: Dict[str, Any]) -> List[Optional[Schedule]]:
+    """Schedules of a :func:`batch_results_to_dict` document.
+
+    ``null`` records are preserved as ``None``: the service's ``POST /batch``
+    responses carry ``null`` at failed submission positions (the engine's
+    partial-failure contract), and this loader accepts exactly what that
+    endpoint emits.  Documents written by :func:`save_batch_results` never
+    contain ``null``.
+    """
+    if not isinstance(data, dict) or data.get("format") != _BATCH_FORMAT:
+        found = data.get("format") if isinstance(data, dict) else type(data).__name__
+        raise SerializationError(f"not a {_BATCH_FORMAT} document (format={found!r})")
+    try:
+        return [
+            None if record is None else Schedule.from_dict(record)
+            for record in data.get("schedules", [])
+        ]
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid schedule record in batch document: {exc}") from exc
+
+
+def save_batch_results(schedules: Iterable[Schedule], path: PathLike) -> Path:
+    """Write many schedules (one batch run) to ``path`` as a single JSON document."""
     path = Path(path)
-    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    path.write_text(json.dumps(batch_results_to_dict(schedules), indent=2), encoding="utf-8")
     return path
 
 
@@ -138,12 +169,10 @@ def load_batch_results(path: PathLike) -> List[Schedule]:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot read batch file {path}: {exc}") from exc
-    if not isinstance(data, dict) or data.get("format") != _BATCH_FORMAT:
-        raise SerializationError(f"not a {_BATCH_FORMAT} document: {path}")
     try:
-        return [Schedule.from_dict(record) for record in data.get("schedules", [])]
-    except (AttributeError, KeyError, TypeError, ValueError) as exc:
-        raise SerializationError(f"invalid schedule record in batch file {path}: {exc}") from exc
+        return batch_results_from_dict(data)
+    except SerializationError as exc:
+        raise SerializationError(f"{exc} [{path}]") from exc
 
 
 def load_schedule(path: PathLike) -> Schedule:

@@ -1,0 +1,40 @@
+"""Persistent analysis service: warm runtime, job queue and JSON API server.
+
+The batch engine of :mod:`repro.engine` is process-per-sweep: every
+:func:`~repro.engine.run_jobs` call pays full pool startup.  This package
+turns the analysis into a *resident* service:
+
+* :mod:`repro.service.runtime` — :class:`EngineRuntime`, one persistent
+  worker pool (``process`` / ``thread`` / ``inline`` backends, worker
+  recycling, shared result cache, :class:`RuntimeStats` telemetry) reused by
+  every batch and every search generation;
+* :mod:`repro.service.queue` — :class:`JobQueue`, asynchronous submission
+  with futures, priorities, coalescing of content-identical in-flight jobs
+  and bounded backpressure;
+* :mod:`repro.service.server` — :class:`AnalysisServer`, a stdlib-only HTTP
+  JSON API (``POST /analyze``, ``POST /batch``, ``POST /search``,
+  ``GET /stats``, ``GET /healthz``) speaking the :mod:`repro.io` formats;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin typed
+  client for that API.
+
+``BatchAnalyzer(runtime=...)`` and ``SearchDriver(runtime=...)`` bind the
+existing engine/search front ends to a runtime, so warm multi-generation
+searches perform **zero** pool constructions while verdicts stay
+bit-identical to the serial path.  On the command line, ``repro-rta serve``
+boots the whole stack.
+"""
+
+from .client import ServiceClient
+from .queue import JobQueue, QueueStats
+from .runtime import BACKENDS, EngineRuntime, RuntimeStats
+from .server import AnalysisServer
+
+__all__ = [
+    "BACKENDS",
+    "EngineRuntime",
+    "RuntimeStats",
+    "JobQueue",
+    "QueueStats",
+    "AnalysisServer",
+    "ServiceClient",
+]

@@ -1,0 +1,192 @@
+"""Thin stdlib HTTP client for the :mod:`repro.service` JSON API.
+
+A :class:`ServiceClient` turns the server's wire formats back into the
+library's own objects, so remote analysis reads like local analysis::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8517")
+    schedule = client.analyze(problem)              # -> repro.core.Schedule
+    schedules = client.analyze_many(problems)       # submission order
+    result = client.search(problem, kind="memory", horizon=30_000)
+
+Partial batch failure mirrors the engine's contract: ``analyze_many`` raises
+:class:`~repro.errors.BatchExecutionError` whose ``results`` list holds the
+completed schedules (``None`` at failed positions) and whose ``failures`` map
+carries the per-index error messages.
+
+Transport and protocol errors raise :class:`~repro.errors.ServiceError` with
+the server's own message whenever one is available.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core import AnalysisProblem, Schedule
+from ..errors import BatchExecutionError, SerializationError, ServiceError
+from ..io.json_io import problem_to_dict
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Client for one :class:`~repro.service.AnalysisServer` base URL.
+
+    ``timeout`` bounds every HTTP round trip (seconds).  The client is
+    stateless and thread-safe; one instance can be shared across threads.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        base_url = str(base_url).strip().rstrip("/")
+        if not base_url.startswith(("http://", "https://")):
+            raise ServiceError(f"base_url must be an http(s) URL, got {base_url!r}")
+        self.base_url = base_url
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, document: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None if document is None else json.dumps(document).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, method=method, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            message = f"HTTP {exc.code}"
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                if isinstance(body, dict) and body.get("error"):
+                    message = f"{message}: {body['error']}"
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                pass
+            raise ServiceError(f"analysis service rejected {method} {path} ({message})") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach analysis service at {url}: {exc.reason}") from exc
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"analysis service returned invalid JSON for {path}: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise ServiceError(f"analysis service returned a non-object for {path}")
+        return parsed
+
+    @staticmethod
+    def _schedule(record: Any, context: str) -> Schedule:
+        if not isinstance(record, dict):
+            raise ServiceError(f"{context}: response carries no schedule object")
+        try:
+            return Schedule.from_dict(record)
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"{context}: invalid schedule in response: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness document (``{"status": "ok", ...}``)."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """Runtime/queue/server telemetry snapshot of the service."""
+        return self._request("GET", "/stats")
+
+    def analyze(
+        self,
+        problem: AnalysisProblem,
+        *,
+        algorithm: Optional[str] = None,
+        priority: int = 0,
+    ) -> Schedule:
+        """Analyse one problem remotely; returns its :class:`Schedule`."""
+        document: Dict[str, Any] = {"problem": problem_to_dict(problem), "priority": priority}
+        if algorithm is not None:
+            document["algorithm"] = algorithm
+        response = self._request("POST", "/analyze", document)
+        return self._schedule(response.get("schedule"), f"analyze {problem.name!r}")
+
+    def analyze_many(
+        self,
+        problems: Iterable[AnalysisProblem],
+        *,
+        algorithm: Optional[str] = None,
+        priority: int = 0,
+    ) -> List[Schedule]:
+        """Analyse many problems remotely; schedules in submission order.
+
+        Matches :func:`repro.analyze_many` semantics, including partial
+        failure: completed schedules are preserved on the raised
+        :class:`~repro.errors.BatchExecutionError`.
+        """
+        problems = list(problems)
+        document: Dict[str, Any] = {
+            "problems": [problem_to_dict(problem) for problem in problems],
+            "priority": priority,
+        }
+        if algorithm is not None:
+            document["algorithm"] = algorithm
+        response = self._request("POST", "/batch", document)
+        records = response.get("schedules")
+        if not isinstance(records, list) or len(records) != len(problems):
+            raise ServiceError(
+                f"batch response carries {0 if not isinstance(records, list) else len(records)} "
+                f"schedule(s) for {len(problems)} problem(s)"
+            )
+        schedules: List[Optional[Schedule]] = [
+            None if record is None else self._schedule(record, f"batch[{index}]")
+            for index, record in enumerate(records)
+        ]
+        failures = {
+            int(index): str(message)
+            for index, message in (response.get("failures") or {}).items()
+        }
+        if failures:
+            raise BatchExecutionError(
+                f"{len(failures)} of {len(problems)} job(s) failed on the service: "
+                + "; ".join(list(failures.values())[:3]),
+                failures=failures,
+                results=schedules,
+            )
+        return schedules  # type: ignore[return-value]
+
+    def search(
+        self,
+        problem: AnalysisProblem,
+        *,
+        kind: str = "memory",
+        algorithm: Optional[str] = None,
+        max_factor: Optional[float] = None,
+        tolerance: Optional[float] = None,
+        speculation: Optional[int] = None,
+        horizon: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run a design-space search on the service's warm runtime.
+
+        ``kind`` is ``memory``/``wcet`` (sensitivity bracketing; returns the
+        breaking factor, makespan and probe trace) or ``horizon`` (returns
+        ``minimal_horizon``).  ``horizon`` overrides the problem's own global
+        deadline for this call.
+        """
+        document: Dict[str, Any] = {"problem": problem_to_dict(problem), "kind": kind}
+        if algorithm is not None:
+            document["algorithm"] = algorithm
+        if max_factor is not None:
+            document["max_factor"] = max_factor
+        if tolerance is not None:
+            document["tolerance"] = tolerance
+        if speculation is not None:
+            document["speculation"] = speculation
+        if horizon is not None:
+            document["horizon"] = horizon
+        return self._request("POST", "/search", document)

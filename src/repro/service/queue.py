@@ -1,0 +1,373 @@
+"""Asynchronous job queue in front of an :class:`~repro.service.EngineRuntime`.
+
+The runtime executes *batches*; a resident service receives *individual*
+requests.  The :class:`JobQueue` bridges the two:
+
+* :meth:`~JobQueue.submit` enqueues one problem and immediately returns a
+  :class:`concurrent.futures.Future` resolving to its
+  :class:`~repro.core.Schedule`;
+* a dispatcher thread drains everything queued at each wake-up and runs it as
+  **one** batch through a cache-backed :class:`~repro.engine.BatchAnalyzer`
+  bound to the runtime — concurrent clients are automatically batched
+  together and fan out over the warm pool;
+* **priorities**: higher ``priority`` submissions are drained first when the
+  queue backs up behind a running batch (ties are FIFO);
+* **coalescing**: a submission whose problem content digest (cache key:
+  digest + algorithm + schema version) matches a queued *or in-flight* job
+  does not enqueue new work — its future attaches to the existing job and
+  receives a copy of the same schedule, relabeled with its own problem name;
+* **bounded backpressure**: at most ``max_pending`` jobs may be queued;
+  further submissions block until space frees up (or raise
+  :class:`~repro.errors.QueueFullError` after ``timeout``), so a burst of
+  clients cannot grow the queue without bound.
+
+Failure of one job resolves only its own future(s) with the error; the rest
+of the drained batch completes normally (the engine's partial-failure
+semantics).  :meth:`~JobQueue.close` shuts the dispatcher down, by default
+draining the remaining work first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import AnalysisProblem, Schedule
+from ..core.analyzer import INCREMENTAL
+from ..engine.batch import BatchAnalyzer
+from ..engine.jobs import AnalysisJob
+from ..errors import BatchExecutionError, EngineError, QueueFullError, ServiceError
+
+__all__ = ["QueueStats", "JobQueue"]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Telemetry snapshot of a :class:`JobQueue` (see :meth:`~JobQueue.stats`)."""
+
+    submitted: int
+    completed: int
+    failed: int
+    coalesced: int
+    cancelled: int
+    batches: int
+    pending: int
+    in_flight: int
+    max_pending: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "coalesced": self.coalesced,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "pending": self.pending,
+            "in_flight": self.in_flight,
+            "max_pending": self.max_pending,
+        }
+
+
+class _Entry:
+    """One unit of queued work plus every future coalesced onto it."""
+
+    __slots__ = ("key", "problem", "algorithm", "priority", "seq", "waiters")
+
+    def __init__(
+        self, key: str, problem: AnalysisProblem, algorithm: str, priority: int, seq: int
+    ) -> None:
+        self.key = key
+        self.problem = problem
+        self.algorithm = algorithm
+        self.priority = priority
+        self.seq = seq
+        #: (future, problem name) pairs; the first is the originating submission
+        self.waiters: List[Tuple[Future, str]] = []
+
+
+class JobQueue:
+    """Priority job queue with digest coalescing and bounded backpressure.
+
+    ``runtime`` is the :class:`~repro.service.EngineRuntime` the drained
+    batches execute on (its shared result cache serves repeat content without
+    any analyzer invocation).  ``algorithm`` is the default per-submission
+    algorithm; ``max_pending`` bounds the number of queued (not yet running)
+    jobs; ``max_batch`` caps how many jobs one drain may take (None = all).
+    """
+
+    def __init__(
+        self,
+        runtime: Any,
+        *,
+        algorithm: str = INCREMENTAL,
+        max_pending: int = 1024,
+        max_batch: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> None:
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        if max_batch is not None and max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        self.runtime = runtime
+        self.algorithm = algorithm
+        self.max_pending = int(max_pending)
+        self.max_batch = max_batch
+        self.coalesce = bool(coalesce)
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._heap: List[Tuple[int, int, _Entry]] = []  # (-priority, seq, entry)
+        self._queued: Dict[str, _Entry] = {}  # cache key -> queued entry
+        self._running: Dict[str, _Entry] = {}  # cache key -> in-flight entry
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._coalesced = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-jobqueue", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        problem: AnalysisProblem,
+        *,
+        algorithm: Optional[str] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> "Future[Schedule]":
+        """Enqueue ``problem``; returns a future resolving to its schedule.
+
+        Blocks while the queue is at its ``max_pending`` bound; ``timeout``
+        limits that wait (:class:`~repro.errors.QueueFullError` on expiry).
+        Coalesced submissions (identical content digest + algorithm already
+        queued or running) never block — they add no work.
+        """
+        algorithm = algorithm if algorithm is not None else self.algorithm
+        key = AnalysisJob(problem=problem, algorithm=algorithm).cache_key
+        future: "Future[Schedule]" = Future()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._closed:
+                raise ServiceError("job queue is closed")
+            if self.coalesce:
+                existing = self._queued.get(key) or self._running.get(key)
+                if existing is not None:
+                    existing.waiters.append((future, problem.name))
+                    self._submitted += 1
+                    self._coalesced += 1
+                    return future
+            while len(self._heap) >= self.max_pending and not self._closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise QueueFullError(
+                        f"job queue is full ({self.max_pending} pending) and the "
+                        f"submission timed out after {timeout}s"
+                    )
+                self._cond.wait(remaining)
+            if self._closed:
+                raise ServiceError("job queue is closed")
+            if self.coalesce:
+                # re-check after the backpressure wait: another submitter of
+                # the same content may have enqueued it while we blocked
+                existing = self._queued.get(key) or self._running.get(key)
+                if existing is not None:
+                    existing.waiters.append((future, problem.name))
+                    self._submitted += 1
+                    self._coalesced += 1
+                    return future
+            entry = _Entry(key, problem, algorithm, int(priority), next(self._seq))
+            entry.waiters.append((future, problem.name))
+            heapq.heappush(self._heap, (-entry.priority, entry.seq, entry))
+            if self.coalesce:
+                # the key->entry maps exist only for coalescing lookups; with
+                # coalescing off duplicate keys may coexist in the heap
+                self._queued[key] = entry
+            self._submitted += 1
+            self._cond.notify_all()
+        return future
+
+    def map(
+        self,
+        problems: List[AnalysisProblem],
+        *,
+        algorithm: Optional[str] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> List["Future[Schedule]"]:
+        """Submit every problem; returns the futures in submission order."""
+        return [
+            self.submit(problem, algorithm=algorithm, priority=priority, timeout=timeout)
+            for problem in problems
+        ]
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> List[_Entry]:
+        """Take the highest-priority queued entries (under the lock)."""
+        batch: List[_Entry] = []
+        limit = self.max_batch if self.max_batch is not None else len(self._heap)
+        while self._heap and len(batch) < limit:
+            _, _, entry = heapq.heappop(self._heap)
+            if self._queued.get(entry.key) is entry:
+                del self._queued[entry.key]
+            if self.coalesce:
+                self._running[entry.key] = entry
+            batch.append(entry)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if not self._heap and self._closed:
+                    return
+                batch = self._drain()
+                self._batches += 1
+                self._cond.notify_all()  # backpressure: queued slots freed
+            try:
+                self._execute(batch)
+            except BaseException as exc:  # noqa: BLE001 - the loop must survive
+                self._resolve(batch, {entry: exc for entry in batch}, {})
+
+    def _execute(self, batch: List[_Entry]) -> None:
+        """Run one drained batch (grouped by algorithm) and resolve its futures."""
+        # outcomes are keyed by entry *identity*, never by content digest:
+        # with coalescing off, one drained batch may carry several entries of
+        # the same digest, and each must resolve to its own schedule object
+        # (the engine's intra-batch dedup hands every position its own clone)
+        schedules: Dict[_Entry, Schedule] = {}
+        errors: Dict[_Entry, BaseException] = {}
+        groups: Dict[str, List[_Entry]] = {}
+        for entry in batch:
+            groups.setdefault(entry.algorithm, []).append(entry)
+        for algorithm, entries in groups.items():
+            # the analyzer is pool-free (the runtime owns the pool) and shares
+            # the runtime's cache, so constructing one per drain is cheap
+            analyzer = BatchAnalyzer(algorithm, runtime=self.runtime)
+            problems = [entry.problem for entry in entries]
+            try:
+                results: List[Optional[Schedule]] = list(analyzer.run(problems).schedules)
+                failures: Dict[int, str] = {}
+            except BatchExecutionError as exc:
+                results = list(exc.results)
+                failures = dict(exc.failures)
+            for index, entry in enumerate(entries):
+                schedule = results[index] if index < len(results) else None
+                if schedule is not None:
+                    schedules[entry] = schedule
+                else:
+                    message = failures.get(index, f"{entry.problem.name}: job was lost")
+                    errors[entry] = EngineError(message)
+        self._resolve(batch, errors, schedules)
+
+    def _resolve(
+        self,
+        batch: List[_Entry],
+        errors: Dict[_Entry, BaseException],
+        schedules: Dict[_Entry, Schedule],
+    ) -> None:
+        with self._cond:
+            # once popped, no new waiter can coalesce onto these entries, so
+            # iterating entry.waiters below (outside the lock) is race-free
+            for entry in batch:
+                if self._running.get(entry.key) is entry:
+                    del self._running[entry.key]
+            self._cond.notify_all()
+        # futures are resolved outside the lock: done-callbacks run inline
+        completed = failed = cancelled = 0
+        for entry in batch:
+            error = errors.get(entry)
+            schedule = schedules.get(entry)
+            for position, (future, name) in enumerate(entry.waiters):
+                if not future.set_running_or_notify_cancel():
+                    cancelled += 1
+                    continue  # cancelled while queued
+                if error is not None:
+                    future.set_exception(error)
+                    failed += 1
+                    continue
+                if position == 0:
+                    future.set_result(schedule)
+                else:
+                    # coalesced follower: same content, its own copy (futures
+                    # must not share one mutable schedule) and its own label
+                    clone = Schedule.from_dict(schedule.to_dict())
+                    clone.problem_name = name
+                    future.set_result(clone)
+                completed += 1
+        with self._cond:
+            self._completed += completed
+            self._failed += failed
+            self._cancelled += cancelled
+
+    # ------------------------------------------------------------------
+    # lifecycle / telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Jobs queued but not yet drained into a batch."""
+        with self._cond:
+            return len(self._heap)
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work and shut the dispatcher down.
+
+        ``drain=True`` (default) lets the dispatcher finish everything already
+        queued; ``drain=False`` cancels queued jobs (their futures report
+        cancellation) and only waits for the in-flight batch.  Idempotent.
+        """
+        cancelled: List[_Entry] = []
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._heap:
+                    _, _, entry = heapq.heappop(self._heap)
+                    if self._queued.get(entry.key) is entry:
+                        del self._queued[entry.key]
+                    cancelled.append(entry)
+            self._cond.notify_all()
+        cancelled_futures = sum(
+            1 for entry in cancelled for future, _ in entry.waiters if future.cancel()
+        )
+        if cancelled_futures:
+            with self._cond:
+                self._cancelled += cancelled_futures
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def stats(self) -> QueueStats:
+        """Consistent telemetry snapshot of the queue."""
+        with self._cond:
+            return QueueStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                coalesced=self._coalesced,
+                cancelled=self._cancelled,
+                batches=self._batches,
+                pending=len(self._heap),
+                in_flight=len(self._running),
+                max_pending=self.max_pending,
+            )

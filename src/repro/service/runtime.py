@@ -1,0 +1,323 @@
+"""Persistent analysis runtime: one warm worker pool shared across batches.
+
+Every :func:`repro.engine.run_jobs` call — and therefore every
+:meth:`BatchAnalyzer.run` and every :meth:`SearchDriver.evaluate` generation —
+builds and tears down a fresh :class:`~concurrent.futures.ProcessPoolExecutor`.
+For small generations (a bisection search probes 2–3 problems per round) pool
+startup dominates the useful work, dramatically so under the ``spawn`` start
+method where every worker boots a fresh interpreter.
+
+An :class:`EngineRuntime` fixes that by owning **one** pool for its whole
+lifetime:
+
+* pluggable backend — ``process`` (default; true parallelism),
+  ``thread`` (no pickling, useful for GIL-releasing plug-ins and tests) or
+  ``inline`` (no pool at all: strictly serial, deterministic debugging mode);
+* the pool is built lazily on first use and reused by every subsequent batch —
+  a warm three-generation search performs **zero** additional pool
+  constructions (:attr:`EngineRuntime.pools_created` counts them, which is
+  also the test hook the acceptance suite asserts on);
+* workers are *recycled* after ``recycle_after`` jobs: at the next idle batch
+  boundary the pool is torn down and rebuilt, bounding memory growth of
+  long-resident services;
+* a shared :class:`~repro.engine.ResultCache` rides along so every client of
+  the runtime (batches, searches, the :mod:`repro.service` job queue and API
+  server) hits one cache;
+* :meth:`EngineRuntime.stats` returns a :class:`RuntimeStats` telemetry
+  snapshot — jobs run, failures, cache hit/miss counters, and an EWMA of the
+  per-job analyzer latency (from each schedule's in-worker wall time).
+
+Results are **bit-identical** to the transient-pool and serial paths: the
+runtime reuses the engine's own chunked executor
+(:func:`repro.engine.executor.run_jobs_on`), so only the pool's lifetime
+changes, never the job semantics.
+
+The runtime is thread-safe: concurrent ``run()`` calls share the pool (the
+API server handles requests on multiple threads).  Use it as a context
+manager, or call :meth:`close` for a graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..core import Schedule
+from ..engine.cache import PathLike, ResultCache
+from ..engine.executor import (
+    ProgressCallback,
+    _pool_context,
+    default_worker_count,
+    run_jobs_on,
+    run_jobs_serial,
+)
+from ..engine.jobs import AnalysisJob
+from ..errors import BatchExecutionError, ServiceError
+
+__all__ = ["BACKENDS", "RuntimeStats", "EngineRuntime"]
+
+#: supported worker-pool backends
+BACKENDS = ("process", "thread", "inline")
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Telemetry snapshot of an :class:`EngineRuntime` (see :meth:`~EngineRuntime.stats`)."""
+
+    #: pool backend: ``process``, ``thread`` or ``inline``
+    backend: str
+    #: configured worker count (1 for the ``inline`` backend)
+    workers: int
+    #: worker pools constructed so far (0 until the first pooled batch)
+    pools_created: int
+    #: batches executed through :meth:`EngineRuntime.run`
+    batches: int
+    #: jobs that completed with a schedule
+    jobs_completed: int
+    #: jobs that raised in a worker
+    jobs_failed: int
+    #: jobs after which the pool is recycled (None = never)
+    recycle_after: Optional[int]
+    #: jobs run on the current pool since it was (re)built
+    jobs_since_recycle: int
+    #: exponentially weighted moving average of per-job analyzer wall time
+    latency_ewma_seconds: Optional[float]
+    #: hit/miss counters of the runtime's shared result cache
+    cache: Dict[str, int]
+
+    @property
+    def jobs_run(self) -> int:
+        return self.jobs_completed + self.jobs_failed
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "pools_created": self.pools_created,
+            "batches": self.batches,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_run": self.jobs_run,
+            "recycle_after": self.recycle_after,
+            "jobs_since_recycle": self.jobs_since_recycle,
+            "latency_ewma_seconds": self.latency_ewma_seconds,
+            "cache": dict(self.cache),
+        }
+
+
+class EngineRuntime:
+    """Long-lived execution runtime owning one persistent worker pool.
+
+    ``backend`` selects the pool flavour (``process``, ``thread`` or
+    ``inline``); ``max_workers=None`` uses one worker per CPU.  ``cache``
+    accepts a :class:`~repro.engine.ResultCache`, a directory path (persistent
+    store) or ``None`` (fresh memory-only cache); the cache is shared by every
+    :class:`~repro.engine.BatchAnalyzer` and
+    :class:`~repro.analysis.SearchDriver` bound to this runtime (unless they
+    were given their own).  ``recycle_after=N`` tears the pool down and
+    rebuilds it once at least ``N`` jobs ran on it, at the next idle batch
+    boundary.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "process",
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        recycle_after: Optional[int] = None,
+        cache: Union[ResultCache, PathLike, None] = None,
+        latency_smoothing: float = 0.2,
+    ) -> None:
+        backend = str(backend).strip().lower()
+        if backend not in BACKENDS:
+            raise ServiceError(
+                f"unknown runtime backend {backend!r}; choose from {', '.join(BACKENDS)}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ServiceError(f"chunksize must be >= 1, got {chunksize}")
+        if recycle_after is not None and recycle_after < 1:
+            raise ServiceError(f"recycle_after must be >= 1, got {recycle_after}")
+        if not (0.0 < latency_smoothing <= 1.0):
+            raise ServiceError(
+                f"latency_smoothing must be in (0, 1], got {latency_smoothing}"
+            )
+        self.backend = backend
+        self.max_workers = (
+            default_worker_count() if max_workers is None else int(max_workers)
+        )
+        if backend == "inline":
+            self.max_workers = 1
+        self.chunksize = chunksize
+        self.recycle_after = recycle_after
+        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(path=cache)
+        self._latency_smoothing = float(latency_smoothing)
+        self._latency_ewma: Optional[float] = None
+        #: worker pools constructed so far — the acceptance-test hook proving
+        #: that N batches + a whole search share a single construction
+        self.pools_created = 0
+        self._pool: Optional[Any] = None
+        self._pool_jobs = 0  # jobs run on the current pool (recycling trigger)
+        self._active = 0  # batches currently executing on the pool
+        self._closed = False
+        self._batches = 0
+        self._jobs_completed = 0
+        self._jobs_failed = 0
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count (what adaptive speculation scales from)."""
+        return self.max_workers
+
+    def _build_pool(self) -> Any:
+        if self.backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-runtime"
+            )
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers, mp_context=_pool_context()
+        )
+
+    def _acquire_pool(self) -> Optional[Any]:
+        """Register one running batch; returns the shared pool (None = serial).
+
+        Recycling happens here, at a batch boundary, and only while no other
+        batch is executing — a pool is never torn down under a running batch.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceError("runtime is closed")
+            if self.backend == "inline" or self.max_workers == 1:
+                self._active += 1
+                return None
+            due = (
+                self._pool is not None
+                and self.recycle_after is not None
+                and self._pool_jobs >= self.recycle_after
+            )
+            if due and self._active == 0:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_jobs = 0
+            if self._pool is None:
+                self._pool = self._build_pool()
+                self.pools_created += 1
+                self._pool_jobs = 0
+            self._active += 1
+            return self._pool
+
+    def _release_pool(self, jobs_run: int) -> None:
+        with self._cond:
+            self._active -= 1
+            self._pool_jobs += jobs_run
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Graceful shutdown: wait for running batches, then stop the workers.
+
+        Idempotent; after closing, :meth:`run` raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        with self._cond:
+            self._closed = True
+            while self._active > 0:
+                self._cond.wait()
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "EngineRuntime":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[AnalysisJob],
+        *,
+        chunksize: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Schedule]:
+        """Run ``jobs`` on the warm pool; semantics match :func:`~repro.engine.run_jobs`.
+
+        Results come back in submission order; a failing job does not abort
+        the batch (a :class:`~repro.errors.BatchExecutionError` carrying the
+        completed schedules is raised at the end).  Thread-safe: concurrent
+        batches share the pool.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool = self._acquire_pool()
+        try:
+            if pool is None:
+                results = run_jobs_serial(jobs, progress)
+            else:
+                results = run_jobs_on(
+                    pool,
+                    jobs,
+                    workers=min(self.max_workers, len(jobs)),
+                    chunksize=chunksize if chunksize is not None else self.chunksize,
+                    progress=progress,
+                )
+        except BatchExecutionError as exc:
+            self._record(jobs, exc.results)
+            raise
+        finally:
+            self._release_pool(len(jobs))
+        self._record(jobs, results)
+        return results
+
+    def _record(self, jobs: Sequence[AnalysisJob], results: Sequence[Optional[Schedule]]) -> None:
+        completed = [schedule for schedule in results if schedule is not None]
+        with self._cond:
+            self._batches += 1
+            self._jobs_completed += len(completed)
+            self._jobs_failed += len(jobs) - len(completed)
+            for schedule in completed:
+                # per-job latency as measured inside the worker, not the batch
+                # wall clock — pool queueing must not pollute the EWMA
+                observed = float(schedule.stats.wall_time_seconds)
+                if self._latency_ewma is None:
+                    self._latency_ewma = observed
+                else:
+                    alpha = self._latency_smoothing
+                    self._latency_ewma = alpha * observed + (1 - alpha) * self._latency_ewma
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def stats(self) -> RuntimeStats:
+        """Consistent telemetry snapshot of the runtime (cheap, lock-guarded)."""
+        with self._cond:
+            return RuntimeStats(
+                backend=self.backend,
+                workers=self.max_workers,
+                pools_created=self.pools_created,
+                batches=self._batches,
+                jobs_completed=self._jobs_completed,
+                jobs_failed=self._jobs_failed,
+                recycle_after=self.recycle_after,
+                jobs_since_recycle=self._pool_jobs,
+                latency_ewma_seconds=self._latency_ewma,
+                cache=self.cache.stats.to_dict(),
+            )

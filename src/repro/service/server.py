@@ -1,0 +1,336 @@
+"""Stdlib-only HTTP JSON API in front of the persistent analysis runtime.
+
+:class:`AnalysisServer` binds an :class:`~repro.service.EngineRuntime` (warm
+worker pool + shared result cache) and a :class:`~repro.service.JobQueue`
+(priorities, digest coalescing, backpressure) to a
+:class:`http.server.ThreadingHTTPServer`.  Problems and schedules travel in
+the :mod:`repro.io` JSON formats, so anything that can produce a
+``repro-problem`` document can talk to the service — including the thin
+:class:`~repro.service.ServiceClient`.
+
+Endpoints
+---------
+``POST /analyze``
+    ``{"problem": <repro-problem>, "algorithm"?, "priority"?}`` →
+    ``{"schedule": <schedule dict>, "schedulable", "makespan"}``.
+    The job goes through the queue: concurrent clients are batched onto the
+    warm pool, identical in-flight content is coalesced, and repeat content
+    is served from the cache without an analyzer invocation.
+``POST /batch``
+    ``{"problems": [<repro-problem>...], "algorithm"?, "priority"?}`` →
+    a ``repro-batch`` document (``batch_results_to_dict``) plus a
+    ``failures`` map for jobs that raised (``schedules`` holds ``null`` at
+    failed positions, in submission order — the engine's partial-failure
+    contract over HTTP).
+``POST /search``
+    ``{"problem": ..., "kind": "memory"|"wcet"|"horizon", "max_factor"?,
+    "tolerance"?, "speculation"?, "horizon"?, "algorithm"?}`` → the same
+    result document the ``repro-rta search`` CLI writes.  Search generations
+    run directly on the runtime (one warm pool, zero constructions).
+``GET /stats``
+    Runtime, queue and server telemetry (pool constructions, cache hit/miss,
+    latency EWMA, queue depth...).
+``GET /healthz``
+    Liveness probe.
+
+Errors come back as ``{"error": "..."}`` with 400 (bad request), 404, 405,
+422 (analysis failed) or 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .. import __version__
+from ..analysis.schedulability import minimal_horizon
+from ..analysis.search import SearchDriver
+from ..analysis.sensitivity import memory_sensitivity, wcet_sensitivity
+from ..core.analyzer import INCREMENTAL
+from ..errors import QueueFullError, ReproError, SerializationError, ServiceError
+from ..io.json_io import batch_results_to_dict, problem_from_dict
+from .queue import JobQueue
+from .runtime import EngineRuntime
+
+__all__ = ["AnalysisServer"]
+
+
+class _BadRequest(ValueError):
+    """Client-side input error: reported as HTTP 400 with the message."""
+
+
+def _parse_problem(document: Dict[str, Any], field: str = "problem") -> Any:
+    record = document.get(field)
+    if not isinstance(record, dict):
+        raise _BadRequest(f"request body must carry a {field!r} object")
+    try:
+        return problem_from_dict(record)
+    except SerializationError as exc:
+        raise _BadRequest(str(exc)) from exc
+
+
+class AnalysisServer:
+    """HTTP front end of one persistent analysis runtime.
+
+    ``runtime=None`` creates (and owns) a default :class:`EngineRuntime`; a
+    caller-supplied runtime is shared, not closed on shutdown.  ``port=0``
+    binds an ephemeral port — read :attr:`port` / :attr:`url` after
+    construction.  Use :meth:`start` for a background thread (tests, embedded
+    use) or :meth:`serve_forever` to serve on the calling thread (the CLI).
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[EngineRuntime] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        algorithm: str = INCREMENTAL,
+        max_pending: int = 1024,
+        submit_timeout: Optional[float] = 30.0,
+        quiet: bool = True,
+    ) -> None:
+        self._owns_runtime = runtime is None
+        self.runtime = runtime if runtime is not None else EngineRuntime()
+        self.default_algorithm = algorithm
+        self.submit_timeout = submit_timeout
+        self.quiet = quiet
+        self.queue = JobQueue(self.runtime, algorithm=algorithm, max_pending=max_pending)
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+        service = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            server_version = f"repro-service/{__version__}"
+
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+                if not service.quiet:
+                    BaseHTTPRequestHandler.log_message(self, format, *args)
+
+            def _reply(self, status: int, document: Dict[str, Any]) -> None:
+                body = json.dumps(document).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _dispatch(self, method: str) -> None:
+                with service._requests_lock:
+                    service._requests += 1
+                path = urlsplit(self.path).path.rstrip("/") or "/"
+                try:
+                    if method == "POST":
+                        length = int(self.headers.get("Content-Length") or 0)
+                        raw = self.rfile.read(length) if length else b""
+                        try:
+                            document = json.loads(raw.decode("utf-8")) if raw else {}
+                        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                            raise _BadRequest(f"request body is not valid JSON: {exc}")
+                        if not isinstance(document, dict):
+                            raise _BadRequest("request body must be a JSON object")
+                    routes = {
+                        ("GET", "/healthz"): lambda: service.handle_healthz(),
+                        ("GET", "/stats"): lambda: service.handle_stats(),
+                        ("POST", "/analyze"): lambda: service.handle_analyze(document),
+                        ("POST", "/batch"): lambda: service.handle_batch(document),
+                        ("POST", "/search"): lambda: service.handle_search(document),
+                    }
+                    handler = routes.get((method, path))
+                    if handler is None:
+                        known = {route_path for _, route_path in routes}
+                        if path in known:
+                            self._reply(405, {"error": f"method {method} not allowed on {path}"})
+                        else:
+                            self._reply(404, {"error": f"unknown endpoint {path}"})
+                        return
+                    status, response = handler()
+                    self._reply(status, response)
+                except _BadRequest as exc:
+                    self._reply(400, {"error": str(exc)})
+                except (TypeError, ValueError) as exc:
+                    # malformed field values (e.g. a non-numeric max_factor)
+                    self._reply(400, {"error": f"invalid request: {exc}"})
+                except QueueFullError as exc:
+                    self._reply(503, {"error": str(exc)})
+                except ReproError as exc:
+                    self._reply(422, {"error": f"{type(exc).__name__}: {exc}"})
+                except Exception as exc:  # noqa: BLE001 - never kill the connection thread
+                    self._reply(500, {"error": f"internal error: {type(exc).__name__}: {exc}"})
+
+            def do_GET(self) -> None:
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:
+                self._dispatch("POST")
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # endpoint handlers (HTTP-free: also directly testable)
+    # ------------------------------------------------------------------
+
+    def handle_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"status": "ok", "service": "repro", "version": __version__}
+
+    def handle_stats(self) -> Tuple[int, Dict[str, Any]]:
+        with self._requests_lock:
+            requests = self._requests
+        return 200, {
+            "runtime": self.runtime.stats().to_dict(),
+            "queue": self.queue.stats().to_dict(),
+            "server": {
+                "requests": requests,
+                "default_algorithm": self.default_algorithm,
+                "version": __version__,
+            },
+        }
+
+    def handle_analyze(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        problem = _parse_problem(document)
+        algorithm = document.get("algorithm")
+        priority = int(document.get("priority", 0))
+        future = self.queue.submit(
+            problem,
+            algorithm=None if algorithm is None else str(algorithm),
+            priority=priority,
+            timeout=self.submit_timeout,
+        )
+        schedule = future.result()
+        return 200, {
+            "schedule": schedule.to_dict(),
+            "schedulable": schedule.schedulable,
+            "makespan": schedule.makespan,
+        }
+
+    def handle_batch(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        records = document.get("problems")
+        if not isinstance(records, list) or not records:
+            raise _BadRequest("request body must carry a non-empty 'problems' list")
+        problems = []
+        for position, record in enumerate(records):
+            if not isinstance(record, dict):
+                raise _BadRequest(f"problems[{position}] is not an object")
+            try:
+                problems.append(problem_from_dict(record))
+            except SerializationError as exc:
+                raise _BadRequest(f"problems[{position}]: {exc}") from exc
+        algorithm = document.get("algorithm")
+        priority = int(document.get("priority", 0))
+        futures = self.queue.map(
+            problems,
+            algorithm=None if algorithm is None else str(algorithm),
+            priority=priority,
+            timeout=self.submit_timeout,
+        )
+        schedules: List[Optional[Any]] = []
+        failures: Dict[str, str] = {}
+        for position, future in enumerate(futures):
+            try:
+                schedules.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                schedules.append(None)
+                failures[str(position)] = str(exc)
+        response = batch_results_to_dict(
+            [schedule for schedule in schedules if schedule is not None]
+        )
+        # preserve submission positions: the document's schedules list carries
+        # null at failed indices, exactly like BatchExecutionError.results
+        response["schedules"] = [
+            None if schedule is None else schedule.to_dict() for schedule in schedules
+        ]
+        response["count"] = len(schedules)
+        response["failures"] = failures
+        return 200, response
+
+    def handle_search(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        problem = _parse_problem(document)
+        kind = str(document.get("kind", "memory")).strip().lower()
+        if kind not in ("memory", "wcet", "horizon"):
+            raise _BadRequest(f"unknown search kind {kind!r} (memory, wcet or horizon)")
+        if "horizon" in document and document["horizon"] is not None:
+            problem = problem.with_horizon(int(document["horizon"]))
+        algorithm = str(document.get("algorithm") or self.default_algorithm)
+        speculation = document.get("speculation")
+        driver = SearchDriver(
+            algorithm,
+            runtime=self.runtime,
+            speculation=None if speculation is None else int(speculation),
+        )
+        if kind == "horizon":
+            horizon = minimal_horizon(problem, driver=driver)
+            return 200, {"kind": kind, "problem": problem.name, "minimal_horizon": horizon}
+        if problem.horizon is None:
+            raise _BadRequest(
+                "sensitivity search needs a horizon (global deadline); "
+                "set one in the problem or pass 'horizon'"
+            )
+        sensitivity = memory_sensitivity if kind == "memory" else wcet_sensitivity
+        result = sensitivity(
+            problem,
+            max_factor=float(document.get("max_factor", 16.0)),
+            tolerance=float(document.get("tolerance", 0.05)),
+            driver=driver,
+        )
+        return 200, {"kind": kind, "problem": problem.name, **result.to_dict()}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (the ephemeral one when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AnalysisServer":
+        """Serve on a daemon background thread; returns ``self`` for chaining."""
+        if self._closed:
+            raise ServiceError("server is closed")
+        if self._thread is not None:
+            raise ServiceError("server is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` or an interrupt."""
+        if self._closed:
+            raise ServiceError("server is closed")
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Graceful shutdown: HTTP listener, queue (drained), then the runtime."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None and self._thread.is_alive():
+            self._httpd.shutdown()
+            self._thread.join()
+        self._httpd.server_close()
+        self.queue.close(drain=True)
+        if self._owns_runtime:
+            self.runtime.close()
+
+    def __enter__(self) -> "AnalysisServer":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -15,6 +15,7 @@ import pytest
 from repro.analysis import (
     SearchDriver,
     SearchProgressEvent,
+    adaptive_speculation,
     interference_cost,
     memory_sensitivity,
     minimal_horizon,
@@ -227,6 +228,53 @@ class TestDriver:
         assert record["breaking_factor"] == result.breaking_factor
         assert record["probes"] == [[factor, ok] for factor, ok in result.probes]
         assert isinstance(result, SensitivityResult)
+
+
+class TestAdaptiveSpeculation:
+    """Satellite: the default lookahead adapts to the worker count."""
+
+    @pytest.mark.parametrize(
+        "workers,expected",
+        [(1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (16, 5)],
+    )
+    def test_smallest_lookahead_saturating_the_workers(self, workers, expected):
+        assert adaptive_speculation(workers) == expected
+        # a generation of `expected` levels carries up to 2**expected - 1
+        # ladder probes: enough to keep every worker busy
+        assert 2**expected - 1 >= workers
+
+    def test_driver_defaults_speculation_from_max_workers(self):
+        assert SearchDriver(max_workers=1).speculation == 1
+        assert SearchDriver(max_workers=4).speculation == 3
+        assert SearchDriver(max_workers=8).speculation == 4
+
+    def test_driver_defaults_speculation_from_runtime_workers(self):
+        from repro.service import EngineRuntime
+
+        with EngineRuntime(backend="thread", max_workers=4) as runtime:
+            assert SearchDriver(runtime=runtime).speculation == 3
+        with EngineRuntime(backend="inline") as runtime:
+            assert SearchDriver(runtime=runtime).speculation == 1
+
+    def test_explicit_speculation_still_pins_the_lookahead(self):
+        assert SearchDriver(max_workers=8, speculation=0).speculation == 0
+        assert SearchDriver(max_workers=1, speculation=5).speculation == 5
+
+    def test_serial_driver_rejects_runtime(self):
+        from repro.service import EngineRuntime
+
+        with EngineRuntime(backend="inline") as runtime:
+            with pytest.raises(AnalysisError, match="serial"):
+                SearchDriver(batch=False, runtime=runtime)
+
+    def test_adaptive_default_verdicts_identical_to_serial(self):
+        problem = figure1_problem().with_horizon(12)
+        serial = memory_sensitivity(problem, max_factor=16.0, tolerance=0.1)
+        for workers in (1, 2, 4):
+            driver = SearchDriver(max_workers=workers)  # adaptive speculation
+            assert memory_sensitivity(
+                problem, max_factor=16.0, tolerance=0.1, driver=driver
+            ) == serial
 
 
 class TestDemandRoundingRegression:

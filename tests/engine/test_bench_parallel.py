@@ -77,3 +77,20 @@ def test_parallel_comparison_reuses_cache():
     run_comparison(_config(), max_workers=2, cache=cache)
     assert cache.stats.misses == misses_after_first  # warm: no new analyses
     assert cache.stats.hits >= 6  # 3 sizes x 2 algorithms
+
+
+def test_comparison_on_persistent_runtime_shares_one_pool():
+    """Both series of a comparison run on one warm EngineRuntime pool."""
+    from repro.service import EngineRuntime
+
+    serial = run_comparison(_config(), max_workers=1)
+    with EngineRuntime(backend="thread", max_workers=2) as runtime:
+        warm = run_comparison(_config(), runtime=runtime)
+        assert runtime.pools_created == 1  # new + old series, one construction
+        assert runtime.stats().jobs_completed == 6  # 3 sizes x 2 algorithms
+    assert [p.makespan for p in serial.new_series.points] == [
+        p.makespan for p in warm.new_series.points
+    ]
+    assert [p.makespan for p in serial.old_series.points] == [
+        p.makespan for p in warm.old_series.points
+    ]

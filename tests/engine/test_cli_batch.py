@@ -101,6 +101,23 @@ def test_batch_partial_failure_reports_completed_work(tmp_path, problem_files, c
     assert len(load_batch_results(out)) == 2  # completed schedules still written
 
 
+def test_batch_progress_reports_elapsed_and_eta(tmp_path, problem_files, capsys):
+    """Satellite: `repro batch` surfaces ETA from ProgressEvent like `repro search`."""
+    code = main(["batch", *map(str, problem_files), "--workers", "1"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "elapsed" in err  # progress line carries timing, not just raw counts
+    assert "[3/3]" in err  # ... and still the raw counts
+    # the ETA fragment appears on intermediate updates (not the final one)
+    assert ", eta ~" in err
+
+
+def test_batch_quiet_suppresses_progress(tmp_path, problem_files, capsys):
+    code = main(["batch", *map(str, problem_files), "--workers", "1", "--quiet"])
+    assert code == 0
+    assert "elapsed" not in capsys.readouterr().err
+
+
 def test_batch_uses_selected_algorithm(tmp_path, problem_files, capsys):
     code = main(
         ["batch", str(problem_files[0]), "--workers", "1", "--quiet",

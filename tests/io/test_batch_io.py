@@ -28,6 +28,39 @@ def test_batch_json_round_trip(tmp_path, schedules):
         assert one.to_dict() == two.to_dict()
 
 
+def test_batch_dict_round_trip_without_files(schedules):
+    """The in-memory document helpers (the service wire format) round-trip."""
+    from repro.io import batch_results_from_dict, batch_results_to_dict
+
+    document = batch_results_to_dict(schedules)
+    assert document["format"] == "repro-batch"
+    assert document["count"] == 3
+    restored = batch_results_from_dict(document)
+    assert [one.to_dict() for one in schedules] == [two.to_dict() for two in restored]
+
+
+def test_batch_dict_preserves_null_records(schedules):
+    """Service /batch partial-failure responses carry null at failed positions."""
+    from repro.io import batch_results_from_dict, batch_results_to_dict
+
+    document = batch_results_to_dict(schedules)
+    document["schedules"][1] = None
+    restored = batch_results_from_dict(document)
+    assert restored[0] is not None
+    assert restored[1] is None
+    assert restored[2] is not None
+
+
+def test_batch_dict_rejects_foreign_documents():
+    from repro.errors import SerializationError as SerializationError_
+    from repro.io import batch_results_from_dict
+
+    with pytest.raises(SerializationError_):
+        batch_results_from_dict({"format": "something-else"})
+    with pytest.raises(SerializationError_):
+        batch_results_from_dict([1, 2, 3])
+
+
 def test_load_batch_rejects_other_documents(tmp_path):
     path = tmp_path / "bogus.json"
     path.write_text('{"format": "something-else"}', encoding="utf-8")

@@ -1,0 +1,69 @@
+"""Tests for the ``repro serve`` CLI subcommand.
+
+The full-stack path — a real subprocess bound to an ephemeral port, driven
+over real HTTP by the :class:`ServiceClient` — runs through
+``scripts/serve_smoke.py``, the same entry point the CI smoke job uses.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SMOKE = REPO_ROOT / "scripts" / "serve_smoke.py"
+
+
+class TestArguments:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8517
+        assert args.backend == "process"
+        assert args.workers is None
+        assert args.recycle_after is None
+        assert args.max_pending == 1024
+
+    def test_serve_custom_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--backend", "thread",
+                "--workers", "4",
+                "--cache-dir", "/tmp/cache",
+                "--recycle-after", "100",
+                "--algorithm", "fixedpoint",
+                "--verbose",
+            ]
+        )
+        assert args.port == 0
+        assert args.backend == "thread"
+        assert args.workers == 4
+        assert args.recycle_after == 100
+        assert args.algorithm == "fixedpoint"
+        assert args.verbose
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "quantum"])
+
+
+class TestSmoke:
+    def test_serve_smoke_script_passes(self):
+        """Boot the real CLI in a subprocess and exercise the whole API."""
+        result = subprocess.run(
+            [sys.executable, str(SMOKE), "--backend", "inline"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=str(REPO_ROOT),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "SMOKE PASSED" in result.stdout

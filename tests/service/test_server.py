@@ -1,0 +1,215 @@
+"""Tests for the :mod:`repro.service` HTTP API server and client.
+
+Acceptance criterion of the service PR: a server round-trip through
+:class:`ServiceClient` reproduces the in-process :func:`repro.analyze_many`
+results **byte-for-byte** on the JSON report (proven through a shared
+persistent cache directory, which is exactly what makes the service a
+drop-in for local analysis).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import analyze, analyze_many
+from repro.analysis import memory_sensitivity, minimal_horizon
+from repro.core.analyzer import register_algorithm
+from repro.errors import BatchExecutionError, ServiceError
+from repro.generators import fixed_ls_workload
+from repro.service import AnalysisServer, EngineRuntime, ServiceClient
+
+
+def _sweep(count: int):
+    return [
+        fixed_ls_workload(16, 4, core_count=4, seed=seed).to_problem() for seed in range(count)
+    ]
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running server (inline runtime, ephemeral port) and its client."""
+    runtime = EngineRuntime(backend="inline", cache=tmp_path / "cache")
+    server = AnalysisServer(runtime, port=0).start()
+    client = ServiceClient(server.url, timeout=30)
+    yield server, client, runtime
+    server.close()
+    runtime.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        _, client, _ = service
+        document = client.healthz()
+        assert document["status"] == "ok"
+        assert document["service"] == "repro"
+
+    def test_analyze_round_trip(self, service):
+        _, client, _ = service
+        problem = _sweep(1)[0]
+        remote = client.analyze(problem)
+        local = analyze(problem)
+        assert remote.to_dict()["entries"] == local.to_dict()["entries"]
+        assert remote.makespan == local.makespan
+        assert remote.problem_name == problem.name
+
+    def test_batch_round_trip_preserves_order(self, service):
+        _, client, _ = service
+        problems = _sweep(3)
+        remote = client.analyze_many(problems)
+        local = analyze_many(problems, max_workers=1)
+        assert [r.to_dict()["entries"] for r in remote] == [
+            l.to_dict()["entries"] for l in local
+        ]
+
+    def test_search_memory_matches_local(self, service):
+        _, client, _ = service
+        problem = _sweep(1)[0]
+        horizon = int(minimal_horizon(problem) * 1.2)
+        document = client.search(
+            problem, kind="memory", horizon=horizon, max_factor=8.0, tolerance=0.25
+        )
+        local = memory_sensitivity(
+            problem.with_horizon(horizon), max_factor=8.0, tolerance=0.25
+        )
+        assert document["kind"] == "memory"
+        assert document["breaking_factor"] == local.breaking_factor
+        assert document["probes"] == [[factor, ok] for factor, ok in local.probes]
+
+    def test_search_minimal_horizon(self, service):
+        _, client, _ = service
+        problem = _sweep(1)[0]
+        document = client.search(problem, kind="horizon")
+        assert document["minimal_horizon"] == minimal_horizon(problem)
+
+    def test_stats_reflect_served_traffic(self, service):
+        _, client, runtime = service
+        problems = _sweep(2)
+        client.analyze_many(problems)
+        stats = client.stats()
+        assert stats["server"]["requests"] >= 1
+        assert stats["queue"]["submitted"] == 2
+        assert stats["queue"]["completed"] == 2
+        assert stats["runtime"]["jobs_completed"] == 2
+        assert stats["runtime"]["backend"] == "inline"
+        assert stats["runtime"]["cache"]["misses"] == 2
+
+
+class TestByteForByteAcceptance:
+    def test_service_reproduces_in_process_batch_json_exactly(self, tmp_path):
+        """The acceptance criterion: shared cache, identical JSON report."""
+        problems = _sweep(3)
+        cache_dir = tmp_path / "shared-cache"
+        local = analyze_many(problems, max_workers=1, cache=cache_dir)
+        runtime = EngineRuntime(backend="inline", cache=cache_dir)
+        server = AnalysisServer(runtime, port=0).start()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            remote = client.analyze_many(problems)
+        finally:
+            server.close()
+            runtime.close()
+        local_json = json.dumps([s.to_dict() for s in local], sort_keys=True)
+        remote_json = json.dumps([s.to_dict() for s in remote], sort_keys=True)
+        assert remote_json == local_json  # byte-for-byte, stats included
+        # and the service did it without a single analyzer invocation
+        assert runtime.stats().jobs_run == 0
+
+
+class TestErrors:
+    def test_unknown_endpoint_404(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+        assert info.value.code == 404
+
+    def test_wrong_method_405(self, service):
+        server, _, _ = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{server.url}/analyze", timeout=10)  # GET on POST
+        assert info.value.code == 405
+
+    def test_bad_json_400(self, service):
+        server, _, _ = service
+        request = urllib.request.Request(
+            f"{server.url}/analyze", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_missing_problem_400_with_message(self, service):
+        _, client, _ = service
+        with pytest.raises(ServiceError, match="problem"):
+            client._request("POST", "/analyze", {"algorithm": "incremental"})
+
+    def test_sensitivity_without_horizon_400(self, service):
+        _, client, _ = service
+        with pytest.raises(ServiceError, match="horizon"):
+            client.search(_sweep(1)[0], kind="memory")
+
+    def test_unknown_search_kind_400(self, service):
+        _, client, _ = service
+        with pytest.raises(ServiceError, match="kind"):
+            client.search(_sweep(1)[0], kind="sideways")
+
+    def test_failing_algorithm_422(self, service):
+        def _fail(problem):
+            raise ValueError("server-side boom")
+
+        register_algorithm("svc-server-fail", _fail, overwrite=True)
+        _, client, _ = service
+        with pytest.raises(ServiceError, match="boom"):
+            client.analyze(_sweep(1)[0], algorithm="svc-server-fail")
+
+    def test_batch_partial_failure_preserves_results(self, service):
+        def _fragile(problem):
+            if problem.horizon is not None:
+                raise ValueError("rejected by fragile")
+            return analyze(problem)
+
+        register_algorithm("svc-server-fragile", _fragile, overwrite=True)
+        _, client, _ = service
+        problems = _sweep(3)
+        problems[1] = problems[1].with_horizon(10_000_000)
+        with pytest.raises(BatchExecutionError) as info:
+            client.analyze_many(problems, algorithm="svc-server-fragile")
+        assert sorted(info.value.failures) == [1]
+        assert info.value.results[0] is not None
+        assert info.value.results[1] is None
+        assert info.value.results[2] is not None
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)  # discard port
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_invalid_base_url_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceClient("ftp://example.com")
+
+
+class TestServerLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        server = AnalysisServer(port=0).start()
+        url = server.url
+        ServiceClient(url, timeout=10).healthz()
+        server.close()
+        server.close()
+        with pytest.raises(ServiceError):
+            ServiceClient(url, timeout=0.5).healthz()
+
+    def test_server_owns_default_runtime(self):
+        server = AnalysisServer(port=0)
+        assert server.runtime is not None
+        server.close()
+        assert server.runtime.closed
+
+    def test_shared_runtime_not_closed_by_server(self):
+        with EngineRuntime(backend="inline") as runtime:
+            server = AnalysisServer(runtime, port=0)
+            server.close()
+            assert not runtime.closed
