@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Keep the docs honest: link-check the markdown pages and run their snippets.
+
+Two passes over ``README.md`` and every ``docs/*.md`` page:
+
+1. **link check** — every relative markdown link target must exist in the
+   repository (anchors are stripped; ``http(s)`` links are skipped so the
+   check stays offline-deterministic);
+2. **snippet run** — every fenced ```python`` block of the ``docs/`` pages
+   is executed in its own namespace, in file order.  The docs recipes are
+   written to be self-contained and assert their own claims, so a drifted
+   API or a wrong claim fails CI instead of rotting on the page.  README
+   snippets are illustrative fragments and only get the link check.
+
+Used by the CI ``docs`` job::
+
+    PYTHONPATH=src python scripts/docs_check.py
+
+Exits 0 when every link resolves and every snippet runs, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: inline markdown links: [text](target); images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced python blocks; the fence info string must be exactly "python"
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def pages() -> List[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def check_links(page: Path) -> List[str]:
+    """Relative link targets of ``page`` that do not exist on disk."""
+    errors: List[str] = []
+    for match in _LINK.finditer(page.read_text(encoding="utf-8")):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (page.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{page.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def extract_snippets(page: Path) -> List[Tuple[int, str]]:
+    """(1-based start line, source) of every ```python block on the page."""
+    text = page.read_text(encoding="utf-8")
+    snippets: List[Tuple[int, str]] = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 2  # +1 fence, +1 one-based
+        snippets.append((line, match.group(1)))
+    return snippets
+
+
+def run_snippets(page: Path) -> List[str]:
+    """Execute every python snippet of ``page``; returns failure messages."""
+    errors: List[str] = []
+    relative = page.relative_to(REPO_ROOT)
+    for line, source in extract_snippets(page):
+        label = f"{relative}:{line}"
+        started = time.perf_counter()
+        try:
+            code = compile(source, f"<{label}>", "exec")
+            exec(code, {"__name__": f"docs_snippet_{page.stem}_{line}"})  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - reported per snippet
+            errors.append(f"{label}: {type(exc).__name__}: {exc}")
+            print(f"  FAIL {label}: {type(exc).__name__}: {exc}", flush=True)
+        else:
+            print(f"  ok   {label} ({time.perf_counter() - started:.2f}s)", flush=True)
+    return errors
+
+
+def main() -> int:
+    failures: List[str] = []
+    for page in pages():
+        if not page.exists():
+            failures.append(f"missing page: {page.relative_to(REPO_ROOT)}")
+            continue
+        print(f"{page.relative_to(REPO_ROOT)}:", flush=True)
+        link_errors = check_links(page)
+        for error in link_errors:
+            print(f"  FAIL {error}", flush=True)
+        count = len(_LINK.findall(page.read_text(encoding="utf-8")))
+        print(f"  ok   {count} link(s) scanned, {len(link_errors)} broken", flush=True)
+        failures.extend(link_errors)
+        if page.parent.name == "docs":
+            failures.extend(run_snippets(page))
+    if failures:
+        print(f"\nDOCS CHECK FAILED ({len(failures)} problem(s))", flush=True)
+        return 1
+    print("\nDOCS CHECK PASSED", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,17 @@ def main() -> int:
         assert search["minimal_horizon"] == minimal_horizon(problems[0]), search
         print(f"search ok (minimal horizon {search['minimal_horizon']})", flush=True)
 
+        metrics = client.metrics()
+        assert "# TYPE repro_runtime_jobs_completed_total counter" in metrics, metrics
+        assert "repro_service_info{" in metrics, metrics
+        completed = [
+            line
+            for line in metrics.splitlines()
+            if line.startswith("repro_runtime_jobs_completed_total ")
+        ]
+        assert completed and int(completed[0].split()[1]) >= 1, metrics
+        print(f"metrics ok ({len(metrics.splitlines())} lines, {completed[0]})", flush=True)
+
         stats = client.stats()
         assert stats["queue"]["submitted"] >= 4, stats
         assert stats["runtime"]["backend"] == args.backend, stats

@@ -7,6 +7,7 @@ Sub-commands
 ``batch``      analyse many problem files through the parallel, cached batch engine
 ``search``     design-space search (sensitivity / minimal horizon) with batched probes
 ``serve``      boot the persistent analysis service (warm pool + HTTP JSON API)
+``cluster``    probe a fleet of analysis servers and report health/telemetry
 ``compare``    run both algorithms on a problem file and compare their schedules
 ``figure3``    reproduce one or all panels of Figure 3 of the paper
 ``headline``   reproduce the headline speedup table of Section V
@@ -52,7 +53,13 @@ from ..io import (
     write_batch_csv,
     write_schedule_csv,
 )
-from ..service import BACKENDS, AnalysisServer, EngineRuntime
+from ..service import (
+    BACKENDS,
+    AnalysisServer,
+    ClusterDispatcher,
+    EngineRuntime,
+    normalize_endpoint,
+)
 from ..viz import analysis_report, format_table
 
 __all__ = ["main", "build_parser"]
@@ -87,7 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--no-gantt", action="store_true", help="omit the ASCII Gantt chart")
 
     batch = subparsers.add_parser(
-        "batch", help="analyse many problem files in parallel with result caching"
+        "batch",
+        help="analyse many problem files in parallel with result caching",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # local: one worker per CPU, persistent cache, JSON + CSV reports\n"
+            "  repro-rta batch p*.json --workers 8 --cache-dir .repro-cache \\\n"
+            "            --output batch.json --csv batch.csv\n"
+            "  # distributed: fan out across a fleet of `repro-rta serve` hosts\n"
+            "  repro-rta batch p*.json --endpoints hostA:8517,hostB:8517\n"
+            "\n"
+            "Results are bit-identical to the serial path regardless of worker\n"
+            "count or endpoints; a warm cache serves repeats without analysis.\n"
+            "Exit codes: 0 all schedulable, 1 some job failed, 2 some problem\n"
+            "is unschedulable.  See docs/cookbook.md and docs/deployment.md."
+        ),
     )
     batch.add_argument("problems", nargs="+", help="problem JSON files")
     batch.add_argument("--algorithm", default="incremental", choices=available_algorithms())
@@ -98,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
     )
     batch.add_argument("--chunksize", type=int, default=None, help="jobs per worker chunk")
+    batch.add_argument(
+        "--endpoints",
+        action="append",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="fan the batch out across these repro-rta serve endpoints "
+        "(repeatable/comma-separated; conflicts with --workers)",
+    )
+    batch.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="in-flight jobs per endpoint when --endpoints is used (default: 4)",
+    )
     batch.add_argument("--output", help="write all schedules as one JSON batch document")
     batch.add_argument("--csv", help="write a one-row-per-problem CSV summary")
     batch.add_argument("--quiet", action="store_true", help="suppress per-chunk progress")
@@ -105,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
     search = subparsers.add_parser(
         "search",
         help="design-space search: sensitivity or minimal horizon with batched probes",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # largest memory-demand scaling that still meets the deadline\n"
+            "  repro-rta search p1.json --kind memory --horizon 30000 --workers 8\n"
+            "  # WCET headroom; smallest feasible horizon\n"
+            "  repro-rta search p1.json --kind wcet --horizon 30000\n"
+            "  repro-rta search p1.json --kind horizon\n"
+            "  # probe generations across a fleet of `repro-rta serve` hosts\n"
+            "  repro-rta search p1.json --kind memory --horizon 30000 \\\n"
+            "            --endpoints hostA:8517,hostB:8517\n"
+            "\n"
+            "The probe trace (and therefore the verdict) is bit-identical to the\n"
+            "serial search for every worker count, speculation depth and fleet.\n"
+            "Exit codes: 0 ok, 1 error, 2 baseline already infeasible.\n"
+            "See docs/cookbook.md for recipes."
+        ),
     )
     search.add_argument("problem", help="problem JSON file")
     search.add_argument(
@@ -135,11 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--cache-dir", help="persistent result-cache directory (default: in-memory only)"
     )
+    search.add_argument(
+        "--endpoints",
+        action="append",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="evaluate probe generations across these repro-rta serve endpoints "
+        "(repeatable/comma-separated; conflicts with --workers and --serial)",
+    )
     search.add_argument("--output", help="write the search result as JSON")
     search.add_argument("--quiet", action="store_true", help="suppress per-generation progress")
 
     serve = subparsers.add_parser(
-        "serve", help="boot the persistent analysis service (warm pool + HTTP JSON API)"
+        "serve",
+        help="boot the persistent analysis service (warm pool + HTTP JSON API)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # one server: warm pool, persistent cache, JSON API on :8517\n"
+            "  repro-rta serve --port 8517 --workers 8 --cache-dir ~/.cache/repro\n"
+            "  # fleet member for `repro-rta batch/search --endpoints` clients\n"
+            "  repro-rta serve --host 0.0.0.0 --port 8517 --recycle-after 10000\n"
+            "\n"
+            "Endpoints: POST /analyze /batch /search, GET /stats /metrics\n"
+            "(Prometheus text format) /healthz.  `--port 0` binds an ephemeral\n"
+            "port and prints it as `serving on http://host:port` (machine-\n"
+            "readable, used by the smoke scripts).  See docs/deployment.md."
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -166,6 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="probe a fleet of analysis servers and report health/telemetry",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro-rta cluster --endpoints hostA:8517,hostB:8517\n"
+            "\n"
+            "Probes every endpoint's /healthz and /stats and prints one row per\n"
+            "server.  Exit code 1 when any endpoint is down — usable as a\n"
+            "pre-flight check before `repro-rta batch --endpoints ...`."
+        ),
+    )
+    cluster.add_argument(
+        "--endpoints",
+        action="append",
+        required=True,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="repro-rta serve endpoints to probe (repeatable/comma-separated)",
+    )
+    cluster.add_argument(
+        "--timeout", type=float, default=5.0, help="per-probe timeout in seconds"
+    )
+
     compare = subparsers.add_parser("compare", help="run both algorithms and compare")
     compare.add_argument("problem", help="problem JSON file")
 
@@ -190,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("info", help="list algorithms and arbiters")
     return parser
+
+
+def _parse_endpoints(values: Optional[List[str]]) -> List[str]:
+    """Flatten repeated/comma-separated ``--endpoints`` values to base URLs."""
+    endpoints: List[str] = []
+    for value in values or []:
+        for part in value.split(","):
+            part = part.strip()
+            if part:
+                endpoints.append(normalize_endpoint(part))
+    return endpoints
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -242,12 +350,47 @@ def _command_batch(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    analyzer = BatchAnalyzer(
-        args.algorithm,
-        max_workers=args.workers,
-        cache=args.cache_dir,
-        chunksize=args.chunksize,
+    endpoints = _parse_endpoints(args.endpoints)
+    if endpoints and args.workers is not None:
+        print(
+            "error: --endpoints and --workers conflict "
+            "(a distributed batch is sized by the fleet's --max-in-flight windows)",
+            file=sys.stderr,
+        )
+        return 1
+    if endpoints and args.chunksize is not None:
+        print(
+            "error: --chunksize tunes the local worker pool and has no effect "
+            "with --endpoints (remote dispatch is per-job)",
+            file=sys.stderr,
+        )
+        return 1
+    if not endpoints and args.max_in_flight is not None:
+        print(
+            "error: --max-in-flight sizes per-endpoint windows and needs --endpoints",
+            file=sys.stderr,
+        )
+        return 1
+    runtime = (
+        EngineRuntime(
+            backend="remote",
+            endpoints=endpoints,
+            max_in_flight=4 if args.max_in_flight is None else args.max_in_flight,
+            cache=args.cache_dir,
+        )
+        if endpoints
+        else None
     )
+    if runtime is not None:
+        # the analyzer inherits the remote runtime's cache (args.cache_dir)
+        analyzer = BatchAnalyzer(args.algorithm, runtime=runtime)
+    else:
+        analyzer = BatchAnalyzer(
+            args.algorithm,
+            max_workers=args.workers,
+            cache=args.cache_dir,
+            chunksize=args.chunksize,
+        )
     failures = {}
     report = None
     results_cached = False
@@ -259,6 +402,9 @@ def _command_batch(args: argparse.Namespace) -> int:
         schedules = [schedule for schedule in exc.results if schedule is not None]
         failures = exc.failures
         results_cached = exc.results_cached
+    finally:
+        if runtime is not None:
+            runtime.close()
     if not args.quiet:
         print(file=sys.stderr)
     rows = [
@@ -330,13 +476,23 @@ def _command_search(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    endpoints = _parse_endpoints(args.endpoints)
+    if endpoints and (args.serial or args.workers is not None):
+        print(
+            "error: --endpoints conflicts with --serial and --workers "
+            "(probe generations run on the fleet)",
+            file=sys.stderr,
+        )
+        return 1
     # batched searches run on a persistent runtime: every generation reuses
-    # one warm pool instead of paying pool startup per 2–3-probe round
-    runtime = (
-        None
-        if args.serial
-        else EngineRuntime(max_workers=args.workers, cache=args.cache_dir)
-    )
+    # one warm pool instead of paying pool startup per 2–3-probe round —
+    # or, with --endpoints, fans out across the server fleet
+    if args.serial:
+        runtime = None
+    elif endpoints:
+        runtime = EngineRuntime(backend="remote", endpoints=endpoints, cache=args.cache_dir)
+    else:
+        runtime = EngineRuntime(max_workers=args.workers, cache=args.cache_dir)
     driver = SearchDriver(
         args.algorithm,
         batch=not args.serial,
@@ -430,6 +586,53 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cluster(args: argparse.Namespace) -> int:
+    endpoints = _parse_endpoints(args.endpoints)
+    if not endpoints:
+        print("error: --endpoints carries no endpoint", file=sys.stderr)
+        return 1
+    dispatcher = ClusterDispatcher(endpoints, probe_timeout=args.timeout, timeout=args.timeout)
+    try:
+        records = dispatcher.probe()
+    finally:
+        dispatcher.close()
+    rows = []
+    for record in records:
+        stats = record.get("stats") or {}
+        runtime_stats = stats.get("runtime") or {}
+        queue_stats = stats.get("queue") or {}
+        cache = runtime_stats.get("cache") or {}
+        latency = record.get("latency_ewma_seconds")
+        rows.append(
+            [
+                record["url"],
+                "up" if record["healthy"] else "DOWN",
+                str(runtime_stats.get("backend", "-")),
+                str(runtime_stats.get("workers", "-")),
+                str(runtime_stats.get("jobs_run", "-")),
+                f"{latency * 1000:.1f}" if latency is not None else "-",
+                str(queue_stats.get("pending", "-")),
+                str(
+                    cache.get("memory_hits", 0) + cache.get("disk_hits", 0)
+                    if cache
+                    else "-"
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["endpoint", "health", "backend", "workers", "jobs", "latency(ms)", "queued", "cache-hits"],
+            rows,
+        )
+    )
+    down = [record["url"] for record in records if not record["healthy"]]
+    if down:
+        print(f"\n{len(down)} of {len(records)} endpoint(s) DOWN: {', '.join(down)}")
+        return 1
+    print(f"\nall {len(records)} endpoint(s) healthy")
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
     incremental = analyze(problem, "incremental")
@@ -476,6 +679,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "search": _command_search,
     "serve": _command_serve,
+    "cluster": _command_cluster,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "headline": _command_headline,

@@ -66,15 +66,27 @@ class BatchReport:
 class BatchAnalyzer:
     """Reusable batch front end bound to one algorithm, pool size and cache.
 
-    ``cache`` may be a :class:`ResultCache`, a directory path (a persistent
-    cache is created there), or ``None`` for a fresh memory-only cache.
+    :param algorithm: registry name of the analysis algorithm every job runs.
+    :param max_workers: process-pool size for cache misses; ``None`` uses one
+        worker per CPU, ``1`` runs strictly serially (no pool).  Must not be
+        combined with ``runtime``.
+    :param cache: a :class:`ResultCache`, a directory path (a persistent
+        cache is created there), or ``None`` for a fresh memory-only cache.
+    :param chunksize: jobs per worker chunk; ``None`` picks one that gives
+        each worker a few chunks.
+    :param runtime: binds the analyzer to a persistent
+        :class:`repro.service.EngineRuntime` instead of the per-call process
+        pool: cache misses then execute on the runtime's warm workers (zero
+        pool constructions per batch) — or, with a
+        ``EngineRuntime(backend="remote", endpoints=[...])`` runtime, fan out
+        across a whole server fleet — and, unless an explicit ``cache`` is
+        given, the runtime's shared result cache is used.  Worker count and
+        pool backend are the runtime's.
+    :raises EngineError: when ``max_workers`` is passed alongside ``runtime``.
 
-    ``runtime`` binds the analyzer to a persistent
-    :class:`repro.service.EngineRuntime` instead of the per-call process pool:
-    cache misses then execute on the runtime's warm workers (zero pool
-    constructions per batch) and, unless an explicit ``cache`` is given, the
-    runtime's shared result cache is used.  Worker count and pool backend are
-    the runtime's — passing ``max_workers`` alongside ``runtime`` is an error.
+    :meth:`run` returns a :class:`BatchReport` and raises
+    :class:`~repro.errors.BatchExecutionError` on partial failure (completed
+    schedules preserved and cached) — identical schedules on every backend.
     """
 
     def __init__(
@@ -250,13 +262,27 @@ def analyze_many(
         from repro import analyze_many
         schedules = analyze_many(problems, max_workers=8, cache="~/.cache/repro")
 
-    ``max_workers=None`` uses one worker per CPU; ``max_workers=1`` is a
-    strictly serial fallback.  ``cache`` accepts a directory path for a
-    persistent cache shared across runs.  ``runtime`` executes the batch on a
-    persistent :class:`repro.service.EngineRuntime` (warm pool, shared cache)
-    instead of a per-call pool.  Results are independent of the worker count
-    and pool lifetime — every path produces schedules identical to the serial
-    one.
+    :param problems: the problems to analyse (consumed once; order defines
+        the order of the returned schedules).
+    :param algorithm: registry name of the analysis algorithm.
+    :param max_workers: pool size; ``None`` uses one worker per CPU,
+        ``1`` is a strictly serial fallback.  Not combinable with ``runtime``.
+    :param cache: :class:`~repro.engine.ResultCache` or directory path for a
+        persistent cache shared across runs; ``None`` = fresh memory cache.
+    :param chunksize: jobs per worker chunk (``None`` = automatic).
+    :param progress: streamed :class:`~repro.engine.ProgressEvent` callback.
+    :param runtime: execute on a persistent
+        :class:`repro.service.EngineRuntime` (warm pool, shared cache) —
+        including a ``remote`` one, which distributes the batch across
+        ``repro-rta serve`` endpoints — instead of a per-call pool.
+    :raises BatchExecutionError: when some jobs failed; completed schedules
+        are preserved on ``results`` (and cached) with messages per
+        submission index on ``failures``.
+    :raises ServiceError: (remote runtime only) when every cluster endpoint
+        became unreachable.
+
+    Results are independent of the worker count, pool lifetime and placement
+    — every path produces schedules identical to the serial one.
     """
     analyzer = BatchAnalyzer(
         algorithm, max_workers=max_workers, cache=cache, chunksize=chunksize, runtime=runtime

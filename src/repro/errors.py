@@ -132,7 +132,19 @@ class ServiceError(ReproError):
     Raised e.g. when submitting work to a closed :class:`repro.service`
     runtime/queue, or when a :class:`~repro.service.ServiceClient` cannot
     reach the server or receives an error response from it.
+
+    ``status`` carries the HTTP status code when the error originated from an
+    HTTP error response, and is ``None`` for transport/protocol failures (the
+    endpoint unreachable, invalid JSON, ...).  The distinction is what the
+    :class:`~repro.service.ClusterDispatcher` uses to tell *job* errors
+    (4xx: the request itself is bad, retrying elsewhere cannot help) from
+    *endpoint* errors (no status / 5xx: the endpoint is unhealthy, the job
+    should fail over to another one).
     """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = None if status is None else int(status)
 
 
 class QueueFullError(ServiceError):

@@ -21,6 +21,7 @@ the server's own message whenever one is available.
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
@@ -36,8 +37,16 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """Client for one :class:`~repro.service.AnalysisServer` base URL.
 
-    ``timeout`` bounds every HTTP round trip (seconds).  The client is
-    stateless and thread-safe; one instance can be shared across threads.
+    The client is stateless and thread-safe; one instance can be shared
+    across threads.  It is also the transport the
+    :class:`~repro.service.ClusterDispatcher` uses to fan batches out across
+    a fleet of servers.
+
+    :param base_url: server base URL, e.g. ``http://127.0.0.1:8517`` (no
+        trailing path; ``https`` works if the server is behind a TLS proxy).
+    :param timeout: bound, in seconds, on every HTTP round trip.  Applies
+        per request, not per batch: ``analyze_many`` performs one request.
+    :raises ServiceError: if ``base_url`` is not an http(s) URL.
     """
 
     def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
@@ -51,9 +60,15 @@ class ServiceClient:
     # transport
     # ------------------------------------------------------------------
 
-    def _request(
+    def _raw_request(
         self, method: str, path: str, document: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+    ) -> bytes:
+        """One HTTP round trip; returns the raw response body.
+
+        Raises :class:`~repro.errors.ServiceError` with ``status`` set to the
+        HTTP code for error responses, and with ``status=None`` for transport
+        failures (connection refused, timeout, DNS...).
+        """
         url = f"{self.base_url}{path}"
         data = None if document is None else json.dumps(document).encode("utf-8")
         request = urllib.request.Request(
@@ -61,7 +76,7 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                payload = response.read()
+                return response.read()
         except urllib.error.HTTPError as exc:
             message = f"HTTP {exc.code}"
             try:
@@ -70,9 +85,25 @@ class ServiceClient:
                     message = f"{message}: {body['error']}"
             except Exception:  # noqa: BLE001 - error body is best-effort
                 pass
-            raise ServiceError(f"analysis service rejected {method} {path} ({message})") from exc
+            raise ServiceError(
+                f"analysis service rejected {method} {path} ({message})", status=exc.code
+            ) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach analysis service at {url}: {exc.reason}") from exc
+        except http.client.HTTPException as exc:
+            # response-phase protocol failures (BadStatusLine, IncompleteRead,
+            # RemoteDisconnected...) are transport errors too: urllib only
+            # wraps the *request* phase in URLError
+            raise ServiceError(
+                f"malformed HTTP response from {url}: {type(exc).__name__}: {exc}"
+            ) from exc
+        except OSError as exc:  # e.g. a connection reset halfway through the body
+            raise ServiceError(f"connection to {url} failed: {exc}") from exc
+
+    def _request(
+        self, method: str, path: str, document: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        payload = self._raw_request(method, path, document)
         try:
             parsed = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -99,8 +130,27 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def stats(self) -> Dict[str, Any]:
-        """Runtime/queue/server telemetry snapshot of the service."""
+        """Runtime/queue/server telemetry snapshot of the service.
+
+        The ``runtime`` section mirrors :class:`~repro.service.RuntimeStats`
+        (including ``latency_ewma_seconds``, which the cluster dispatcher uses
+        to weight its routing), ``queue`` mirrors
+        :class:`~repro.service.QueueStats`, and ``server`` carries the request
+        counter and version.
+        """
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """Prometheus text-format rendering of the service telemetry.
+
+        The raw body of ``GET /metrics`` — the same counters :meth:`stats`
+        returns as JSON, in the text exposition format scrapers expect.
+        """
+        payload = self._raw_request("GET", "/metrics")
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"analysis service returned invalid metrics text: {exc}") from exc
 
     def analyze(
         self,
@@ -109,7 +159,19 @@ class ServiceClient:
         algorithm: Optional[str] = None,
         priority: int = 0,
     ) -> Schedule:
-        """Analyse one problem remotely; returns its :class:`Schedule`."""
+        """Analyse one problem remotely; returns its :class:`Schedule`.
+
+        :param problem: the problem to analyse; travels as a ``repro-problem``
+            JSON document, so only the arbiter's registry *name* crosses the
+            wire (custom arbiter parameterizations do not).
+        :param algorithm: analysis algorithm name; ``None`` uses the server's
+            default.  The name must resolve in the *server's* registry.
+        :param priority: queue priority — higher values drain first when the
+            server's queue backs up behind a running batch.
+        :raises ServiceError: on transport failures or error responses
+            (``status`` carries the HTTP code when there is one).
+        :raises SerializationError: if the response schedule is malformed.
+        """
         document: Dict[str, Any] = {"problem": problem_to_dict(problem), "priority": priority}
         if algorithm is not None:
             document["algorithm"] = algorithm
@@ -128,6 +190,16 @@ class ServiceClient:
         Matches :func:`repro.analyze_many` semantics, including partial
         failure: completed schedules are preserved on the raised
         :class:`~repro.errors.BatchExecutionError`.
+
+        :param problems: problems to analyse; the whole batch travels as one
+            ``POST /batch`` request (one timeout window covers all of it).
+        :param algorithm: analysis algorithm name; ``None`` uses the server's
+            default.
+        :param priority: queue priority shared by every job of the batch.
+        :raises BatchExecutionError: when some jobs failed on the server —
+            ``results`` holds the completed schedules (``None`` at failed
+            positions) and ``failures`` maps submission indices to messages.
+        :raises ServiceError: on transport failures or error responses.
         """
         problems = list(problems)
         document: Dict[str, Any] = {

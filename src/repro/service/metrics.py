@@ -1,0 +1,123 @@
+"""Prometheus text-format rendering of the service telemetry.
+
+:func:`render_prometheus_metrics` turns the JSON document served by
+``GET /stats`` (runtime, queue and server sections) into the Prometheus text
+exposition format, so a standard scraper pointed at ``GET /metrics`` sees the
+same counters operators already read as JSON — no client library, no extra
+dependency, just deterministic text.
+
+Naming follows the Prometheus conventions: monotonically increasing values
+get a ``_total`` suffix and ``counter`` type, point-in-time values are
+``gauge``\\ s, and static metadata rides on the ``repro_service_info`` info
+metric's labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["METRICS_CONTENT_TYPE", "render_prometheus_metrics"]
+
+#: content type of the text exposition format (version 0.0.4 is the text one)
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: (stats-section key, metric name, type, help) for every numeric series
+_SERIES: Tuple[Tuple[str, str, str, str, str], ...] = (
+    # runtime
+    ("runtime", "workers", "repro_runtime_workers", "gauge", "Configured worker count (remote: fleet in-flight capacity)"),
+    ("runtime", "pools_created", "repro_runtime_pools_created_total", "counter", "Worker pools constructed so far"),
+    ("runtime", "batches", "repro_runtime_batches_total", "counter", "Batches executed through the runtime"),
+    ("runtime", "jobs_completed", "repro_runtime_jobs_completed_total", "counter", "Jobs that completed with a schedule"),
+    ("runtime", "jobs_failed", "repro_runtime_jobs_failed_total", "counter", "Jobs that raised in a worker"),
+    ("runtime", "jobs_since_recycle", "repro_runtime_jobs_since_recycle", "gauge", "Jobs run on the current pool since it was (re)built"),
+    ("runtime", "latency_ewma_seconds", "repro_runtime_latency_ewma_seconds", "gauge", "EWMA of per-job analyzer wall time"),
+    # queue
+    ("queue", "submitted", "repro_queue_submitted_total", "counter", "Jobs submitted to the queue"),
+    ("queue", "completed", "repro_queue_completed_total", "counter", "Queue futures resolved with a schedule"),
+    ("queue", "failed", "repro_queue_failed_total", "counter", "Queue futures resolved with an error"),
+    ("queue", "coalesced", "repro_queue_coalesced_total", "counter", "Submissions coalesced onto identical in-flight content"),
+    ("queue", "cancelled", "repro_queue_cancelled_total", "counter", "Queue futures cancelled before running"),
+    ("queue", "batches", "repro_queue_batches_total", "counter", "Drained dispatch batches"),
+    ("queue", "pending", "repro_queue_pending", "gauge", "Jobs queued but not yet drained"),
+    ("queue", "in_flight", "repro_queue_in_flight", "gauge", "Jobs drained and currently executing"),
+    ("queue", "max_pending", "repro_queue_max_pending", "gauge", "Backpressure bound on queued jobs"),
+    # server
+    ("server", "requests", "repro_server_requests_total", "counter", "HTTP requests received"),
+)
+
+#: cache counters live nested under runtime.cache
+_CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
+    ("memory_hits", "repro_cache_memory_hits_total", "Result-cache hits served from memory"),
+    ("disk_hits", "repro_cache_disk_hits_total", "Result-cache hits served from disk"),
+    ("misses", "repro_cache_misses_total", "Result-cache misses"),
+    ("stores", "repro_cache_stores_total", "Schedules stored into the result cache"),
+    ("corrupt", "repro_cache_corrupt_total", "Corrupt disk cache entries quarantined"),
+)
+
+
+def _format_value(value: Any) -> Optional[str]:
+    if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus_metrics(stats: Dict[str, Any]) -> str:
+    """Render a ``/stats`` document in the Prometheus text exposition format.
+
+    ``stats`` is the dict :meth:`AnalysisServer.handle_stats` produces
+    (``runtime``/``queue``/``server`` sections).  Series whose value is
+    absent or non-numeric (e.g. a ``latency_ewma_seconds`` of ``null`` before
+    the first job) are omitted rather than rendered as ``NaN``.  On a
+    ``remote``-backend runtime, per-endpoint routing state is exported as
+    ``repro_cluster_endpoint_*`` series labelled by endpoint URL.
+    """
+    runtime = stats.get("runtime") or {}
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, help_text: str, samples: List[Tuple[str, Any]]) -> None:
+        rendered = [
+            (labels, text)
+            for labels, value in samples
+            if (text := _format_value(value)) is not None
+        ]
+        if not rendered:
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, text in rendered:
+            lines.append(f"{name}{labels} {text}")
+
+    for section, key, name, kind, help_text in _SERIES:
+        emit(name, kind, help_text, [("", (stats.get(section) or {}).get(key))])
+    cache = runtime.get("cache") or {}
+    for key, name, help_text in _CACHE_SERIES:
+        emit(name, "counter", help_text, [("", cache.get(key))])
+    for key, name, kind, help_text in (
+        ("healthy", "repro_cluster_endpoint_healthy", "gauge", "1 when the endpoint is in rotation, 0 while quarantined"),
+        ("outstanding", "repro_cluster_endpoint_outstanding", "gauge", "Jobs currently in flight on the endpoint"),
+        ("latency_ewma_seconds", "repro_cluster_endpoint_latency_ewma_seconds", "gauge", "Routing latency EWMA of the endpoint"),
+        ("jobs_completed", "repro_cluster_endpoint_jobs_completed_total", "counter", "Jobs the endpoint completed"),
+        ("jobs_failed", "repro_cluster_endpoint_jobs_failed_total", "counter", "Jobs that failed on the endpoint"),
+        ("endpoint_errors", "repro_cluster_endpoint_errors_total", "counter", "Transport/5xx errors observed on the endpoint"),
+    ):
+        samples = []
+        for record in runtime.get("endpoints") or []:
+            value = record.get(key)
+            if key == "healthy" and value is not None:
+                value = int(bool(value))
+            samples.append((f'{{endpoint="{_escape_label(record.get("url"))}"}}', value))
+        emit(name, kind, help_text, samples)
+    server = stats.get("server") or {}
+    info_labels = (
+        f'version="{_escape_label(server.get("version", ""))}",'
+        f'backend="{_escape_label(runtime.get("backend", ""))}",'
+        f'algorithm="{_escape_label(server.get("default_algorithm", ""))}"'
+    )
+    lines.append("# HELP repro_service_info Static service metadata carried as labels")
+    lines.append("# TYPE repro_service_info gauge")
+    lines.append(f"repro_service_info{{{info_labels}}} 1")
+    return "\n".join(lines) + "\n"

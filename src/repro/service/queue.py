@@ -94,11 +94,21 @@ class _Entry:
 class JobQueue:
     """Priority job queue with digest coalescing and bounded backpressure.
 
-    ``runtime`` is the :class:`~repro.service.EngineRuntime` the drained
-    batches execute on (its shared result cache serves repeat content without
-    any analyzer invocation).  ``algorithm`` is the default per-submission
-    algorithm; ``max_pending`` bounds the number of queued (not yet running)
-    jobs; ``max_batch`` caps how many jobs one drain may take (None = all).
+    :param runtime: the :class:`~repro.service.EngineRuntime` the drained
+        batches execute on (its shared result cache serves repeat content
+        without any analyzer invocation).  Any backend works — including
+        ``remote``, making the queue a front door to a whole fleet.
+    :param algorithm: default per-submission algorithm name.
+    :param max_pending: bound on queued (not yet running) jobs; at the bound
+        :meth:`submit` blocks, then raises
+        :class:`~repro.errors.QueueFullError` on timeout.
+    :param max_batch: cap on how many jobs one drain may take (``None`` =
+        everything queued at the wake-up).
+    :param coalesce: attach submissions whose content digest + algorithm
+        match a queued/in-flight job to that job instead of enqueuing new
+        work (each future still resolves to its own relabeled copy).
+    :raises ServiceError: on non-positive bounds, and from :meth:`submit`
+        after :meth:`close`.
     """
 
     def __init__(

@@ -11,8 +11,12 @@ An :class:`EngineRuntime` fixes that by owning **one** pool for its whole
 lifetime:
 
 * pluggable backend — ``process`` (default; true parallelism),
-  ``thread`` (no pickling, useful for GIL-releasing plug-ins and tests) or
-  ``inline`` (no pool at all: strictly serial, deterministic debugging mode);
+  ``thread`` (no pickling, useful for GIL-releasing plug-ins and tests),
+  ``inline`` (no pool at all: strictly serial, deterministic debugging mode)
+  or ``remote`` (no local pool either: jobs fan out across a fleet of
+  :class:`~repro.service.AnalysisServer` endpoints through a
+  :class:`~repro.service.ClusterDispatcher` — cluster-scale analysis behind
+  the same ``run()`` contract);
 * the pool is built lazily on first use and reused by every subsequent batch —
   a warm three-generation search performs **zero** additional pool
   constructions (:attr:`EngineRuntime.pools_created` counts them, which is
@@ -55,11 +59,12 @@ from ..engine.executor import (
 )
 from ..engine.jobs import AnalysisJob
 from ..errors import BatchExecutionError, ServiceError
+from .dispatcher import ClusterDispatcher
 
 __all__ = ["BACKENDS", "RuntimeStats", "EngineRuntime"]
 
 #: supported worker-pool backends
-BACKENDS = ("process", "thread", "inline")
+BACKENDS = ("process", "thread", "inline", "remote")
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,8 @@ class RuntimeStats:
     latency_ewma_seconds: Optional[float]
     #: hit/miss counters of the runtime's shared result cache
     cache: Dict[str, int]
+    #: per-endpoint routing snapshots (``remote`` backend only, else None)
+    endpoints: Optional[List[Dict[str, Any]]] = None
 
     @property
     def jobs_run(self) -> int:
@@ -104,21 +111,45 @@ class RuntimeStats:
             "jobs_since_recycle": self.jobs_since_recycle,
             "latency_ewma_seconds": self.latency_ewma_seconds,
             "cache": dict(self.cache),
+            **(
+                {"endpoints": [dict(record) for record in self.endpoints]}
+                if self.endpoints is not None
+                else {}
+            ),
         }
 
 
 class EngineRuntime:
     """Long-lived execution runtime owning one persistent worker pool.
 
-    ``backend`` selects the pool flavour (``process``, ``thread`` or
-    ``inline``); ``max_workers=None`` uses one worker per CPU.  ``cache``
-    accepts a :class:`~repro.engine.ResultCache`, a directory path (persistent
-    store) or ``None`` (fresh memory-only cache); the cache is shared by every
-    :class:`~repro.engine.BatchAnalyzer` and
-    :class:`~repro.analysis.SearchDriver` bound to this runtime (unless they
-    were given their own).  ``recycle_after=N`` tears the pool down and
-    rebuilds it once at least ``N`` jobs ran on it, at the next idle batch
-    boundary.
+    :param backend: pool flavour — ``process`` (default), ``thread``,
+        ``inline`` (strictly serial, no pool) or ``remote`` (no local pool:
+        jobs fan out to the ``endpoints`` fleet through a
+        :class:`~repro.service.ClusterDispatcher`).
+    :param max_workers: worker count; ``None`` uses one per CPU.  Not
+        accepted with ``remote`` (the fleet's windows size the fan-out) nor
+        meaningful with ``inline``.
+    :param chunksize: jobs per worker chunk on the pooled backends; ``None``
+        picks one that gives each worker a few chunks.
+    :param recycle_after: tear the pool down and rebuild it once at least
+        this many jobs ran on it, at the next idle batch boundary (bounds
+        worker memory growth); ``None`` never recycles.
+    :param cache: a :class:`~repro.engine.ResultCache`, a directory path
+        (persistent store) or ``None`` (fresh memory-only cache); shared by
+        every :class:`~repro.engine.BatchAnalyzer` and
+        :class:`~repro.analysis.SearchDriver` bound to this runtime (unless
+        they were given their own).
+    :param latency_smoothing: EWMA factor of the per-job latency telemetry.
+    :param endpoints: remote server specs (``host:port`` or URLs); required
+        by — and only accepted with — the ``remote`` backend.
+    :param max_in_flight: per-endpoint in-flight window (``remote`` only).
+    :param retries: per-job failover attempts beyond the first (``remote``
+        only); ``None`` lets the dispatcher default to the endpoint count.
+    :param quarantine_seconds: how long a failed endpoint sits out before a
+        health re-probe (``remote`` only).
+    :param request_timeout: per-request timeout of the dispatch clients
+        (``remote`` only).
+    :raises ServiceError: on an unknown backend or inconsistent parameters.
     """
 
     def __init__(
@@ -130,11 +161,28 @@ class EngineRuntime:
         recycle_after: Optional[int] = None,
         cache: Union[ResultCache, PathLike, None] = None,
         latency_smoothing: float = 0.2,
+        endpoints: Optional[Sequence[str]] = None,
+        max_in_flight: int = 4,
+        retries: Optional[int] = None,
+        quarantine_seconds: float = 5.0,
+        request_timeout: float = 300.0,
     ) -> None:
         backend = str(backend).strip().lower()
         if backend not in BACKENDS:
             raise ServiceError(
                 f"unknown runtime backend {backend!r}; choose from {', '.join(BACKENDS)}"
+            )
+        if backend == "remote":
+            if not endpoints:
+                raise ServiceError("the remote backend needs at least one endpoint")
+            if max_workers is not None:
+                raise ServiceError(
+                    "the remote backend sizes its fan-out from the endpoint windows; "
+                    "pass max_in_flight instead of max_workers"
+                )
+        elif endpoints:
+            raise ServiceError(
+                f"endpoints are only meaningful with the remote backend, not {backend!r}"
             )
         if max_workers is not None and max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -147,9 +195,27 @@ class EngineRuntime:
                 f"latency_smoothing must be in (0, 1], got {latency_smoothing}"
             )
         self.backend = backend
-        self.max_workers = (
-            default_worker_count() if max_workers is None else int(max_workers)
+        #: the cluster dispatcher behind the ``remote`` backend (else None)
+        self.dispatcher: Optional[ClusterDispatcher] = (
+            ClusterDispatcher(
+                list(endpoints or ()),
+                max_in_flight=max_in_flight,
+                retries=retries,
+                quarantine_seconds=quarantine_seconds,
+                timeout=request_timeout,
+                latency_smoothing=latency_smoothing,
+            )
+            if backend == "remote"
+            else None
         )
+        if self.dispatcher is not None:
+            # what adaptive speculation and BatchReport.workers scale from:
+            # the fleet's total in-flight window
+            self.max_workers = self.dispatcher.capacity
+        else:
+            self.max_workers = (
+                default_worker_count() if max_workers is None else int(max_workers)
+            )
         if backend == "inline":
             self.max_workers = 1
         self.chunksize = chunksize
@@ -175,7 +241,11 @@ class EngineRuntime:
 
     @property
     def workers(self) -> int:
-        """Configured worker count (what adaptive speculation scales from)."""
+        """Configured worker count (what adaptive speculation scales from).
+
+        On the ``remote`` backend this is the fleet's total in-flight
+        capacity (endpoints × ``max_in_flight``), not a local pool size.
+        """
         return self.max_workers
 
     def _build_pool(self) -> Any:
@@ -196,7 +266,9 @@ class EngineRuntime:
         with self._cond:
             if self._closed:
                 raise ServiceError("runtime is closed")
-            if self.backend == "inline" or self.max_workers == 1:
+            if self.backend in ("inline", "remote") or self.max_workers == 1:
+                # no local pool: inline runs serially, remote dispatches to
+                # the fleet — both only need the running-batch accounting
                 self._active += 1
                 return None
             due = (
@@ -234,6 +306,8 @@ class EngineRuntime:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self.dispatcher is not None:
+            self.dispatcher.close()
 
     @property
     def closed(self) -> bool:
@@ -261,14 +335,25 @@ class EngineRuntime:
         Results come back in submission order; a failing job does not abort
         the batch (a :class:`~repro.errors.BatchExecutionError` carrying the
         completed schedules is raised at the end).  Thread-safe: concurrent
-        batches share the pool.
+        batches share the pool.  On the ``remote`` backend the jobs fan out
+        across the endpoint fleet instead, with the same ordering and
+        partial-failure contract; a whole-cluster outage raises
+        :class:`~repro.errors.ServiceError` (see
+        :meth:`ClusterDispatcher.run <repro.service.ClusterDispatcher.run>`).
+
+        :raises ServiceError: if the runtime is closed, or (remote backend)
+            every endpoint became unreachable.
+        :raises BatchExecutionError: when some jobs failed; ``results`` holds
+            the completed schedules, ``failures`` the per-index messages.
         """
         jobs = list(jobs)
         if not jobs:
             return []
         pool = self._acquire_pool()
         try:
-            if pool is None:
+            if self.dispatcher is not None:
+                results = self.dispatcher.run(jobs, progress=progress)
+            elif pool is None:
                 results = run_jobs_serial(jobs, progress)
             else:
                 results = run_jobs_on(
@@ -320,4 +405,9 @@ class EngineRuntime:
                 jobs_since_recycle=self._pool_jobs,
                 latency_ewma_seconds=self._latency_ewma,
                 cache=self.cache.stats.to_dict(),
+                endpoints=(
+                    self.dispatcher.stats()["endpoints"]
+                    if self.dispatcher is not None
+                    else None
+                ),
             )

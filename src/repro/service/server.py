@@ -30,8 +30,11 @@ Endpoints
 ``GET /stats``
     Runtime, queue and server telemetry (pool constructions, cache hit/miss,
     latency EWMA, queue depth...).
+``GET /metrics``
+    The same telemetry in the Prometheus text exposition format
+    (:mod:`repro.service.metrics`), ready for a standard scraper.
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe (also what the cluster dispatcher's quarantine re-probes).
 
 Errors come back as ``{"error": "..."}`` with 400 (bad request), 404, 405,
 422 (analysis failed) or 500.
@@ -52,6 +55,7 @@ from ..analysis.sensitivity import memory_sensitivity, wcet_sensitivity
 from ..core.analyzer import INCREMENTAL
 from ..errors import QueueFullError, ReproError, SerializationError, ServiceError
 from ..io.json_io import batch_results_to_dict, problem_from_dict
+from .metrics import METRICS_CONTENT_TYPE, render_prometheus_metrics
 from .queue import JobQueue
 from .runtime import EngineRuntime
 
@@ -111,10 +115,17 @@ class AnalysisServer:
                 if not service.quiet:
                     BaseHTTPRequestHandler.log_message(self, format, *args)
 
-            def _reply(self, status: int, document: Dict[str, Any]) -> None:
-                body = json.dumps(document).encode("utf-8")
+            def _reply(self, status: int, document: Any) -> None:
+                # dict responses are JSON; str responses (the /metrics text
+                # exposition) go out as Prometheus plain text
+                if isinstance(document, str):
+                    body = document.encode("utf-8")
+                    content_type = METRICS_CONTENT_TYPE
+                else:
+                    body = json.dumps(document).encode("utf-8")
+                    content_type = "application/json"
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -136,6 +147,7 @@ class AnalysisServer:
                     routes = {
                         ("GET", "/healthz"): lambda: service.handle_healthz(),
                         ("GET", "/stats"): lambda: service.handle_stats(),
+                        ("GET", "/metrics"): lambda: service.handle_metrics(),
                         ("POST", "/analyze"): lambda: service.handle_analyze(document),
                         ("POST", "/batch"): lambda: service.handle_batch(document),
                         ("POST", "/search"): lambda: service.handle_search(document),
@@ -192,6 +204,11 @@ class AnalysisServer:
                 "version": __version__,
             },
         }
+
+    def handle_metrics(self) -> Tuple[int, str]:
+        """Prometheus text-format rendering of :meth:`handle_stats` (ROADMAP item)."""
+        _, stats = self.handle_stats()
+        return 200, render_prometheus_metrics(stats)
 
     def handle_analyze(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         problem = _parse_problem(document)

@@ -13,7 +13,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli.main import build_parser
+from repro.cli.main import _parse_endpoints, build_parser, main
+from repro.generators import fixed_ls_workload
+from repro.io import save_problem
+from repro.service import AnalysisServer, EngineRuntime
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 SMOKE = REPO_ROOT / "scripts" / "serve_smoke.py"
@@ -53,6 +56,96 @@ class TestArguments:
     def test_serve_rejects_unknown_backend(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--backend", "quantum"])
+
+
+class TestClusterArguments:
+    def test_parse_endpoints_flattens_and_normalizes(self):
+        assert _parse_endpoints(["hostA:1,hostB:2", "http://hostC:3/"]) == [
+            "http://hostA:1",
+            "http://hostB:2",
+            "http://hostC:3",
+        ]
+        assert _parse_endpoints(None) == []
+
+    def test_cluster_requires_endpoints(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_batch_and_search_accept_endpoints(self):
+        args = build_parser().parse_args(
+            ["batch", "p.json", "--endpoints", "a:1,b:2", "--endpoints", "c:3"]
+        )
+        assert args.endpoints == ["a:1,b:2", "c:3"]
+        assert args.max_in_flight is None  # defaulted to 4 only on the remote path
+        args = build_parser().parse_args(["search", "p.json", "--endpoints", "a:1"])
+        assert args.endpoints == ["a:1"]
+
+    def test_batch_endpoints_conflict_with_workers(self, tmp_path, capsys):
+        problem = fixed_ls_workload(16, 4, core_count=4, seed=1).to_problem()
+        path = save_problem(problem, tmp_path / "p.json")
+        rc = main(["batch", str(path), "--endpoints", "a:1", "--workers", "2"])
+        assert rc == 1
+        assert "--endpoints and --workers conflict" in capsys.readouterr().err
+
+    def test_batch_remote_only_flags_need_endpoints(self, tmp_path, capsys):
+        problem = fixed_ls_workload(16, 4, core_count=4, seed=1).to_problem()
+        path = save_problem(problem, tmp_path / "p.json")
+        rc = main(["batch", str(path), "--max-in-flight", "8"])
+        assert rc == 1
+        assert "--max-in-flight" in capsys.readouterr().err
+        rc = main(["batch", str(path), "--endpoints", "a:1", "--chunksize", "2"])
+        assert rc == 1
+        assert "--chunksize" in capsys.readouterr().err
+
+    def test_search_endpoints_conflict_with_serial(self, tmp_path, capsys):
+        problem = fixed_ls_workload(16, 4, core_count=4, seed=1).to_problem()
+        path = save_problem(problem, tmp_path / "p.json")
+        rc = main(["search", str(path), "--kind", "horizon", "--endpoints", "a:1", "--serial"])
+        assert rc == 1
+        assert "--endpoints conflicts" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_probe_healthy_fleet_and_down_fleet(self, capsys):
+        servers = [
+            AnalysisServer(EngineRuntime(backend="inline"), port=0).start() for _ in range(2)
+        ]
+        endpoints = ",".join(f"127.0.0.1:{server.port}" for server in servers)
+        try:
+            assert main(["cluster", "--endpoints", endpoints]) == 0
+            out = capsys.readouterr().out
+            assert "all 2 endpoint(s) healthy" in out
+            assert "inline" in out
+        finally:
+            for server in servers:
+                server.close()
+        assert main(["cluster", "--endpoints", endpoints, "--timeout", "2"]) == 1
+        assert "DOWN" in capsys.readouterr().out
+
+    def test_distributed_batch_cli_round_trip(self, tmp_path, capsys):
+        problems = [
+            fixed_ls_workload(16, 4, core_count=4, seed=seed).to_problem() for seed in range(3)
+        ]
+        paths = [
+            str(save_problem(problem, tmp_path / f"p{index}.json"))
+            for index, problem in enumerate(problems)
+        ]
+        servers = [
+            AnalysisServer(EngineRuntime(backend="inline"), port=0).start() for _ in range(2)
+        ]
+        endpoints = ",".join(server.url for server in servers)
+        try:
+            rc = main(
+                ["batch", *paths, "--endpoints", endpoints, "--quiet",
+                 "--output", str(tmp_path / "batch.json")]
+            )
+        finally:
+            for server in servers:
+                server.close()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 problem(s)" in out
+        assert (tmp_path / "batch.json").exists()
 
 
 class TestSmoke:

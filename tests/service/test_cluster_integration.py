@@ -1,0 +1,171 @@
+"""Acceptance test of the cluster tentpole, against *real* server subprocesses.
+
+A batch and a multi-generation search are dispatched across two
+``repro-rta serve`` subprocesses; one server is SIGKILLed mid-run.  The
+surviving endpoint absorbs the rerouted jobs and the results — schedules and
+the search's probe trace — must be identical to the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import analyze_many
+from repro.analysis import SearchDriver, memory_sensitivity, minimal_horizon
+from repro.engine.jobs import AnalysisJob
+from repro.generators import fixed_ls_workload
+from repro.service import EngineRuntime
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class _Server:
+    """One ``repro-rta serve`` subprocess on an ephemeral port."""
+
+    def __init__(self) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli.main",
+                "serve",
+                "--port",
+                "0",
+                "--backend",
+                "inline",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        # first stdout line is machine-readable: "serving on http://host:port";
+        # a reader thread keeps the deadline honest if the server wedges
+        lines: "queue.Queue[str]" = queue.Queue()
+        threading.Thread(
+            target=lambda: [lines.put(raw) for raw in self.process.stdout], daemon=True
+        ).start()
+        deadline = time.monotonic() + 60.0
+        self.url = None
+        while time.monotonic() < deadline and self.url is None:
+            try:
+                line = lines.get(timeout=0.2).strip()
+            except queue.Empty:
+                if self.process.poll() is not None:
+                    raise RuntimeError("server subprocess exited before announcing its URL")
+                continue
+            if line.startswith("serving on "):
+                self.url = line.removeprefix("serving on ")
+        if self.url is None:
+            self.kill()
+            raise RuntimeError("server subprocess never announced its URL")
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+@pytest.fixture
+def fleet():
+    servers = [_Server(), _Server()]
+    yield servers
+    for server in servers:
+        server.kill()
+
+
+def _sweep(count: int, tasks: int = 96):
+    # tasks sized so jobs take long enough that the mid-run kill lands while
+    # work is genuinely outstanding on both endpoints
+    return [
+        fixed_ls_workload(tasks, 8, core_count=8, seed=seed).to_problem()
+        for seed in range(count)
+    ]
+
+
+class TestKillOneEndpointMidRun:
+    def test_batch_survives_and_matches_serial(self, fleet):
+        problems = _sweep(12)
+        killed = threading.Event()
+
+        def on_progress(event) -> None:
+            if event.done >= 2 and not killed.is_set():
+                killed.set()
+                fleet[0].kill()
+
+        with EngineRuntime(
+            backend="remote",
+            endpoints=[server.url for server in fleet],
+            quarantine_seconds=30.0,
+        ) as runtime:
+            remote = runtime.run(
+                [
+                    AnalysisJob(problem=p, algorithm="incremental", index=i)
+                    for i, p in enumerate(problems)
+                ],
+                progress=on_progress,
+            )
+            records = {r["url"]: r for r in runtime.stats().to_dict()["endpoints"]}
+        assert killed.is_set()
+        local = analyze_many(problems, max_workers=1)
+        # byte-identical verdicts: the schedule entries (release dates, WCRTs,
+        # interference) and makespans round-trip exactly; only the in-worker
+        # wall-clock timing differs between hosts by nature
+        remote_bytes = [json.dumps(s.to_dict()["entries"], sort_keys=True) for s in remote]
+        local_bytes = [json.dumps(s.to_dict()["entries"], sort_keys=True) for s in local]
+        assert remote_bytes == local_bytes
+        assert [r.makespan for r in remote] == [l.makespan for l in local]
+        assert [r.schedulable for r in remote] == [l.schedulable for l in local]
+        # the kill was observed: the dead endpoint is out of rotation and the
+        # survivor finished the batch
+        assert records[fleet[0].url]["healthy"] is False
+        assert records[fleet[0].url]["endpoint_errors"] >= 1
+        assert records[fleet[1].url]["jobs_completed"] >= 1
+
+    def test_search_survives_and_matches_serial(self, fleet):
+        problem = _sweep(1)[0]
+        horizon = int(minimal_horizon(problem) * 1.2)
+        generations = []
+        killed = threading.Event()
+
+        def on_progress(event) -> None:
+            generations.append(event.generation)
+            if event.generation >= 1 and not killed.is_set():
+                killed.set()
+                fleet[0].kill()
+
+        with EngineRuntime(
+            backend="remote",
+            endpoints=[server.url for server in fleet],
+            quarantine_seconds=30.0,
+        ) as runtime:
+            remote = memory_sensitivity(
+                problem.with_horizon(horizon),
+                max_factor=8.0,
+                tolerance=0.25,
+                # speculation=1 forces one bisection level per generation, so
+                # the search runs >= 3 generations and most of them execute
+                # after the kill
+                driver=SearchDriver(runtime=runtime, speculation=1, progress=on_progress),
+            )
+        serial = memory_sensitivity(
+            problem.with_horizon(horizon),
+            max_factor=8.0,
+            tolerance=0.25,
+            driver=SearchDriver(batch=False),
+        )
+        assert killed.is_set()
+        assert max(generations) >= 3
+        # bit-identical: breaking factor, makespan AND the probe trace
+        assert remote == serial

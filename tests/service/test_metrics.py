@@ -1,0 +1,158 @@
+"""Tests for the Prometheus ``GET /metrics`` endpoint and its renderer."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.generators import fixed_ls_workload
+from repro.service import (
+    AnalysisServer,
+    EngineRuntime,
+    ServiceClient,
+    render_prometheus_metrics,
+)
+from repro.service.metrics import METRICS_CONTENT_TYPE
+
+
+def _parse(text: str):
+    """{metric-name-with-labels: value} for every sample line."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestRenderer:
+    STATS = {
+        "runtime": {
+            "backend": "process",
+            "workers": 4,
+            "pools_created": 1,
+            "batches": 2,
+            "jobs_completed": 7,
+            "jobs_failed": 1,
+            "jobs_run": 8,
+            "recycle_after": None,
+            "jobs_since_recycle": 8,
+            "latency_ewma_seconds": 0.125,
+            "cache": {"memory_hits": 3, "disk_hits": 1, "misses": 8, "stores": 8, "corrupt": 0},
+        },
+        "queue": {
+            "submitted": 9,
+            "completed": 7,
+            "failed": 1,
+            "coalesced": 1,
+            "cancelled": 0,
+            "batches": 2,
+            "pending": 0,
+            "in_flight": 0,
+            "max_pending": 1024,
+        },
+        "server": {"requests": 12, "default_algorithm": "incremental", "version": "1.0"},
+    }
+
+    def test_counters_and_gauges(self):
+        samples = _parse(render_prometheus_metrics(self.STATS))
+        assert samples["repro_runtime_jobs_completed_total"] == 7
+        assert samples["repro_runtime_jobs_failed_total"] == 1
+        assert samples["repro_runtime_workers"] == 4
+        assert samples["repro_runtime_latency_ewma_seconds"] == 0.125
+        assert samples["repro_cache_memory_hits_total"] == 3
+        assert samples["repro_cache_misses_total"] == 8
+        assert samples["repro_queue_submitted_total"] == 9
+        assert samples["repro_queue_pending"] == 0
+        assert samples["repro_server_requests_total"] == 12
+
+    def test_types_declared(self):
+        text = render_prometheus_metrics(self.STATS)
+        assert "# TYPE repro_runtime_jobs_completed_total counter" in text
+        assert "# TYPE repro_queue_pending gauge" in text
+        assert "# TYPE repro_service_info gauge" in text
+
+    def test_info_metric_labels(self):
+        samples = _parse(render_prometheus_metrics(self.STATS))
+        assert (
+            samples['repro_service_info{version="1.0",backend="process",algorithm="incremental"}']
+            == 1
+        )
+
+    def test_null_latency_omitted_not_nan(self):
+        stats = {**self.STATS, "runtime": {**self.STATS["runtime"], "latency_ewma_seconds": None}}
+        text = render_prometheus_metrics(stats)
+        assert "repro_runtime_latency_ewma_seconds" not in text
+        assert "NaN" not in text and "None" not in text
+
+    def test_remote_backend_exports_endpoint_series(self):
+        runtime = {
+            **self.STATS["runtime"],
+            "backend": "remote",
+            "endpoints": [
+                {
+                    "url": "http://hostA:8517",
+                    "healthy": True,
+                    "outstanding": 2,
+                    "window": 4,
+                    "latency_ewma_seconds": 0.05,
+                    "jobs_completed": 5,
+                    "jobs_failed": 0,
+                    "endpoint_errors": 0,
+                    "quarantines": 0,
+                },
+                {
+                    "url": "http://hostB:8517",
+                    "healthy": False,
+                    "outstanding": 0,
+                    "window": 4,
+                    "latency_ewma_seconds": None,
+                    "jobs_completed": 0,
+                    "jobs_failed": 2,
+                    "endpoint_errors": 2,
+                    "quarantines": 1,
+                },
+            ],
+        }
+        samples = _parse(render_prometheus_metrics({**self.STATS, "runtime": runtime}))
+        assert samples['repro_cluster_endpoint_healthy{endpoint="http://hostA:8517"}'] == 1
+        assert samples['repro_cluster_endpoint_healthy{endpoint="http://hostB:8517"}'] == 0
+        assert samples['repro_cluster_endpoint_jobs_completed_total{endpoint="http://hostA:8517"}'] == 5
+        assert samples['repro_cluster_endpoint_errors_total{endpoint="http://hostB:8517"}'] == 2
+
+
+@pytest.fixture
+def service():
+    runtime = EngineRuntime(backend="inline")
+    server = AnalysisServer(runtime, port=0).start()
+    yield server, ServiceClient(server.url, timeout=30)
+    server.close()
+    runtime.close()
+
+
+class TestEndpoint:
+    def test_metrics_over_http(self, service):
+        server, client = service
+        problem = fixed_ls_workload(16, 4, core_count=4, seed=1).to_problem()
+        client.analyze(problem)
+        text = client.metrics()
+        samples = _parse(text)
+        assert samples["repro_runtime_jobs_completed_total"] >= 1
+        assert samples["repro_queue_submitted_total"] >= 1
+        assert any(name.startswith("repro_service_info{") for name in samples)
+
+    def test_content_type_is_text_exposition(self, service):
+        server, _ = service
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=30) as response:
+            assert response.headers["Content-Type"] == METRICS_CONTENT_TYPE
+            assert response.read().startswith(b"# HELP")
+
+    def test_post_method_not_allowed(self, service):
+        server, _ = service
+        request = urllib.request.Request(f"{server.url}/metrics", data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 405
