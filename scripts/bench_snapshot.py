@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Machine-readable performance snapshot of the delta re-analysis path (PR 5).
+
+Measures, on one deterministic layer-by-layer workload:
+
+1. **Sensitivity probe throughput** — the same ``bracket_search`` factor
+   search driven two ways:
+
+   * *cold*: the pre-kernel probe builder — every probed factor copies the
+     whole task graph, rebuilds an ``AnalysisProblem`` and re-derives all
+     static structure inside the analyzer;
+   * *kernel*: the production path — the base problem is compiled into a
+     :class:`repro.core.CompiledProblem` once and every probe is a parameter
+     overlay against it.
+
+   Both run strictly serially (worker pools would only add noise at these
+   sizes) and produce bit-identical probe traces — the snapshot asserts that.
+
+2. **Fixed-point sweep cost** — wall time, iteration and IBUS-call counts of
+   one ``fixedpoint`` analysis (whose inner loop is now a sort-based interval
+   sweep instead of the all-pairs scan), as a per-PR trajectory data point.
+
+Writes a JSON document (default ``BENCH_PR5.json``) so CI finally records
+perf data points over time::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR5.json
+
+``--tiny`` shrinks the workload for CI runners; the numbers are then only
+good for trajectory, not for absolute claims.  Exit code 0 unless the two
+search paths diverge (which would be a correctness bug, not a perf one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AnalysisProblem  # noqa: E402
+from repro.analysis import SearchDriver, bracket_search, memory_sensitivity  # noqa: E402
+from repro.analysis.sensitivity import scale_memory_demand  # noqa: E402
+from repro.core import analyze_fixedpoint, analyze_incremental, compilation_count  # noqa: E402
+from repro.generators import fixed_ls_workload  # noqa: E402
+
+
+def _best_of(repeats, fn):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_sensitivity(problem, *, max_factor, tolerance, repeats):
+    """Cold (full-rebuild) vs kernel (overlay) serial probe throughput."""
+
+    def legacy_rebuild(factor):
+        return AnalysisProblem(
+            graph=scale_memory_demand(problem.graph, factor),
+            mapping=problem.mapping,
+            platform=problem.platform,
+            arbiter=problem.arbiter,
+            horizon=problem.horizon,
+            name=f"{problem.name}-mem-x{factor:.2f}",
+            validate=False,
+        )
+
+    def run_cold():
+        return bracket_search(
+            legacy_rebuild,
+            driver=SearchDriver(batch=False),
+            max_factor=max_factor,
+            tolerance=tolerance,
+        )
+
+    def run_kernel():
+        return memory_sensitivity(
+            problem, max_factor=max_factor, tolerance=tolerance
+        )
+
+    cold_seconds, cold_result = _best_of(repeats, run_cold)
+    compilations_before = compilation_count()
+    kernel_seconds, kernel_result = _best_of(repeats, run_kernel)
+    compilations = compilation_count() - compilations_before
+    if cold_result != kernel_result:
+        raise SystemExit(
+            "BUG: kernel-path sensitivity result diverged from the legacy path"
+        )
+    probes = len(kernel_result.probes)
+    return {
+        "probes": probes,
+        "breaking_factor": kernel_result.breaking_factor,
+        "cold_seconds": cold_seconds,
+        "kernel_seconds": kernel_seconds,
+        "cold_probes_per_second": probes / cold_seconds if cold_seconds else None,
+        "kernel_probes_per_second": probes / kernel_seconds if kernel_seconds else None,
+        "speedup": (cold_seconds / kernel_seconds) if kernel_seconds else None,
+        "improved": kernel_seconds < cold_seconds,
+        "kernel_compilations_per_search": compilations / repeats,
+    }
+
+
+def measure_fixedpoint(problem, *, repeats):
+    """Wall time + counters of one fixed-point analysis (interval sweep)."""
+    seconds, schedule = _best_of(repeats, lambda: analyze_fixedpoint(problem))
+    return {
+        "seconds": seconds,
+        "inner_iterations": schedule.stats.inner_iterations,
+        "outer_iterations": schedule.stats.outer_iterations,
+        "ibus_calls": schedule.stats.ibus_calls,
+        "seconds_per_inner_iteration": (
+            seconds / schedule.stats.inner_iterations
+            if schedule.stats.inner_iterations
+            else None
+        ),
+        "makespan": schedule.makespan,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI-sized workload")
+    parser.add_argument("--output", default="BENCH_PR5.json", help="JSON output path")
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args()
+
+    if args.tiny:
+        tasks, layer, cores, repeats = 96, 8, 8, 3
+        fixedpoint_tasks = 64
+    else:
+        tasks, layer, cores, repeats = 400, 16, 16, 3
+        fixedpoint_tasks = 256
+
+    workload = fixed_ls_workload(tasks, layer, core_count=cores, seed=args.seed)
+    base = workload.to_problem()
+    # a horizon ~1.5x the unconstrained makespan gives the bracket search a
+    # real bisection (schedulable baseline, infeasible ceiling)
+    makespan = analyze_incremental(base).makespan
+    problem = base.with_horizon(int(makespan * 1.5))
+
+    sensitivity = measure_sensitivity(
+        problem, max_factor=16.0, tolerance=0.05, repeats=repeats
+    )
+    fp_problem = fixed_ls_workload(
+        fixedpoint_tasks, layer, core_count=cores, seed=args.seed
+    ).to_problem()
+    fixedpoint = measure_fixedpoint(fp_problem, repeats=repeats)
+
+    document = {
+        "format": "repro-bench-snapshot",
+        "version": 1,
+        "pr": 5,
+        "profile": "tiny" if args.tiny else "full",
+        "workload": {
+            "generator": "fixed-LS",
+            "tasks": tasks,
+            "layer_size": layer,
+            "cores": cores,
+            "seed": args.seed,
+            "horizon": problem.horizon,
+            "fixedpoint_tasks": fixedpoint_tasks,
+        },
+        "sensitivity": sensitivity,
+        "fixedpoint": fixedpoint,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    print(f"wrote {output}")
+    print(
+        "sensitivity: {probes} probes | cold {cold:.3f}s ({cps:.1f}/s) | "
+        "kernel {kern:.3f}s ({kps:.1f}/s) | speedup x{speedup:.2f}".format(
+            probes=sensitivity["probes"],
+            cold=sensitivity["cold_seconds"],
+            cps=sensitivity["cold_probes_per_second"],
+            kern=sensitivity["kernel_seconds"],
+            kps=sensitivity["kernel_probes_per_second"],
+            speedup=sensitivity["speedup"],
+        )
+    )
+    print(
+        "fixedpoint: {seconds:.3f}s | {inner} inner iterations | "
+        "{ibus} IBUS calls".format(
+            seconds=fixedpoint["seconds"],
+            inner=fixedpoint["inner_iterations"],
+            ibus=fixedpoint["ibus_calls"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,8 +52,11 @@ from .arbiter import (
 from .core import (
     AnalysisProblem,
     AnalysisTrace,
+    CompiledProblem,
     FixedPointAnalyzer,
     IncrementalAnalyzer,
+    OverlayProblem,
+    ParamOverlay,
     Schedule,
     ScheduledTask,
     analyze,
@@ -62,6 +65,7 @@ from .core import (
     analyze_or_raise,
     available_algorithms,
     compare_schedules,
+    compile_problem,
     validate_schedule,
 )
 from .engine import (
@@ -116,6 +120,10 @@ __all__ = [
     "create_arbiter",
     # analyses
     "AnalysisProblem",
+    "CompiledProblem",
+    "ParamOverlay",
+    "OverlayProblem",
+    "compile_problem",
     "Schedule",
     "ScheduledTask",
     "AnalysisTrace",

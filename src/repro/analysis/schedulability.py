@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core import AnalysisProblem, Schedule, analyze
+from ..core import AnalysisProblem, ParamOverlay, Schedule, analyze, compile_problem
 from ..errors import AnalysisError
 from .search import SearchDriver, resolve_algorithm
 
@@ -125,13 +125,20 @@ def minimal_horizon(
     :class:`~repro.analysis.search.SearchDriver` routes the probe through the
     cache-backed batch engine under the driver's algorithm (a conflicting
     explicit ``algorithm`` is rejected).
+
+    The unconstrained probe is a horizon overlay over the compiled problem
+    kernel, so it shares its structure digest — and hence cache locality —
+    with every other overlay probe of the same problem.
     """
     algorithm = resolve_algorithm(algorithm, driver)
+    probe = compile_problem(problem).with_overlay(
+        ParamOverlay(horizon=None), name=problem.name
+    )
     if driver is None:
-        unconstrained = analyze(problem.with_horizon(None), algorithm)
+        unconstrained = analyze(probe, algorithm)
     else:
         driver.begin_search()
-        unconstrained = driver.evaluate([problem.with_horizon(None)])[0]
+        unconstrained = driver.evaluate([probe])[0]
     if not unconstrained.schedulable:
         raise AnalysisError(
             f"problem {problem.name!r} cannot be scheduled at all "
@@ -153,7 +160,10 @@ def minimal_horizon_many(
     analysed one by one.  Verdicts are identical either way.
     """
     algorithm = resolve_algorithm(algorithm, driver)
-    unconstrained = [problem.with_horizon(None) for problem in problems]
+    unconstrained = [
+        compile_problem(problem).with_overlay(ParamOverlay(horizon=None), name=problem.name)
+        for problem in problems
+    ]
     if driver is None:
         schedules = [analyze(probe, algorithm) for probe in unconstrained]
     else:

@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core import AnalysisProblem, Schedule, analyze
+from ..core import AnalysisProblem, OverlayProblem, Schedule, analyze
 from ..core.analyzer import INCREMENTAL
 from ..engine import BatchAnalyzer, CacheStats, ResultCache, default_worker_count
 from ..errors import AnalysisError
@@ -52,7 +52,16 @@ __all__ = [
 ]
 
 
-def adaptive_speculation(workers: int) -> int:
+#: ceiling on latency-driven lookahead deepening (2**8 - 1 probes/generation)
+MAX_SPECULATION = 8
+
+
+def adaptive_speculation(
+    workers: int,
+    latency_ewma_seconds: Optional[float] = None,
+    *,
+    generation_overhead_seconds: float = 0.05,
+) -> int:
     """Bisection-lookahead levels that saturate ``workers`` parallel slots.
 
     A speculative generation of ``s`` lookahead levels carries up to
@@ -61,10 +70,29 @@ def adaptive_speculation(workers: int) -> int:
     a serial pool does not waste analyzer invocations on rungs it cannot run
     in parallel anyway.  (The search verdict is identical for every value —
     speculation only trades wasted probes for wall-clock.)
+
+    ``latency_ewma_seconds`` — the observed per-probe analyzer latency, as a
+    warm :class:`repro.service.EngineRuntime` measures it — refines the pick:
+    every extra lookahead level halves the number of synchronization rounds a
+    bisection needs but at most doubles the wasted probes, so while a whole
+    extra rung (``2**(s+1)`` probes) costs less analyzer time than one
+    generation round trip (``generation_overhead_seconds``), deepening is
+    (nearly) free and the lookahead grows beyond the pure worker-count rule —
+    cheap probes speculate deeper, expensive probes stay at pool saturation.
+    Capped at :data:`MAX_SPECULATION`.
     """
     if workers <= 1:
-        return 1
-    return max(1, math.ceil(math.log2(workers + 1)))
+        speculation = 1
+    else:
+        speculation = max(1, math.ceil(math.log2(workers + 1)))
+    if latency_ewma_seconds is not None and latency_ewma_seconds > 0:
+        while (
+            speculation < MAX_SPECULATION
+            and (2 ** (speculation + 1)) * latency_ewma_seconds
+            < generation_overhead_seconds
+        ):
+            speculation += 1
+    return speculation
 
 
 @dataclass(frozen=True)
@@ -143,7 +171,8 @@ class SearchDriver:
     the probe trace still bit-identical to the serial search.
     ``speculation=None`` (the default) adapts the lookahead to the worker
     count — for a remote runtime, to the fleet's in-flight capacity — via
-    :func:`adaptive_speculation`; pass an integer to pin it.
+    :func:`adaptive_speculation`, refined by the runtime's observed per-job
+    latency EWMA at every :meth:`begin_search`; pass an integer to pin it.
 
     :raises AnalysisError: on a negative ``speculation``, or when ``runtime``
         is combined with ``batch=False``.
@@ -174,12 +203,17 @@ class SearchDriver:
             workers = int(max_workers)
         else:
             workers = default_worker_count()
+        self._workers = workers
         #: bisection-lookahead levels per generation (0 in serial mode);
-        #: defaults adaptively to the worker count (ROADMAP: adaptive speculation)
+        #: defaults adaptively to the worker count — and, on a warm runtime,
+        #: to the observed per-probe latency EWMA (re-picked per search by
+        #: :meth:`begin_search`, so a long-lived driver deepens its lookahead
+        #: as the runtime learns how cheap the probes actually are)
+        self._adaptive = self.batch and speculation is None
         if not self.batch:
             self.speculation = 0
         elif speculation is None:
-            self.speculation = adaptive_speculation(workers)
+            self.speculation = adaptive_speculation(workers, self._runtime_latency())
         else:
             self.speculation = int(speculation)
         self.progress = progress
@@ -211,19 +245,46 @@ class SearchDriver:
         cache = self.cache
         return cache.stats if cache is not None else None
 
+    def _runtime_latency(self) -> Optional[float]:
+        """Per-job latency EWMA of the bound runtime (None without one)."""
+        if self.runtime is None:
+            return None
+        try:
+            return self.runtime.stats().latency_ewma_seconds
+        except AttributeError:  # a runtime-like object without telemetry
+            return None
+
     def begin_search(self) -> None:
-        """Reset the per-search progress counters (called by search entry points)."""
+        """Reset the per-search progress counters (called by search entry points).
+
+        An adaptive driver (``speculation=None``) also re-picks its lookahead
+        here from the runtime's current latency EWMA — the ROADMAP follow-on
+        to worker-count speculation: by the second search on a warm runtime
+        the observed per-probe cost, not just the pool width, sizes the
+        speculative generations.  The probe trace is unaffected (speculation
+        only trades wasted probes for wall clock).
+        """
+        if self._adaptive:
+            self.speculation = adaptive_speculation(
+                self._workers, self._runtime_latency()
+            )
         self._generation = 0
         self._total_probes = 0
         self._search_started = time.perf_counter()
 
     def evaluate(
         self,
-        problems: Sequence[AnalysisProblem],
+        problems: Sequence[Union[AnalysisProblem, OverlayProblem]],
         *,
         remaining_generations: Optional[int] = None,
     ) -> List[Schedule]:
-        """Analyse one generation of probe problems, in submission order."""
+        """Analyse one generation of probe problems, in submission order.
+
+        Probes may be plain problems or :class:`~repro.core.OverlayProblem`
+        deltas against one compiled kernel — the delta re-analysis path the
+        sensitivity searches use, where the base problem's structure is
+        compiled exactly once for the whole search.
+        """
         problems = list(problems)
         if self._search_started is None:
             self.begin_search()
@@ -302,7 +363,9 @@ class _Prober:
     """Verdict store that fetches unknown factors one generation at a time."""
 
     def __init__(
-        self, rebuild: Callable[[float], AnalysisProblem], driver: SearchDriver
+        self,
+        rebuild: Callable[[float], Union[AnalysisProblem, OverlayProblem]],
+        driver: SearchDriver,
     ) -> None:
         self._rebuild = rebuild
         self._driver = driver
@@ -329,7 +392,7 @@ class _Prober:
 
 
 def bracket_search(
-    rebuild: Callable[[float], AnalysisProblem],
+    rebuild: Callable[[float], Union[AnalysisProblem, OverlayProblem]],
     *,
     driver: SearchDriver,
     max_factor: float,

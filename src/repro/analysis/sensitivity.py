@@ -13,13 +13,20 @@ with plain :func:`repro.analyze` calls, but passing a batched
 problems out through the cache-backed batch engine — same verdicts, same probe
 trace, a fraction of the wall clock, and zero analyzer invocations on a warm
 cache.
+
+Probes are built as **parameter overlays** over one compiled problem kernel
+(:mod:`repro.core.kernel`): the base problem's graph structure, mapping,
+platform and arbiter are compiled exactly once per search, and every probed
+factor is a cheap scaled WCET/demand vector against that kernel — no graph
+copies, no re-validation, identical digests (and therefore identical cache
+entries) to the materialized scaled problems.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..core import AnalysisProblem
+from ..core import AnalysisProblem, OverlayProblem, compile_problem
 from ..errors import AnalysisError
 from ..model import MemoryDemand, TaskGraph
 from .search import SearchDriver, SensitivityResult, bracket_search, resolve_algorithm
@@ -96,18 +103,15 @@ def memory_sensitivity(
     ``driver=None`` probes serially with ``algorithm`` (default incremental);
     a :class:`SearchDriver` batches the probe generations through the engine
     under the driver's algorithm (a conflicting explicit ``algorithm`` is
-    rejected).
+    rejected).  The base problem is compiled into a kernel exactly once;
+    every probe is a demand-vector overlay against it.
     """
+    kernel = compile_problem(problem)
 
-    def rebuild(factor: float) -> AnalysisProblem:
-        return AnalysisProblem(
-            graph=scale_memory_demand(problem.graph, factor),
-            mapping=problem.mapping,
-            platform=problem.platform,
-            arbiter=problem.arbiter,
-            horizon=problem.horizon,
+    def rebuild(factor: float) -> OverlayProblem:
+        return kernel.with_overlay(
+            kernel.scaled_demand_overlay(factor),
             name=f"{problem.name}-mem-x{factor:.2f}",
-            validate=False,
         )
 
     return _sensitivity_search(
@@ -133,18 +137,15 @@ def wcet_sensitivity(
     ``driver=None`` probes serially with ``algorithm`` (default incremental);
     a :class:`SearchDriver` batches the probe generations through the engine
     under the driver's algorithm (a conflicting explicit ``algorithm`` is
-    rejected).
+    rejected).  The base problem is compiled into a kernel exactly once;
+    every probe is a WCET-vector overlay against it.
     """
+    kernel = compile_problem(problem)
 
-    def rebuild(factor: float) -> AnalysisProblem:
-        return AnalysisProblem(
-            graph=scale_wcets(problem.graph, factor),
-            mapping=problem.mapping,
-            platform=problem.platform,
-            arbiter=problem.arbiter,
-            horizon=problem.horizon,
+    def rebuild(factor: float) -> OverlayProblem:
+        return kernel.with_overlay(
+            kernel.scaled_wcet_overlay(factor),
             name=f"{problem.name}-wcet-x{factor:.2f}",
-            validate=False,
         )
 
     return _sensitivity_search(

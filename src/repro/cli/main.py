@@ -42,6 +42,7 @@ from ..bench import (
     run_scaling_study,
 )
 from ..core import analyze, available_algorithms, compare_schedules
+from ..core.kernel import compilation_count
 from ..engine import BatchAnalyzer, ProgressEvent
 from ..errors import BatchExecutionError, ReproError
 from ..generators import fixed_ls_workload, fixed_nl_workload
@@ -426,7 +427,8 @@ def _command_batch(args: argparse.Namespace) -> int:
             else "0 analysed"
         )
         print(
-            f"\n{report.total} problem(s): {computed}, {report.cached} served from cache "
+            f"\n{report.total} problem(s) over {report.structures} structure(s): "
+            f"{computed}, {report.cached} served from cache "
             f"(hits={stats.hits}, misses={stats.misses})"
         )
     else:
@@ -453,6 +455,7 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_search(args: argparse.Namespace) -> int:
+    compilations_before = compilation_count()
     problem = load_problem(args.problem)
     if args.horizon is not None:
         problem = problem.with_horizon(args.horizon)
@@ -542,6 +545,13 @@ def _command_search(args: argparse.Namespace) -> int:
             f"{driver.total_cached} served from cache "
             f"(hits={stats.hits}, misses={stats.misses})"
         )
+    # delta re-analysis observability: a whole search should compile its base
+    # problem once, however many probe variants it evaluated (per process:
+    # spawn-pool workers each hold their own one-per-structure memo)
+    print(
+        "kernel compilations (client process): "
+        f"{compilation_count() - compilations_before}"
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)

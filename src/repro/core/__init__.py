@@ -14,12 +14,24 @@ from .events import AnalysisTrace, CursorEvent
 from .fixedpoint import FixedPointAnalyzer, analyze_fixedpoint
 from .incremental import IncrementalAnalyzer, analyze_incremental
 from .interference import IbusCallCounter, InterferenceTracker, interference_from_overlaps
+from .kernel import (
+    CompiledProblem,
+    OverlayProblem,
+    ParamOverlay,
+    compilation_count,
+    compile_problem,
+)
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
 from .validation import interference_is_exact, schedule_violations, validate_schedule
 
 __all__ = [
     "AnalysisProblem",
+    "CompiledProblem",
+    "ParamOverlay",
+    "OverlayProblem",
+    "compile_problem",
+    "compilation_count",
     "Schedule",
     "ScheduledTask",
     "ScheduleStats",

@@ -9,11 +9,12 @@ Most users only ever need::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..errors import AnalysisError, UnschedulableError
 from .fixedpoint import FixedPointAnalyzer, analyze_fixedpoint
 from .incremental import IncrementalAnalyzer, analyze_incremental
+from .kernel import OverlayProblem
 from .problem import AnalysisProblem
 from .schedule import Schedule
 
@@ -63,16 +64,30 @@ def get_algorithm(name: str) -> AlgorithmFunction:
         ) from None
 
 
-def analyze(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:
+def analyze(
+    problem: Union[AnalysisProblem, OverlayProblem], algorithm: str = INCREMENTAL
+) -> Schedule:
     """Run the named algorithm on ``problem`` and return its :class:`Schedule`.
 
     The returned schedule may be flagged unschedulable; no exception is raised
     for that outcome (use :func:`analyze_or_raise` if you prefer exceptions).
+
+    ``problem`` may also be an :class:`~repro.core.kernel.OverlayProblem` —
+    a precompiled kernel plus a parameter overlay.  Kernel-aware algorithms
+    (the built-in ``incremental`` and ``fixedpoint``: their registered
+    functions carry a truthy ``kernel_aware`` attribute) consume it directly;
+    every other registered algorithm receives the materialized
+    :class:`AnalysisProblem`, so plug-ins work unchanged.
     """
-    return get_algorithm(algorithm)(problem)
+    function = get_algorithm(algorithm)
+    if isinstance(problem, OverlayProblem) and not getattr(function, "kernel_aware", False):
+        problem = problem.materialize()
+    return function(problem)
 
 
-def analyze_or_raise(problem: AnalysisProblem, algorithm: str = INCREMENTAL) -> Schedule:
+def analyze_or_raise(
+    problem: Union[AnalysisProblem, OverlayProblem], algorithm: str = INCREMENTAL
+) -> Schedule:
     """Like :func:`analyze` but raises :class:`~repro.errors.UnschedulableError`
     when the resulting schedule is not schedulable."""
     schedule = analyze(problem, algorithm)

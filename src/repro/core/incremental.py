@@ -22,19 +22,26 @@ added — on both sides — through :class:`repro.core.interference.Interference
 Because the number of simultaneously alive tasks is bounded by the number of
 cores, the overall complexity is ``O(c² · b · n²)`` ≈ ``O(n²)`` for a fixed
 platform (Section IV-B of the paper), compared to ``O(n⁴)`` for the baseline.
+
+The analyzer runs on the integer-indexed :class:`~repro.core.kernel.CompiledProblem`
+arrays: a plain :class:`~repro.core.problem.AnalysisProblem` is compiled on
+entry (``ScheduleStats.kernel_compilations == 1``), while an
+:class:`~repro.core.kernel.OverlayProblem` reuses its precompiled kernel
+(``kernel_compilations == 0``) — which is what lets a sensitivity search over
+hundreds of parameter variants walk the graph structure exactly once.  The
+cursor starts at the earliest minimal release date rather than 0, skipping
+the no-op step a workload whose every task releases late used to pay.
 """
 
 from __future__ import annotations
 
 import heapq
 import time as _time
-from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import AnalysisError
-from ..model import MemoryDemand
 from .events import AnalysisTrace
 from .interference import IbusCallCounter, InterferenceTracker
+from .kernel import OverlayProblem, compile_problem
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
 
@@ -46,22 +53,22 @@ _INFINITY = float("inf")
 class _AliveTask:
     """Mutable record of a task currently in the Alive set."""
 
-    __slots__ = ("name", "core", "release", "wcet", "demand", "tracker")
+    __slots__ = ("index", "name", "core", "release", "wcet", "tracker")
 
     def __init__(
         self,
+        index: int,
         name: str,
         core: int,
         release: int,
         wcet: int,
-        demand: MemoryDemand,
         tracker: InterferenceTracker,
     ) -> None:
+        self.index = index
         self.name = name
         self.core = core
         self.release = release
         self.wcet = wcet
-        self.demand = demand
         self.tracker = tracker
 
     @property
@@ -85,7 +92,9 @@ class IncrementalAnalyzer:
     Parameters
     ----------
     problem:
-        The analysis problem (graph, mapping, platform, arbiter, horizon).
+        The analysis problem (graph, mapping, platform, arbiter, horizon) —
+        or an :class:`~repro.core.kernel.OverlayProblem`, whose precompiled
+        kernel is reused instead of re-deriving the static structure.
     trace:
         Pass an :class:`~repro.core.events.AnalysisTrace` (or ``True`` to
         create one) to record a cursor event per iteration; retrieve it from
@@ -94,7 +103,7 @@ class IncrementalAnalyzer:
 
     def __init__(
         self,
-        problem: AnalysisProblem,
+        problem: Union[AnalysisProblem, OverlayProblem],
         *,
         trace: "AnalysisTrace | bool | None" = None,
     ) -> None:
@@ -113,56 +122,82 @@ class IncrementalAnalyzer:
         :attr:`Schedule.schedulable` instead."""
         started = _time.perf_counter()
         problem = self.problem
-        graph = problem.graph
-        mapping = problem.mapping
-        platform = problem.platform
-        arbiter = problem.arbiter
-        horizon = problem.horizon
+        if isinstance(problem, OverlayProblem):
+            kernel = problem.kernel
+            wcet = problem.wcet_vector()
+            demand = problem.demand_vector()
+            horizon = problem.horizon
+            compiled = 0
+        else:
+            if problem.task_count == 0:
+                stats = ScheduleStats(algorithm="incremental")
+                return Schedule(
+                    [], algorithm="incremental", stats=stats, problem_name=problem.name
+                )
+            kernel = compile_problem(problem)
+            wcet = kernel.wcet
+            demand = kernel.demand
+            horizon = kernel.horizon
+            compiled = 1
+        problem_name = problem.name
+        platform = kernel.problem.platform
+        arbiter = kernel.problem.arbiter
         counter = IbusCallCounter()
 
-        task_count = graph.task_count
+        task_count = kernel.task_count
         if task_count == 0:
-            stats = ScheduleStats(algorithm="incremental")
-            return Schedule([], algorithm="incremental", stats=stats, problem_name=problem.name)
+            stats = ScheduleStats(algorithm="incremental", kernel_compilations=compiled)
+            return Schedule(
+                [], algorithm="incremental", stats=stats, problem_name=problem_name
+            )
 
-        # --- static problem data -------------------------------------------------
-        wcet: Dict[str, int] = {}
-        demand: Dict[str, MemoryDemand] = {}
-        min_release: Dict[str, int] = {}
-        core_of: Dict[str, int] = {}
-        for task in graph:
-            wcet[task.name] = task.wcet
-            demand[task.name] = task.demand
-            min_release[task.name] = task.min_release
-            core_of[task.name] = mapping.core_of(task.name)
+        # --- static problem data, straight from the kernel's index arrays -------
+        names = kernel.names
+        min_release = kernel.min_release
+        core_of = kernel.core_of
+        pred_offsets, dep_offsets = kernel.pred_offsets, kernel.dep_offsets
+        dep_list = kernel.dep_list
+        #: unresolved effective-predecessor count per task (the kernel's CSR
+        #: rows are deduplicated, so a plain countdown is exact)
+        pending: List[int] = [
+            pred_offsets[i + 1] - pred_offsets[i] for i in range(task_count)
+        ]
 
-        pending: Dict[str, Set[str]] = {
-            name: set(preds) for name, preds in problem.effective_predecessor_map().items()
-        }
-        dependents: Dict[str, List[str]] = {name: [] for name in pending}
-        for consumer, preds in pending.items():
-            for producer in preds:
-                dependents[producer].append(consumer)
+        core_ids = kernel.core_ids
+        core_orders = kernel.core_orders
+        #: per core: cursor into its execution order (replaces the old deques)
+        core_heads: List[int] = [0] * len(core_ids)
 
-        core_queues: Dict[int, deque] = {
-            core: deque(order) for core, order in mapping.items()
-        }
-        core_ids = sorted(core_queues)
-
-        # min-heap of (min_release, name) for tasks not yet opened, used to find
+        # min-heap of (min_release, id) for tasks not yet opened, used to find
         # the next interesting future date in O(log n)
-        future_heap: List[Tuple[int, str]] = [
-            (min_release[name], name) for name in pending
+        future_heap: List[Tuple[int, int]] = [
+            (min_release[i], i) for i in range(task_count)
         ]
         heapq.heapify(future_heap)
 
-        alive: Dict[str, _AliveTask] = {}
-        closed: Dict[str, ScheduledTask] = {}
-        opened: Set[str] = set()
+        alive: Dict[int, _AliveTask] = {}
+        entries: List[ScheduledTask] = []
+        opened: List[bool] = [False] * task_count
+        opened_count = 0
         cursor_steps = 0
         unschedulable = False
 
-        t: float = 0.0
+        # start the cursor at the earliest minimal release date: nothing can
+        # open before it, so the old ``t = 0`` first step was a guaranteed
+        # no-op whenever every task releases late
+        start = min(min_release)
+        if horizon is not None and start > horizon:
+            # even the first release lies beyond the deadline; mirror the old
+            # behaviour exactly (one no-op cursor step at t = 0, then abort)
+            cursor_steps = 1
+            if self.trace is not None:
+                self.trace.record(
+                    time=0, closed=[], opened=[], alive=[], future_count=task_count
+                )
+            unschedulable = True
+            t: float = _INFINITY
+        else:
+            t = float(start)
         while t < _INFINITY:
             cursor_steps += 1
             now = int(t)
@@ -170,26 +205,26 @@ class IncrementalAnalyzer:
             # ---- step 1-2: close tasks whose window ends exactly now ----------
             closing = [item for item in alive.values() if item.finish == now]
             for item in closing:
-                entry = item.to_entry()
-                closed[item.name] = entry
-                del alive[item.name]
-                for consumer in dependents[item.name]:
-                    pending[consumer].discard(item.name)
+                entries.append(item.to_entry())
+                del alive[item.index]
+                for consumer in dep_list[dep_offsets[item.index] : dep_offsets[item.index + 1]]:
+                    pending[consumer] -= 1
 
             # ---- step 3-4: open the next task of each core when possible ------
             opening: List[_AliveTask] = []
-            for core in core_ids:
-                queue = core_queues[core]
-                if not queue:
+            for slot, order in enumerate(core_orders):
+                position = core_heads[slot]
+                if position >= len(order):
                     continue
-                head = queue[0]
+                head = order[position]
                 if pending[head]:
                     continue
                 if min_release[head] > now:
                     continue
-                queue.popleft()
+                core_heads[slot] = position + 1
+                core = core_ids[slot]
                 tracker = InterferenceTracker(
-                    name=head,
+                    name=names[head],
                     core=core,
                     demand=demand[head],
                     arbiter=arbiter,
@@ -197,35 +232,37 @@ class IncrementalAnalyzer:
                     counter=counter,
                 )
                 item = _AliveTask(
-                    name=head,
+                    index=head,
+                    name=names[head],
                     core=core,
                     release=now,
                     wcet=wcet[head],
-                    demand=demand[head],
                     tracker=tracker,
                 )
                 opening.append(item)
-                opened.add(head)
+                opened[head] = True
+                opened_count += 1
 
             # ---- step 5: account interference between new and alive tasks ------
             # Each newly opened task exchanges interference with every task that
             # is already alive (and with the new tasks processed before it in
             # this very step); tasks on the same core never interfere.
             for item in opening:
+                item_demand = demand[item.index]
                 for other in alive.values():
                     if other.core == item.core:
                         continue
-                    other.tracker.add_source(item.name, item.core, item.demand)
-                    item.tracker.add_source(other.name, other.core, other.demand)
-                alive[item.name] = item
+                    other.tracker.add_source(item.name, item.core, item_demand)
+                    item.tracker.add_source(other.name, other.core, demand[other.index])
+                alive[item.index] = item
 
             if self.trace is not None:
                 self.trace.record(
                     time=now,
                     closed=[item.name for item in closing],
                     opened=[item.name for item in opening],
-                    alive=sorted(alive.keys()),
-                    future_count=task_count - len(opened),
+                    alive=sorted(item.name for item in alive.values()),
+                    future_count=task_count - opened_count,
                 )
 
             # ---- step 6: advance the cursor ------------------------------------
@@ -235,7 +272,7 @@ class IncrementalAnalyzer:
                 if finish < t_next:
                     t_next = finish
             # earliest *strictly future* minimal release date of an unopened task
-            while future_heap and (future_heap[0][0] <= now or future_heap[0][1] in opened):
+            while future_heap and (future_heap[0][0] <= now or opened[future_heap[0][1]]):
                 heapq.heappop(future_heap)
             if future_heap and future_heap[0][0] < t_next:
                 t_next = future_heap[0][0]
@@ -246,11 +283,10 @@ class IncrementalAnalyzer:
             t = t_next
 
         # --- wrap up --------------------------------------------------------------
-        entries = list(closed.values())
         # tasks still alive when the loop stopped (horizon exceeded) keep their
         # current — possibly still growing — interference for diagnostic purposes
         entries.extend(item.to_entry() for item in alive.values())
-        never_opened = [name for name in pending if name not in opened]
+        never_opened = [names[i] for i in range(task_count) if not opened[i]]
         if never_opened:
             unschedulable = True
 
@@ -263,6 +299,7 @@ class IncrementalAnalyzer:
             cursor_steps=cursor_steps,
             ibus_calls=counter.count,
             wall_time_seconds=_time.perf_counter() - started,
+            kernel_compilations=compiled,
         )
         return Schedule(
             entries,
@@ -270,14 +307,19 @@ class IncrementalAnalyzer:
             schedulable=not unschedulable,
             unscheduled=never_opened,
             stats=stats,
-            problem_name=problem.name,
+            problem_name=problem_name,
         )
 
 
 def analyze_incremental(
-    problem: AnalysisProblem,
+    problem: Union[AnalysisProblem, OverlayProblem],
     *,
     trace: "AnalysisTrace | bool | None" = None,
 ) -> Schedule:
     """Convenience wrapper: run :class:`IncrementalAnalyzer` and return the schedule."""
     return IncrementalAnalyzer(problem, trace=trace).run()
+
+
+#: the registry dispatcher hands OverlayProblems straight through (no
+#: materialization) — this analyzer consumes the compiled kernel natively
+analyze_incremental.kernel_aware = True  # type: ignore[attr-defined]

@@ -1,0 +1,499 @@
+"""Compiled problem kernel: integer-indexed analysis structure + parameter overlays.
+
+The design-space workloads of :mod:`repro.analysis` (sensitivity bracketing,
+horizon minimisation, bench sweeps) analyse hundreds of *perturbed variants of
+one problem*: same graph, same mapping, same platform, same arbiter — only the
+WCET vector, the memory-demand vector or the horizon change between probes.
+Before this module existed, every probe re-derived all static structure from
+scratch: string-keyed predecessor maps, topological orders, per-core queues.
+
+A :class:`CompiledProblem` derives that structure **once**:
+
+* dense task-id arrays for WCET, memory demand, minimal release date and core
+  assignment (task ids follow the graph's insertion order, so they round-trip
+  the JSON wire format);
+* CSR-style adjacency for the *effective* dependency relation — graph edges
+  plus the implicit same-core "mapping edges" (see
+  :meth:`~repro.core.problem.AnalysisProblem.effective_predecessors`) — in
+  both directions (predecessors and dependents);
+* the effective topological order (with the same tie-breaking the fixed-point
+  baseline used, so iteration orders — and therefore results — are preserved);
+* per-core execution orders as index arrays;
+* the bank table: which banks exist, which are reserved, which tasks access
+  each shared bank.
+
+A :class:`ParamOverlay` is a cheap delta against that structure: a replacement
+WCET vector, a replacement demand vector and/or an alternate horizon.
+:class:`OverlayProblem` pairs a kernel with an overlay; both analyzers
+(:class:`~repro.core.incremental.IncrementalAnalyzer`,
+:class:`~repro.core.fixedpoint.FixedPointAnalyzer`) run on it natively —
+no graph copy, no re-validation, no re-walk of the adjacency.  Algorithms that
+are not kernel-aware receive :meth:`OverlayProblem.materialize`, a real
+:class:`~repro.core.problem.AnalysisProblem`, so plug-ins keep working.
+
+Kernel compilations are counted process-wide (:func:`compilation_count`) and
+per-schedule (:attr:`~repro.core.schedule.ScheduleStats.kernel_compilations`),
+which is how the tests prove a warm sensitivity search compiles its base
+problem exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError, ModelError
+from ..model import MemoryDemand
+from .problem import AnalysisProblem
+
+__all__ = [
+    "KEEP_HORIZON",
+    "CompiledProblem",
+    "ParamOverlay",
+    "OverlayProblem",
+    "compile_problem",
+    "compilation_count",
+]
+
+
+class _KeepHorizon:
+    """Sentinel: the overlay keeps the kernel's own horizon (None is a real value)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "KEEP_HORIZON"
+
+
+#: pass as ``ParamOverlay(horizon=...)`` default — "do not touch the horizon"
+KEEP_HORIZON = _KeepHorizon()
+
+_COMPILATION_LOCK = threading.Lock()
+_COMPILATIONS = 0
+
+
+def compilation_count() -> int:
+    """Process-wide number of :class:`CompiledProblem` constructions so far.
+
+    The observability hook behind the "compile the base problem exactly once"
+    acceptance check: snapshot it, run a warm search, assert the delta.
+    """
+    return _COMPILATIONS
+
+
+def _count_compilation() -> None:
+    global _COMPILATIONS
+    with _COMPILATION_LOCK:
+        _COMPILATIONS += 1
+
+
+class CompiledProblem:
+    """Immutable integer-indexed compilation of an :class:`AnalysisProblem`.
+
+    Task ids are the graph's insertion order (index ``i`` ↔ ``names[i]``).
+    The adjacency arrays describe the *effective* dependency relation:
+    ``pred_list[pred_offsets[i]:pred_offsets[i+1]]`` are the ids task ``i``
+    waits for (graph predecessors plus the task just before ``i`` on its own
+    core), ``dep_list``/``dep_offsets`` the reverse relation.
+
+    The compiled structure is shared freely across overlays and threads; it is
+    never mutated after construction (the lazily cached structure digest is
+    write-once).  Compile through :func:`compile_problem` (or
+    :meth:`CompiledProblem.compile`) so the process-wide compilation counter
+    stays accurate.
+    """
+
+    __slots__ = (
+        "problem",
+        "names",
+        "index_of",
+        "wcet",
+        "demand",
+        "min_release",
+        "core_of",
+        "pred_offsets",
+        "pred_list",
+        "dep_offsets",
+        "dep_list",
+        "topo_order",
+        "cyclic_tasks",
+        "core_ids",
+        "core_orders",
+        "bank_ids",
+        "reserved_banks",
+        "bank_tasks",
+        "sorted_order",
+        "_structure_digest",
+    )
+
+    def __init__(self, problem: AnalysisProblem) -> None:
+        self.problem = problem
+        graph = problem.graph
+        mapping = problem.mapping
+
+        names: List[str] = []
+        wcet: List[int] = []
+        demand: List[MemoryDemand] = []
+        min_release: List[int] = []
+        for task in graph:
+            names.append(task.name)
+            wcet.append(task.wcet)
+            demand.append(task.demand)
+            min_release.append(task.min_release)
+        self.names: Tuple[str, ...] = tuple(names)
+        self.index_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.wcet: Tuple[int, ...] = tuple(wcet)
+        self.demand: Tuple[MemoryDemand, ...] = tuple(demand)
+        self.min_release: Tuple[int, ...] = tuple(min_release)
+        self.core_of: Tuple[int, ...] = tuple(mapping.core_of(name) for name in names)
+
+        n = len(names)
+        index_of = self.index_of
+        # effective predecessors: graph edges + the implicit same-core edge,
+        # deduplicated (the core predecessor may also be a graph predecessor)
+        preds: List[List[int]] = []
+        for i, name in enumerate(names):
+            merged = [index_of[pred] for pred in graph.predecessors(name)]
+            core_pred = mapping.predecessor_on_core(name)
+            if core_pred is not None:
+                core_idx = index_of[core_pred]
+                if core_idx not in merged:
+                    merged.append(core_idx)
+            preds.append(merged)
+        deps: List[List[int]] = [[] for _ in range(n)]
+        for consumer, merged in enumerate(preds):
+            for producer in merged:
+                deps[producer].append(consumer)
+        self.pred_offsets, self.pred_list = _csr(preds)
+        self.dep_offsets, self.dep_list = _csr(deps)
+
+        # effective topological order, Kahn's algorithm with the historical
+        # tie-breaking (ready list seeded in insertion order, consumers
+        # appended as they unlock); a contradiction between the per-core
+        # orders and the dependencies leaves the order partial and the
+        # offending tasks in ``cyclic_tasks``
+        in_degree = [len(merged) for merged in preds]
+        ready = [i for i in range(n) if in_degree[i] == 0]
+        head = 0
+        while head < len(ready):
+            node = ready[head]
+            head += 1
+            for consumer in deps[node]:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+        self.topo_order: Tuple[int, ...] = tuple(ready)
+        if len(ready) != n:
+            ordered = set(ready)
+            self.cyclic_tasks: Tuple[str, ...] = tuple(
+                sorted(name for i, name in enumerate(names) if i not in ordered)
+            )
+        else:
+            self.cyclic_tasks = ()
+
+        self.core_ids: Tuple[int, ...] = tuple(sorted(mapping.cores()))
+        self.core_orders: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index_of[name] for name in mapping.order_on(core))
+            for core in self.core_ids
+        )
+
+        platform = problem.platform
+        self.bank_ids: Tuple[int, ...] = tuple(platform.bank_ids())
+        self.reserved_banks: frozenset = frozenset(
+            bank.identifier
+            for bank in platform.banks()
+            if bank.reserved_for is not None
+        )
+        #: per shared bank: ids of the tasks with non-zero demand on it (the
+        #: fixed-point sweep prunes its interference calls with this table)
+        bank_tasks: Dict[int, List[int]] = {}
+        for i, task_demand in enumerate(self.demand):
+            for bank_id in task_demand.banks():
+                if bank_id not in self.reserved_banks:
+                    bank_tasks.setdefault(bank_id, []).append(i)
+        self.bank_tasks: Dict[int, Tuple[int, ...]] = {
+            bank: tuple(ids) for bank, ids in bank_tasks.items()
+        }
+
+        #: task ids sorted by name — the order the canonical digest renders
+        #: parameter vectors in (see repro.engine.jobs.split_problem_digests)
+        self.sorted_order: Tuple[int, ...] = tuple(
+            sorted(range(n), key=names.__getitem__)
+        )
+        self._structure_digest: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compile(cls, problem: AnalysisProblem) -> "CompiledProblem":
+        """Compile ``problem`` (counts toward :func:`compilation_count`)."""
+        return compile_problem(problem)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.names)
+
+    @property
+    def horizon(self) -> Optional[int]:
+        return self.problem.horizon
+
+    def predecessors_of(self, index: int) -> Tuple[int, ...]:
+        """Effective predecessor ids of task ``index`` (CSR slice)."""
+        return tuple(self.pred_list[self.pred_offsets[index] : self.pred_offsets[index + 1]])
+
+    def dependents_of(self, index: int) -> Tuple[int, ...]:
+        """Effective dependent ids of task ``index`` (CSR slice)."""
+        return tuple(self.dep_list[self.dep_offsets[index] : self.dep_offsets[index + 1]])
+
+    # ------------------------------------------------------------------
+    # overlay factories
+    # ------------------------------------------------------------------
+
+    def with_overlay(
+        self, overlay: "ParamOverlay", *, name: Optional[str] = None
+    ) -> "OverlayProblem":
+        """Bind ``overlay`` to this kernel as an analyzable probe."""
+        return OverlayProblem(self, overlay, name=name)
+
+    def scaled_wcet_overlay(self, factor: float) -> "ParamOverlay":
+        """Overlay with every WCET scaled by ``factor`` (min 1 cycle).
+
+        The rounding is exactly :func:`repro.analysis.sensitivity.scale_wcets`'s,
+        so an overlay probe digests — and analyses — identically to the
+        materialized scaled problem.
+        """
+        if factor <= 0:
+            raise AnalysisError("scaling factor must be positive")
+        return ParamOverlay(
+            wcet=tuple(max(int(round(value * factor)), 1) for value in self.wcet)
+        )
+
+    def scaled_demand_overlay(self, factor: float) -> "ParamOverlay":
+        """Overlay with every per-bank demand scaled by ``factor``.
+
+        Mirrors :func:`repro.analysis.sensitivity.scale_memory_demand`,
+        including the clamp that keeps a non-zero demand from rounding down to
+        zero (which would silently drop the task from arbitration).
+        """
+        if factor < 0:
+            raise AnalysisError("scaling factor must be non-negative")
+        scaled: List[MemoryDemand] = []
+        for task_demand in self.demand:
+            counts: Dict[int, int] = {}
+            for bank, count in task_demand.items():
+                scaled_count = int(round(count * factor))
+                if count > 0 and factor > 0:
+                    scaled_count = max(scaled_count, 1)
+                counts[bank] = scaled_count
+            scaled.append(MemoryDemand(counts))
+        return ParamOverlay(demand=tuple(scaled))
+
+
+def _csr(rows: Sequence[Sequence[int]]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Pack a list-of-lists adjacency into (offsets, flat values)."""
+    offsets = [0]
+    values: List[int] = []
+    for row in rows:
+        values.extend(row)
+        offsets.append(len(values))
+    return tuple(offsets), tuple(values)
+
+
+def compile_problem(problem: AnalysisProblem) -> "CompiledProblem":
+    """Compile ``problem`` into a :class:`CompiledProblem` (one structure walk).
+
+    Compilation is O(tasks + edges); it performs no validation (problems are
+    validated at construction) and no analysis.  Every call counts toward
+    :func:`compilation_count` — reuse the returned kernel across parameter
+    variants instead of recompiling per probe.
+    """
+    kernel = CompiledProblem(problem)
+    _count_compilation()
+    return kernel
+
+
+class ParamOverlay:
+    """Immutable parameter delta against a :class:`CompiledProblem`.
+
+    ``wcet`` and ``demand`` are full replacement vectors in task-id order
+    (``None`` keeps the kernel's own vector); ``horizon`` replaces the global
+    deadline — pass :data:`KEEP_HORIZON` (the default) to keep the kernel's,
+    ``None`` to analyse unconstrained.  Overlays are value objects: equal
+    content hashes and compares equal, which keeps them usable as dict keys.
+    """
+
+    __slots__ = ("wcet", "demand", "horizon")
+
+    def __init__(
+        self,
+        *,
+        wcet: Optional[Sequence[int]] = None,
+        demand: Optional[Sequence[MemoryDemand]] = None,
+        horizon: object = KEEP_HORIZON,
+    ) -> None:
+        object.__setattr__(self, "wcet", None if wcet is None else tuple(int(v) for v in wcet))
+        object.__setattr__(
+            self, "demand", None if demand is None else tuple(demand)
+        )
+        if horizon is not KEEP_HORIZON and horizon is not None:
+            horizon = int(horizon)
+            if horizon <= 0:
+                raise ModelError(f"horizon must be positive when given, got {horizon}")
+        object.__setattr__(self, "horizon", horizon)
+        if self.wcet is not None and any(value <= 0 for value in self.wcet):
+            raise ModelError("overlay wcet vector must be strictly positive")
+        if self.demand is not None and not all(
+            isinstance(entry, MemoryDemand) for entry in self.demand
+        ):
+            raise ModelError("overlay demand vector must hold MemoryDemand values")
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("ParamOverlay is immutable")
+
+    @property
+    def keeps_horizon(self) -> bool:
+        return self.horizon is KEEP_HORIZON
+
+    def is_identity(self) -> bool:
+        """True when the overlay changes nothing (pure structural reuse)."""
+        return self.wcet is None and self.demand is None and self.keeps_horizon
+
+    def _key(self) -> Tuple:
+        horizon = "keep" if self.keeps_horizon else ("none", self.horizon)
+        return (self.wcet, self.demand, horizon)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParamOverlay):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.wcet is not None:
+            parts.append(f"wcet[{len(self.wcet)}]")
+        if self.demand is not None:
+            parts.append(f"demand[{len(self.demand)}]")
+        if not self.keeps_horizon:
+            parts.append(f"horizon={self.horizon}")
+        return f"ParamOverlay({', '.join(parts) or 'identity'})"
+
+
+class OverlayProblem:
+    """A compiled kernel plus a parameter overlay — analyzable like a problem.
+
+    The kernel-aware analyzers run it directly on the index arrays (no graph
+    copy, no validation, no structure walk); everything else —
+    non-kernel-aware plug-in algorithms, the JSON problem format — goes
+    through :meth:`materialize`, which builds (and caches) an equivalent
+    :class:`AnalysisProblem`.  The overlay vectors must match the kernel's
+    task count.
+
+    ``name`` labels the probe (defaults to the base problem's name); like
+    problem names everywhere in the engine it is a label, not content — it
+    does not participate in digests.
+    """
+
+    __slots__ = ("kernel", "overlay", "name", "_materialized")
+
+    def __init__(
+        self,
+        kernel: CompiledProblem,
+        overlay: ParamOverlay,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        n = kernel.task_count
+        if overlay.wcet is not None and len(overlay.wcet) != n:
+            raise ModelError(
+                f"overlay wcet vector has {len(overlay.wcet)} entries for {n} task(s)"
+            )
+        if overlay.demand is not None and len(overlay.demand) != n:
+            raise ModelError(
+                f"overlay demand vector has {len(overlay.demand)} entries for {n} task(s)"
+            )
+        self.kernel = kernel
+        self.overlay = overlay
+        self.name = name if name is not None else kernel.problem.name
+        self._materialized: Optional[AnalysisProblem] = None
+
+    # -- problem-like surface -------------------------------------------
+
+    @property
+    def task_count(self) -> int:
+        return self.kernel.task_count
+
+    @property
+    def horizon(self) -> Optional[int]:
+        if self.overlay.keeps_horizon:
+            return self.kernel.horizon
+        return self.overlay.horizon  # type: ignore[return-value]
+
+    @property
+    def arbiter(self):
+        return self.kernel.problem.arbiter
+
+    @property
+    def platform(self):
+        return self.kernel.problem.platform
+
+    @property
+    def mapping(self):
+        return self.kernel.problem.mapping
+
+    @property
+    def graph(self):
+        """Task graph with the overlay applied (materializes on first access)."""
+        return self.materialize().graph
+
+    # -- resolved parameter vectors -------------------------------------
+
+    def wcet_vector(self) -> Tuple[int, ...]:
+        return self.overlay.wcet if self.overlay.wcet is not None else self.kernel.wcet
+
+    def demand_vector(self) -> Tuple[MemoryDemand, ...]:
+        return (
+            self.overlay.demand if self.overlay.demand is not None else self.kernel.demand
+        )
+
+    # -- fallback --------------------------------------------------------
+
+    def materialize(self) -> AnalysisProblem:
+        """Equivalent plain :class:`AnalysisProblem` (built once, then cached).
+
+        The rebuilt problem copies the graph with the overlay's wcet/demand
+        vectors applied and carries the overlay's horizon and this probe's
+        name; validation is skipped (the structure was validated when the
+        base problem was built, and overlays cannot change it).
+        """
+        if self._materialized is None:
+            base = self.kernel.problem
+            wcet = self.wcet_vector()
+            demand = self.demand_vector()
+            graph = base.graph
+            if self.overlay.wcet is not None or self.overlay.demand is not None:
+                graph = graph.copy()
+                for index, name in enumerate(self.kernel.names):
+                    task = graph.task(name)
+                    if task.wcet != wcet[index] or task.demand != demand[index]:
+                        graph.replace_task(
+                            task.with_wcet(wcet[index]).with_demand(demand[index])
+                        )
+            self._materialized = AnalysisProblem(
+                graph=graph,
+                mapping=base.mapping,
+                platform=base.platform,
+                arbiter=base.arbiter,
+                horizon=self.horizon,
+                name=self.name,
+                validate=False,
+            )
+        return self._materialized
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OverlayProblem({self.name!r}, tasks={self.task_count}, "
+            f"overlay={self.overlay!r})"
+        )

@@ -96,6 +96,10 @@ class ScheduleStats:
     inner_iterations: int = 0
     ibus_calls: int = 0
     wall_time_seconds: float = 0.0
+    #: problem-kernel compilations performed by this analysis run: 1 when the
+    #: analyzer was handed a plain problem and compiled it, 0 when it reused a
+    #: precompiled kernel (the delta re-analysis path)
+    kernel_compilations: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -234,6 +238,7 @@ class Schedule:
             inner_iterations=int(stats_data.get("inner_iterations", 0)),
             ibus_calls=int(stats_data.get("ibus_calls", 0)),
             wall_time_seconds=float(stats_data.get("wall_time_seconds", 0.0)),
+            kernel_compilations=int(stats_data.get("kernel_compilations", 0)),
         )
         return cls(
             entries=[ScheduledTask.from_dict(record) for record in data.get("entries", [])],

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import warnings
 from typing import Dict, Iterable, List, Optional, Union
 
-from ..core import AnalysisProblem, Schedule
+from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..core.analyzer import INCREMENTAL
 from ..errors import BatchExecutionError, CacheError, EngineError
 from .cache import PathLike, ResultCache
@@ -46,7 +46,10 @@ class BatchReport:
     ``computed`` counts actual analyzer invocations; ``cached`` counts jobs
     served without one (cache hits plus intra-batch duplicates); ``workers``
     is the number of workers actually used (0 when everything came from the
-    cache, never more than the number of computed jobs).
+    cache, never more than the number of computed jobs).  ``structures``
+    counts the distinct structure digests across the batch — a sensitivity
+    sweep of N parameter variants of one problem reports ``structures == 1``,
+    which is the shared-structure stratification the overlay path exploits.
     """
 
     schedules: List[Schedule]
@@ -54,6 +57,7 @@ class BatchReport:
     cached: int
     computed: int
     workers: int
+    structures: int = 0
 
     @property
     def total(self) -> int:
@@ -117,11 +121,17 @@ class BatchAnalyzer:
 
     def run(
         self,
-        problems: Iterable[AnalysisProblem],
+        problems: Iterable[Union[AnalysisProblem, OverlayProblem]],
         *,
         progress: Optional[ProgressCallback] = None,
     ) -> BatchReport:
-        """Analyse every problem; cached results are served without running."""
+        """Analyse every problem; cached results are served without running.
+
+        ``problems`` may mix plain problems and
+        :class:`~repro.core.OverlayProblem` probes (compiled kernel +
+        parameter delta); both digest identically for identical content, so
+        the cache and the intra-batch dedup treat them interchangeably.
+        """
         jobs = [
             AnalysisJob(problem=problem, algorithm=self.algorithm, index=index)
             for index, problem in enumerate(problems)
@@ -242,11 +252,12 @@ class BatchAnalyzer:
             cached=served,
             computed=len(misses),
             workers=workers,
+            structures=len({job.structure_digest for job in jobs}),
         )
 
 
 def analyze_many(
-    problems: Iterable[AnalysisProblem],
+    problems: Iterable[Union[AnalysisProblem, OverlayProblem]],
     algorithm: str = INCREMENTAL,
     *,
     max_workers: Optional[int] = None,

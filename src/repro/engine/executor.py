@@ -82,15 +82,22 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _run_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Tuple[int, Dict[str, Any]]]:
+def _run_chunk(
+    payloads: Sequence[Dict[str, Any]],
+    structures: Optional[Dict[str, Any]] = None,
+) -> List[Tuple[int, Dict[str, Any]]]:
     """Worker entry point: run every job of one chunk, return indexed outcomes.
 
     Each outcome is ``{"schedule": ...}`` or ``{"error": ...}`` — one failing
     job must not poison the other jobs of its chunk (or of the batch).
+    ``structures`` is the chunk's shared base-problem table for overlay jobs
+    (one entry per distinct structure digest, factored out of the payloads by
+    :func:`run_jobs_on` so a chunk of N same-structure probes ships — and
+    compiles — its base problem once).
     """
     results: List[Tuple[int, Dict[str, Any]]] = []
     for payload in payloads:
-        job = AnalysisJob.from_payload(payload)
+        job = AnalysisJob.from_payload(payload, structures=structures)
         try:
             results.append((job.index, {"schedule": job.run().to_dict()}))
         except Exception as exc:  # noqa: BLE001 - reported per job, batch continues
@@ -170,10 +177,28 @@ def run_jobs_on(
     chunks = _chunk(payloads, chunksize)
     outcomes: Dict[int, Dict[str, Any]] = {}
     done = 0
-    pending = {
-        pool.submit(_run_chunk, chunk): [payload["index"] for payload in chunk]
-        for chunk in chunks
-    }
+    pending = {}
+    for chunk in chunks:
+        # factor the base problems of overlay jobs into one structure table
+        # per chunk: N same-structure probes ship one base document, and the
+        # worker's kernel memo compiles it once for the whole chunk
+        structures: Dict[str, Any] = {}
+        stripped: List[Dict[str, Any]] = []
+        for payload in chunk:
+            base = payload.get("base_problem")
+            if base is not None:
+                digest_pair = payload.get("split_digests") or []
+                structure_digest = str(digest_pair[0]) if digest_pair else None
+                if structure_digest is not None:
+                    structures.setdefault(structure_digest, base)
+                    payload = {
+                        key: value
+                        for key, value in payload.items()
+                        if key != "base_problem"
+                    }
+            stripped.append(payload)
+        future = pool.submit(_run_chunk, stripped, structures or None)
+        pending[future] = [payload["index"] for payload in stripped]
     while pending:
         finished, _ = wait(pending, return_when=FIRST_COMPLETED)
         for future in finished:

@@ -9,12 +9,23 @@ registry — custom algorithms registered with
 Content digests
 ---------------
 The engine keys its result cache by a *canonical content digest* of the
-problem: a SHA-256 over a normalized JSON rendering built from the primitives
-of :mod:`repro.model.serialization` (tasks sorted by name, dependencies sorted
-by endpoint, mapping and platform in their canonical dict forms, plus the
-arbiter name and the horizon).  Two problems with identical content — however
-they were constructed, in whatever process — produce the same digest, which is
-what makes on-disk cache entries reusable across runs and machines.
+problem, split into two halves:
+
+* the **structure digest** — a SHA-256 over a normalized JSON rendering of
+  everything a :class:`~repro.core.kernel.ParamOverlay` cannot change: task
+  names/minimal releases/deadlines/metadata (sorted by name), dependencies
+  (sorted by endpoint), the mapping, the platform, and the arbiter signature;
+* the **overlay digest** — a SHA-256 over the parameter vectors an overlay
+  *can* change: per-task WCET and memory demand (in sorted-name order) plus
+  the horizon.
+
+:func:`problem_digest` combines the two.  Two problems with identical content
+— however they were constructed (a plain :class:`AnalysisProblem` or an
+:class:`~repro.core.kernel.OverlayProblem` delta against a compiled kernel),
+in whatever process — produce the same digest pair, which is what makes
+on-disk cache entries reusable across runs and machines, *and* lets the cache,
+the intra-batch dedup and the cluster dispatcher stratify hundreds of probe
+variants of one problem by their shared structure half.
 
 Jobs travel to worker processes as payloads that are JSON-compatible except
 for the arbiter, which rides along as the live object so parameterized
@@ -25,6 +36,10 @@ that function in the worker (see :meth:`AnalysisJob.from_payload`) is what
 makes runtime-registered plug-in algorithms work under the ``spawn``
 multiprocessing start method, where workers do not inherit the parent's
 registry: only import-time registrations would otherwise be visible.
+Overlay jobs ship their *base problem once per chunk* (the executor factors
+it into a side table) plus a small per-job delta; workers memoize the
+compiled kernel per structure digest, so a chunk of N same-structure probes
+compiles the structure once, not N times.
 """
 
 from __future__ import annotations
@@ -32,11 +47,13 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
-from ..core import AnalysisProblem, Schedule
+from ..core import AnalysisProblem, CompiledProblem, OverlayProblem, Schedule
 from ..core.analyzer import analyze, get_algorithm, register_algorithm
 from ..errors import AnalysisError, EngineError
 from ..model import graph_to_dict, mapping_to_dict
@@ -45,12 +62,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "canonical_problem_dict",
     "problem_digest",
+    "split_problem_digests",
     "AnalysisJob",
 ]
 
 #: bump when the digest recipe or the cached schedule format changes —
 #: old on-disk cache entries are then ignored rather than misread.
-SCHEMA_VERSION = 1
+#: v2: the digest split into structure + overlay halves.
+SCHEMA_VERSION = 2
 
 
 def _normalize(value: Any, depth: int = 0) -> Any:
@@ -138,6 +157,153 @@ def canonical_problem_dict(problem: AnalysisProblem) -> Dict[str, Any]:
     }
 
 
+def _digest_payload(payload_obj: Any, context: str) -> str:
+    """SHA-256 of the canonical JSON rendering of ``payload_obj``."""
+    try:
+        payload = json.dumps(payload_obj, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise EngineError(f"problem {context!r} cannot be digested: {exc}") from exc
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _split_canonical(problem: AnalysisProblem) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """(structure, parameters) halves of the canonical problem rendering.
+
+    The parameters half carries exactly what a
+    :class:`~repro.core.kernel.ParamOverlay` can change — per-task WCET and
+    demand vectors (in the canonical sorted-by-name task order) plus the
+    horizon; the structure half is everything else.
+    """
+    canonical = canonical_problem_dict(problem)
+    tasks = canonical["graph"]["tasks"]
+    params = {
+        "wcet": [record.pop("wcet") for record in tasks],
+        "accesses": [record.pop("accesses") for record in tasks],
+        "horizon": canonical.pop("horizon"),
+    }
+    return canonical, params
+
+
+def _kernel_structure_digest(kernel: CompiledProblem) -> str:
+    """Structure digest of a compiled kernel (computed once, cached on it)."""
+    if kernel._structure_digest is None:
+        structure, _params = _split_canonical(kernel.problem)
+        kernel._structure_digest = _digest_payload(structure, kernel.problem.name)
+    return kernel._structure_digest
+
+
+def _overlay_params_digest(probe: OverlayProblem) -> str:
+    """Overlay digest of a probe, byte-identical to the materialized problem's.
+
+    The parameter vectors are rendered exactly like
+    :func:`_split_canonical` renders the materialized problem (sorted-name
+    task order, ``{str(bank): count}`` demand dicts), so
+    ``split_problem_digests(probe) == split_problem_digests(probe.materialize())``
+    holds by construction — the cache-correctness property the test suite
+    asserts.
+    """
+    kernel = probe.kernel
+    wcet = probe.wcet_vector()
+    demand = probe.demand_vector()
+    params = {
+        "wcet": [wcet[i] for i in kernel.sorted_order],
+        "accesses": [
+            {str(bank): count for bank, count in demand[i].items()}
+            for i in kernel.sorted_order
+        ],
+        "horizon": probe.horizon,
+    }
+    return _digest_payload(params, probe.name)
+
+
+def _combine_digests(structure: str, overlay: str) -> str:
+    """Fold the two digest halves into the single content digest."""
+    return hashlib.sha256(f"{structure}:{overlay}".encode("utf-8")).hexdigest()
+
+
+def split_problem_digests(
+    problem: Union[AnalysisProblem, OverlayProblem]
+) -> Tuple[str, str]:
+    """``(structure digest, overlay digest)`` of a problem or overlay probe.
+
+    For an :class:`~repro.core.kernel.OverlayProblem` the structure half comes
+    from the (cached) kernel digest and the overlay half from the resolved
+    parameter vectors — no materialization, no graph walk.  For a plain
+    problem both halves are derived from the canonical rendering.  The two
+    paths agree: an overlay probe and its materialized problem digest
+    identically and therefore share cache entries.
+    """
+    if isinstance(problem, OverlayProblem):
+        return _kernel_structure_digest(problem.kernel), _overlay_params_digest(problem)
+    structure, params = _split_canonical(problem)
+    return (
+        _digest_payload(structure, problem.name),
+        _digest_payload(params, problem.name),
+    )
+
+
+#: worker-side memo of compiled kernels keyed by structure digest: a chunk of
+#: same-structure overlay jobs compiles the base problem once, not per job
+_KERNEL_MEMO: "OrderedDict[str, CompiledProblem]" = OrderedDict()
+_KERNEL_MEMO_LIMIT = 32
+_KERNEL_MEMO_LOCK = threading.Lock()
+
+
+def _memo_insert_locked(structure_digest: str, kernel: CompiledProblem) -> None:
+    """Insert into the kernel memo and evict past the bound (lock held)."""
+    _KERNEL_MEMO[structure_digest] = kernel
+    _KERNEL_MEMO.move_to_end(structure_digest)
+    while len(_KERNEL_MEMO) > _KERNEL_MEMO_LIMIT:
+        _KERNEL_MEMO.popitem(last=False)
+
+
+def _kernel_memo_get(structure_digest: Optional[str]) -> Optional[CompiledProblem]:
+    """Memoized kernel for ``structure_digest``, or None."""
+    if structure_digest is None:
+        return None
+    with _KERNEL_MEMO_LOCK:
+        kernel = _KERNEL_MEMO.get(structure_digest)
+        if kernel is not None:
+            _KERNEL_MEMO.move_to_end(structure_digest)
+        return kernel
+
+
+def _kernel_memo_put(structure_digest: str, kernel: CompiledProblem) -> None:
+    """Seed the kernel memo (bounded LRU) with an already-compiled kernel.
+
+    Called parent-side when an overlay payload is built: thread-pool workers
+    share this process and hit the memo directly, and ``fork`` workers
+    inherit it — in both cases the base problem is never compiled (or even
+    re-parsed) a second time.  Only ``spawn`` workers, which share nothing,
+    compile their own copy once per structure.
+    """
+    with _KERNEL_MEMO_LOCK:
+        _memo_insert_locked(structure_digest, kernel)
+
+
+def _kernel_for_structure(
+    structure_digest: Optional[str], base_problem: AnalysisProblem
+) -> CompiledProblem:
+    """Compiled kernel for ``base_problem``, memoized per structure digest.
+
+    Shared by every thread of a thread-backend runtime and by every job of a
+    process worker's lifetime; bounded so a long-lived worker crunching many
+    distinct structures cannot grow without limit.
+    """
+    kernel = _kernel_memo_get(structure_digest)
+    if kernel is not None:
+        return kernel
+    kernel = CompiledProblem.compile(base_problem)
+    if structure_digest is None:
+        return kernel
+    with _KERNEL_MEMO_LOCK:
+        existing = _KERNEL_MEMO.get(structure_digest)
+        if existing is not None:
+            return existing  # another thread won the compile race
+        _memo_insert_locked(structure_digest, kernel)
+    return kernel
+
+
 #: trial-pickle verdicts per live function object (a batch re-checks each
 #: registered function once, not once per job; entries die with the function)
 _PORTABLE_MEMO: "weakref.WeakKeyDictionary[Any, bool]" = weakref.WeakKeyDictionary()
@@ -180,41 +346,74 @@ def _portable_algorithm(name: str) -> Optional[Any]:
     return function if portable else None
 
 
-def problem_digest(problem: AnalysisProblem) -> str:
-    """SHA-256 hex digest of the canonical problem content."""
-    try:
-        payload = json.dumps(
-            canonical_problem_dict(problem), sort_keys=True, separators=(",", ":")
-        )
-    except (TypeError, ValueError) as exc:
-        raise EngineError(f"problem {problem.name!r} cannot be digested: {exc}") from exc
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+def problem_digest(problem: Union[AnalysisProblem, OverlayProblem]) -> str:
+    """SHA-256 hex digest of the canonical problem content.
+
+    The combination of the two :func:`split_problem_digests` halves; identical
+    for an overlay probe and for the equivalent materialized problem.
+    """
+    return _combine_digests(*split_problem_digests(problem))
+
+
+def _rebuild_problem(problem_data: Mapping[str, Any], arbiter: Any) -> AnalysisProblem:
+    """Worker-side problem reconstruction with the live-arbiter override.
+
+    The live object supersedes the recorded name — and custom arbiters may
+    not be registered in the worker at all, so the by-name lookup must not
+    even be attempted when one rides along.
+    """
+    from ..io.json_io import problem_from_dict  # local import: io depends on core
+
+    if arbiter is not None:
+        problem_data = {**problem_data, "arbiter": "round-robin"}
+    problem = problem_from_dict(problem_data)
+    if arbiter is not None:
+        problem = problem.with_arbiter(arbiter)
+    return problem
 
 
 @dataclass
 class AnalysisJob:
     """One unit of batch work: run ``algorithm`` on ``problem``.
 
-    ``index`` is the job's position in the submitted batch; the engine uses it
-    to restore deterministic result ordering regardless of which worker
-    finishes first.
+    ``problem`` may be a plain :class:`~repro.core.AnalysisProblem` or an
+    :class:`~repro.core.kernel.OverlayProblem` (compiled kernel + parameter
+    delta); the two digest identically for identical content, so either form
+    hits the same cache entries.  ``index`` is the job's position in the
+    submitted batch; the engine uses it to restore deterministic result
+    ordering regardless of which worker finishes first.
     """
 
-    problem: AnalysisProblem
+    problem: Union[AnalysisProblem, OverlayProblem]
     algorithm: str = "incremental"
     index: int = 0
-    _digest: Optional[str] = field(default=None, repr=False, compare=False)
+    _split: Optional[Tuple[str, str]] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         return self.problem.name
 
     @property
+    def split_digests(self) -> Tuple[str, str]:
+        """(structure, overlay) digest pair (computed once, then memoized)."""
+        if self._split is None:
+            self._split = split_problem_digests(self.problem)
+        return self._split
+
+    @property
+    def structure_digest(self) -> str:
+        """Digest of the overlay-invariant problem structure."""
+        return self.split_digests[0]
+
+    @property
+    def overlay_digest(self) -> str:
+        """Digest of the overlay-controlled parameters (wcet, demand, horizon)."""
+        return self.split_digests[1]
+
+    @property
     def digest(self) -> str:
-        """Content digest of the problem (computed once, then memoized)."""
-        if self._digest is None:
-            self._digest = problem_digest(self.problem)
-        return self._digest
+        """Combined content digest of the problem."""
+        return _combine_digests(*self.split_digests)
 
     @property
     def cache_key(self) -> str:
@@ -246,22 +445,48 @@ class AnalysisJob:
         worker's own registry (inherited under ``fork``, import-time under
         ``spawn``), which keeps the engine's built-in ``cached-*`` wrappers
         working unchanged.
-        """
-        from ..io.json_io import problem_to_dict  # local import: io depends on core
 
-        return {
+        An overlay job ships its *base* problem under ``base_problem`` plus
+        the small parameter delta under ``overlay``; the executor factors the
+        base out into a per-chunk structure table (see
+        :func:`repro.engine.executor.run_jobs_on`) so N same-structure probes
+        pay for one base payload, and the worker memoizes the compiled kernel
+        per structure digest.
+        """
+        from ..io.json_io import overlay_to_dict, problem_to_dict
+
+        payload: Dict[str, Any] = {
             "index": self.index,
             "algorithm": self.algorithm,
-            "digest": self.digest,
-            "problem": problem_to_dict(self.problem),
-            "arbiter": self.problem.arbiter,
+            "split_digests": list(self.split_digests),
             "algorithm_function": _portable_algorithm(self.algorithm),
         }
+        if isinstance(self.problem, OverlayProblem):
+            base = self.problem.kernel.problem
+            payload["base_problem"] = problem_to_dict(base)
+            payload["overlay"] = overlay_to_dict(self.problem)
+            payload["arbiter"] = base.arbiter
+            # same-process workers (thread pools, fork children) reuse the
+            # live kernel instead of re-parsing and recompiling the base
+            _kernel_memo_put(self.structure_digest, self.problem.kernel)
+        else:
+            payload["problem"] = problem_to_dict(self.problem)
+            payload["arbiter"] = self.problem.arbiter
+        return payload
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "AnalysisJob":
-        """Rebuild a job from :meth:`to_payload` output (in a worker process)."""
-        from ..io.json_io import problem_from_dict
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        structures: Optional[Mapping[str, Any]] = None,
+    ) -> "AnalysisJob":
+        """Rebuild a job from :meth:`to_payload` output (in a worker process).
+
+        ``structures`` is the chunk's structure table: base-problem documents
+        keyed by structure digest, referenced by overlay payloads whose own
+        ``base_problem`` entry was factored out by the executor.
+        """
+        from ..io.json_io import overlay_from_dict
 
         try:
             function = payload.get("algorithm_function")
@@ -269,21 +494,40 @@ class AnalysisJob:
                 # make the parent's runtime registration visible in this
                 # process (a no-op re-registration everywhere else)
                 register_algorithm(str(payload["algorithm"]), function, overwrite=True)
-            problem_data = payload["problem"]
-            arbiter = payload.get("arbiter")
-            if arbiter is not None:
-                # the live object supersedes the recorded name — and custom
-                # arbiters may not be registered in the worker at all, so the
-                # by-name lookup must not even be attempted
-                problem_data = {**problem_data, "arbiter": "round-robin"}
-            problem = problem_from_dict(problem_data)
-            if arbiter is not None:
-                problem = problem.with_arbiter(arbiter)
+            split = payload.get("split_digests")
+            split_pair = (
+                (str(split[0]), str(split[1]))
+                if isinstance(split, (list, tuple)) and len(split) == 2
+                else None
+            )
+            overlay_data = payload.get("overlay")
+            if overlay_data is not None:
+                # memo first: a chunk of same-structure probes parses and
+                # compiles its base problem once, not once per job
+                kernel = _kernel_memo_get(split_pair[0] if split_pair else None)
+                if kernel is None:
+                    problem_data = payload.get("base_problem")
+                    if problem_data is None and structures is not None and split_pair:
+                        problem_data = structures.get(split_pair[0])
+                    if problem_data is None:
+                        raise EngineError(
+                            "overlay job payload carries no base problem and no "
+                            "matching chunk structure entry"
+                        )
+                    base = _rebuild_problem(problem_data, payload.get("arbiter"))
+                    kernel = _kernel_for_structure(
+                        split_pair[0] if split_pair else None, base
+                    )
+                problem: Union[AnalysisProblem, OverlayProblem] = overlay_from_dict(
+                    overlay_data, kernel
+                )
+            else:
+                problem = _rebuild_problem(payload["problem"], payload.get("arbiter"))
             return cls(
                 problem=problem,
                 algorithm=str(payload["algorithm"]),
                 index=int(payload["index"]),
-                _digest=payload.get("digest"),
+                _split=split_pair,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise EngineError(f"invalid job payload: {exc}") from exc

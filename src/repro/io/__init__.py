@@ -14,6 +14,8 @@ from .json_io import (
     load_batch_results,
     load_problem,
     load_schedule,
+    overlay_from_dict,
+    overlay_to_dict,
     problem_from_dict,
     problem_to_dict,
     save_batch_results,
@@ -24,6 +26,8 @@ from .json_io import (
 __all__ = [
     "problem_to_dict",
     "problem_from_dict",
+    "overlay_to_dict",
+    "overlay_from_dict",
     "save_problem",
     "load_problem",
     "save_schedule",

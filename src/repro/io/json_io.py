@@ -27,13 +27,22 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..arbiter import create_arbiter
 from ..core import AnalysisProblem, Schedule
-from ..errors import SerializationError
-from ..model import graph_from_dict, graph_to_dict, mapping_from_dict, mapping_to_dict
+from ..core.kernel import KEEP_HORIZON, CompiledProblem, OverlayProblem, ParamOverlay
+from ..errors import ModelError, SerializationError
+from ..model import (
+    MemoryDemand,
+    graph_from_dict,
+    graph_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+)
 from ..platform import Platform
 
 __all__ = [
     "problem_to_dict",
     "problem_from_dict",
+    "overlay_to_dict",
+    "overlay_from_dict",
     "save_problem",
     "load_problem",
     "save_schedule",
@@ -49,6 +58,7 @@ PathLike = Union[str, Path]
 _PROBLEM_FORMAT = "repro-problem"
 _SCHEDULE_FORMAT = "repro-schedule"
 _BATCH_FORMAT = "repro-batch"
+_OVERLAY_FORMAT = "repro-overlay"
 _VERSION = 1
 
 
@@ -90,6 +100,76 @@ def problem_from_dict(data: Dict[str, Any]) -> AnalysisProblem:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"invalid problem document: {exc}") from exc
+
+
+def overlay_to_dict(probe: OverlayProblem) -> Dict[str, Any]:
+    """Serialize the *delta* of an overlay probe (not its base problem).
+
+    The wire form of the delta re-analysis path: a batch of same-structure
+    probes ships one ``repro-problem`` base document plus one of these small
+    records per probe.  ``wcet``/``accesses`` are full per-task vectors in the
+    base graph's task order (``null`` = keep the base vector); the horizon is
+    a tri-state (``has_horizon=false`` keeps the base problem's).
+    """
+    overlay = probe.overlay
+    return {
+        "format": _OVERLAY_FORMAT,
+        "version": _VERSION,
+        "name": probe.name,
+        "wcet": None if overlay.wcet is None else list(overlay.wcet),
+        "accesses": (
+            None
+            if overlay.demand is None
+            else [
+                {str(bank): count for bank, count in demand.items()}
+                for demand in overlay.demand
+            ]
+        ),
+        "has_horizon": not overlay.keeps_horizon,
+        "horizon": None if overlay.keeps_horizon else overlay.horizon,
+    }
+
+
+def overlay_from_dict(data: Dict[str, Any], kernel: CompiledProblem) -> OverlayProblem:
+    """Deserialize an overlay record against an already-compiled kernel.
+
+    The vectors are aligned with the kernel's task ids, i.e. the insertion
+    order of the base graph — which the ``repro-problem`` format preserves,
+    so base + overlays round-trip the wire consistently.
+
+    :raises SerializationError: on a foreign document, mismatched vector
+        lengths or malformed values.
+    """
+    if not isinstance(data, dict) or data.get("format") != _OVERLAY_FORMAT:
+        found = data.get("format") if isinstance(data, dict) else type(data).__name__
+        raise SerializationError(f"not a {_OVERLAY_FORMAT} document (format={found!r})")
+    try:
+        wcet = data.get("wcet")
+        accesses = data.get("accesses")
+        demand = (
+            None
+            if accesses is None
+            else tuple(
+                MemoryDemand({int(bank): int(count) for bank, count in record.items()})
+                for record in accesses
+            )
+        )
+        horizon: Any = KEEP_HORIZON
+        if bool(data.get("has_horizon")):
+            horizon = None if data.get("horizon") is None else int(data["horizon"])
+        overlay = ParamOverlay(
+            wcet=None if wcet is None else [int(value) for value in wcet],
+            demand=demand,
+            horizon=horizon,
+        )
+        name = data.get("name")
+        return OverlayProblem(
+            kernel, overlay, name=None if name is None else str(name)
+        )
+    except ModelError as exc:
+        raise SerializationError(f"invalid overlay record: {exc}") from exc
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid overlay record: {exc}") from exc
 
 
 def save_problem(problem: AnalysisProblem, path: PathLike) -> Path:

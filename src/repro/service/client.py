@@ -27,9 +27,9 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterable, List, Optional
 
-from ..core import AnalysisProblem, Schedule
+from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..errors import BatchExecutionError, SerializationError, ServiceError
-from ..io.json_io import problem_to_dict
+from ..io.json_io import overlay_to_dict, problem_to_dict
 
 __all__ = ["ServiceClient"]
 
@@ -208,12 +208,53 @@ class ServiceClient:
         }
         if algorithm is not None:
             document["algorithm"] = algorithm
+        return self._batch_request(document, len(problems))
+
+    def analyze_many_overlays(
+        self,
+        probes: Iterable[OverlayProblem],
+        *,
+        algorithm: Optional[str] = None,
+        priority: int = 0,
+    ) -> List[Schedule]:
+        """Analyse many same-structure overlay probes as one delta batch.
+
+        Every probe must share one compiled kernel (one base problem): the
+        request ships the base as a single ``repro-problem`` document plus one
+        small ``repro-overlay`` delta per probe, instead of N full problem
+        payloads — the wire format the cluster dispatcher uses to fan
+        sensitivity-search generations across a fleet.  Results, ordering and
+        the partial-failure contract match :meth:`analyze_many` exactly.
+
+        :raises ServiceError: on an empty probe list, probes that do not share
+            one kernel, transport failures or error responses.
+        :raises BatchExecutionError: when some overlays failed on the server.
+        """
+        probes = list(probes)
+        if not probes:
+            raise ServiceError("analyze_many_overlays needs at least one probe")
+        kernel = probes[0].kernel
+        if any(probe.kernel is not kernel for probe in probes[1:]):
+            raise ServiceError(
+                "every probe of a delta batch must share one compiled kernel"
+            )
+        document: Dict[str, Any] = {
+            "problem": problem_to_dict(kernel.problem),
+            "overlays": [overlay_to_dict(probe) for probe in probes],
+            "priority": priority,
+        }
+        if algorithm is not None:
+            document["algorithm"] = algorithm
+        return self._batch_request(document, len(probes))
+
+    def _batch_request(self, document: Dict[str, Any], expected: int) -> List[Schedule]:
+        """POST ``/batch`` and decode the shared batch response contract."""
         response = self._request("POST", "/batch", document)
         records = response.get("schedules")
-        if not isinstance(records, list) or len(records) != len(problems):
+        if not isinstance(records, list) or len(records) != expected:
             raise ServiceError(
                 f"batch response carries {0 if not isinstance(records, list) else len(records)} "
-                f"schedule(s) for {len(problems)} problem(s)"
+                f"schedule(s) for {expected} problem(s)"
             )
         schedules: List[Optional[Schedule]] = [
             None if record is None else self._schedule(record, f"batch[{index}]")
@@ -225,7 +266,7 @@ class ServiceClient:
         }
         if failures:
             raise BatchExecutionError(
-                f"{len(failures)} of {len(problems)} job(s) failed on the service: "
+                f"{len(failures)} of {expected} job(s) failed on the service: "
                 + "; ".join(list(failures.values())[:3]),
                 failures=failures,
                 results=schedules,

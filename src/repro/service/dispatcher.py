@@ -31,6 +31,20 @@ Routing and fault tolerance
   fails, the run aborts with a clean :class:`~repro.errors.ServiceError`
   (there is nowhere left to send work).
 
+Delta batching
+--------------
+Jobs whose problem is an :class:`~repro.core.OverlayProblem` (a compiled
+kernel plus a parameter delta — how the sensitivity searches build their
+probe generations) are grouped by structure digest and shipped as *delta
+sub-batches*: one ``POST /batch`` request carrying the base ``repro-problem``
+document once plus one small ``repro-overlay`` record per probe, instead of
+N full problem payloads.  The receiving server compiles the base into a
+kernel once and analyses every overlay against it.  Groups are chunked to at
+most ``delta_batch`` probes per request so a large same-structure generation
+still spreads across the fleet; each sub-batch occupies one in-flight slot
+and fails over as a unit.  Plain jobs keep the historical one-job-per-
+``POST /analyze`` path.
+
 Wire-format limits
 ------------------
 Problems travel as ``repro-problem`` JSON documents: the arbiter crosses the
@@ -54,10 +68,10 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..arbiter import create_arbiter
-from ..core import AnalysisProblem, Schedule
+from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..engine.executor import ProgressCallback, ProgressEvent, _summarize
 from ..engine.jobs import AnalysisJob, _arbiter_signature
 from ..errors import BatchExecutionError, ServiceError
@@ -192,6 +206,10 @@ class ClusterDispatcher:
     :param timeout: per-request timeout (seconds) of the underlying clients.
     :param probe_timeout: timeout for ``/healthz``/``/stats`` probes.
     :param latency_smoothing: EWMA factor applied to observed round trips.
+    :param delta_batch: probes per delta sub-batch when same-structure
+        overlay jobs are shipped as one request (see *Delta batching* above);
+        larger values amortize the base-problem payload harder, smaller
+        values spread a generation across more endpoints.
     :param client_factory: test hook — builds the per-endpoint clients; must
         accept ``(base_url, timeout=...)`` like :class:`ServiceClient`.
     :raises ServiceError: on an empty/duplicated endpoint list or bad bounds.
@@ -207,6 +225,7 @@ class ClusterDispatcher:
         timeout: float = 300.0,
         probe_timeout: float = 5.0,
         latency_smoothing: float = 0.2,
+        delta_batch: int = 8,
         client_factory: Callable[..., ServiceClient] = ServiceClient,
     ) -> None:
         urls = [normalize_endpoint(endpoint) for endpoint in endpoints]
@@ -222,6 +241,9 @@ class ClusterDispatcher:
             raise ServiceError(f"quarantine_seconds must be >= 0, got {quarantine_seconds}")
         if not (0.0 < latency_smoothing <= 1.0):
             raise ServiceError(f"latency_smoothing must be in (0, 1], got {latency_smoothing}")
+        if delta_batch < 1:
+            raise ServiceError(f"delta_batch must be >= 1, got {delta_batch}")
+        self.delta_batch = int(delta_batch)
         self.retries = len(urls) if retries is None else int(retries)
         self.quarantine_seconds = float(quarantine_seconds)
         self._latency_smoothing = float(latency_smoothing)
@@ -470,6 +492,118 @@ class ClusterDispatcher:
             f"gave up after {self.retries + 1} endpoint attempt(s): {last_error}"
         )
 
+    def _dispatch_delta(
+        self, jobs: Sequence[AnalysisJob]
+    ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
+        """Run one same-structure overlay sub-batch as a single delta request.
+
+        The whole sub-batch occupies one endpoint slot and fails over as a
+        unit on endpoint errors (re-running a probe on another server is
+        bit-identical, so a retried unit cannot diverge).  Server-side *job*
+        errors come back through the batch partial-failure contract and are
+        returned per local position — never retried.  A 4xx rejection of the
+        *request itself* (e.g. a pre-delta-wire server that does not know the
+        ``overlays`` batch form) falls back to one ``POST /analyze`` per
+        probe, which every server version speaks.
+        """
+        base = jobs[0].problem
+        assert isinstance(base, OverlayProblem)
+        wire_error = _arbiter_wire_error(base.kernel.problem)
+        if wire_error is not None:
+            raise _JobError(wire_error)
+        probes = [job.problem for job in jobs]
+        algorithm = jobs[0].algorithm
+        attempts = self.retries + 1
+        last_error: Optional[ServiceError] = None
+        while attempts > 0:
+            endpoint = self._select()
+            started = time.monotonic()
+            try:
+                schedules = endpoint.client.analyze_many_overlays(
+                    probes, algorithm=algorithm
+                )
+            except BatchExecutionError as exc:
+                # per-probe failures on the server: a job-error outcome — but
+                # the HTTP exchange itself succeeded (and carried the other
+                # schedules), so the endpoint's routing telemetry records a
+                # completed round trip, not a failure
+                self._release(endpoint, ok=True, latency=time.monotonic() - started)
+                return (
+                    list(exc.results),
+                    {int(index): str(message) for index, message in exc.failures.items()},
+                )
+            except ServiceError as exc:
+                self._release(endpoint, ok=False)
+                if not _is_endpoint_error(exc):
+                    # the request (not a probe) was rejected — typically a
+                    # server that predates the delta wire form; per-job
+                    # dispatch works against every server version
+                    return self._dispatch_unit_per_job(jobs)
+                self._quarantine(endpoint)
+                last_error = exc
+                attempts -= 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - a malformed response, not an outage
+                self._release(endpoint, ok=False)
+                raise _JobError(f"{type(exc).__name__}: {exc}") from exc
+            self._release(endpoint, ok=True, latency=time.monotonic() - started)
+            return list(schedules), {}
+        raise _JobError(
+            f"gave up after {self.retries + 1} endpoint attempt(s): {last_error}"
+        )
+
+    def _dispatch_unit_per_job(
+        self, jobs: Sequence[AnalysisJob]
+    ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
+        """Per-job fallback for a delta unit (overlay probes as full problems).
+
+        ``POST /analyze`` ships each probe as an ordinary ``repro-problem``
+        document (the overlay materializes into the payload), so this path
+        works against servers of every version — at N-requests cost.
+        """
+        results: List[Optional[Schedule]] = []
+        failures: Dict[int, str] = {}
+        for offset, job in enumerate(jobs):
+            try:
+                results.append(self._dispatch_one(job))
+            except _JobError as exc:
+                results.append(None)
+                failures[offset] = str(exc)
+        return results, failures
+
+    def _dispatch_unit(
+        self, jobs: Sequence[AnalysisJob]
+    ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
+        """Run one work unit: a delta sub-batch, or a single plain job."""
+        if len(jobs) == 1 and not isinstance(jobs[0].problem, OverlayProblem):
+            return [self._dispatch_one(jobs[0])], {}
+        return self._dispatch_delta(jobs)
+
+    def _plan_units(self, jobs: Sequence[AnalysisJob]) -> List[List[int]]:
+        """Partition a batch into dispatch units (lists of batch positions).
+
+        Plain jobs dispatch one-per-request; overlay jobs are grouped by
+        (shared kernel, algorithm) in first-seen order and chunked to at
+        most ``delta_batch`` probes per unit so one large same-structure
+        generation still fans out across the fleet.
+        """
+        units: List[List[int]] = []
+        groups: Dict[Tuple[int, str], List[int]] = {}
+        for position, job in enumerate(jobs):
+            if isinstance(job.problem, OverlayProblem):
+                # keyed by kernel *identity*: digest-equal kernels compiled
+                # separately stay in separate units, so every unit's probes
+                # share one kernel object (what the delta wire form ships)
+                groups.setdefault(
+                    (id(job.problem.kernel), job.algorithm), []
+                ).append(position)
+            else:
+                units.append([position])
+        for positions in groups.values():
+            for start in range(0, len(positions), self.delta_batch):
+                units.append(positions[start : start + self.delta_batch])
+        return units
+
     def run(
         self,
         jobs: Sequence[AnalysisJob],
@@ -481,7 +615,10 @@ class ClusterDispatcher:
 
         Results come back in submission order and are bit-identical to local
         analysis.  ``chunksize`` is accepted for interface compatibility and
-        ignored (remote dispatch is per-job; the *server* batches its queue).
+        ignored (remote dispatch is per-unit; the *server* batches its
+        queue).  Plain jobs dispatch one request each; same-structure overlay
+        jobs ship as delta sub-batches (base problem once + per-probe
+        deltas) of at most ``delta_batch`` probes.
 
         :raises BatchExecutionError: when some jobs failed (bad algorithm,
             analysis error, or retries exhausted) — completed schedules are
@@ -502,35 +639,49 @@ class ClusterDispatcher:
         failures: Dict[int, str] = {}
         fatal: Optional[ServiceError] = None
         done = 0
-        workers = min(total, max(1, self.capacity))
+        units = self._plan_units(jobs)
+        workers = min(len(units), max(1, self.capacity))
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-cluster"
         ) as pool:
             futures = {
-                pool.submit(self._dispatch_one, job): position
-                for position, job in enumerate(jobs)
+                pool.submit(self._dispatch_unit, [jobs[position] for position in unit]): unit
+                for unit in units
             }
             for future in as_completed(futures):
-                position = futures[future]
+                unit = futures[future]
                 try:
-                    results[position] = future.result()
+                    unit_results, unit_failures = future.result()
                 except CancelledError:
                     continue  # cancelled below after a fatal outage verdict
                 except _JobError as exc:
-                    failures[position] = f"{jobs[position].name}: {exc}"
+                    for position in unit:
+                        failures[position] = f"{jobs[position].name}: {exc}"
                 except ServiceError as exc:
                     if fatal is None:
                         fatal = exc
-                        # total outage: drop the not-yet-started jobs now —
+                        # total outage: drop the not-yet-started units now —
                         # already-running ones fail fast through the cached
                         # all-down verdict (_down_until) instead of each
                         # re-serving the quarantine + probe-sweep latency
                         for pending in futures:
                             pending.cancel()
+                else:
+                    for offset, position in enumerate(unit):
+                        schedule = (
+                            unit_results[offset] if offset < len(unit_results) else None
+                        )
+                        if schedule is not None:
+                            results[position] = schedule
+                        else:
+                            message = unit_failures.get(offset, "job was lost")
+                            failures[position] = f"{jobs[position].name}: {message}"
                 if progress is not None:
-                    done += 1
+                    done += len(unit)
                     progress(
-                        ProgressEvent(done=done, total=total, job_name=jobs[position].name)
+                        ProgressEvent(
+                            done=done, total=total, job_name=jobs[unit[-1]].name
+                        )
                     )
         if fatal is not None:
             raise fatal

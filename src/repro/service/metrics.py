@@ -31,6 +31,7 @@ _SERIES: Tuple[Tuple[str, str, str, str, str], ...] = (
     ("runtime", "jobs_failed", "repro_runtime_jobs_failed_total", "counter", "Jobs that raised in a worker"),
     ("runtime", "jobs_since_recycle", "repro_runtime_jobs_since_recycle", "gauge", "Jobs run on the current pool since it was (re)built"),
     ("runtime", "latency_ewma_seconds", "repro_runtime_latency_ewma_seconds", "gauge", "EWMA of per-job analyzer wall time"),
+    ("runtime", "kernel_compilations", "repro_runtime_kernel_compilations_total", "counter", "Problem-kernel compilations in the service process"),
     # queue
     ("queue", "submitted", "repro_queue_submitted_total", "counter", "Jobs submitted to the queue"),
     ("queue", "completed", "repro_queue_completed_total", "counter", "Queue futures resolved with a schedule"),

@@ -35,9 +35,9 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..core import AnalysisProblem, Schedule
+from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..core.analyzer import INCREMENTAL
 from ..engine.batch import BatchAnalyzer
 from ..engine.jobs import AnalysisJob
@@ -80,7 +80,12 @@ class _Entry:
     __slots__ = ("key", "problem", "algorithm", "priority", "seq", "waiters")
 
     def __init__(
-        self, key: str, problem: AnalysisProblem, algorithm: str, priority: int, seq: int
+        self,
+        key: str,
+        problem: Union[AnalysisProblem, OverlayProblem],
+        algorithm: str,
+        priority: int,
+        seq: int,
     ) -> None:
         self.key = key
         self.problem = problem
@@ -152,7 +157,7 @@ class JobQueue:
 
     def submit(
         self,
-        problem: AnalysisProblem,
+        problem: Union[AnalysisProblem, OverlayProblem],
         *,
         algorithm: Optional[str] = None,
         priority: int = 0,
@@ -211,7 +216,7 @@ class JobQueue:
 
     def map(
         self,
-        problems: List[AnalysisProblem],
+        problems: List[Union[AnalysisProblem, OverlayProblem]],
         *,
         algorithm: Optional[str] = None,
         priority: int = 0,

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core import Schedule
+from ..core.kernel import compilation_count as _kernel_compilations
 from ..engine.cache import PathLike, ResultCache
 from ..engine.executor import (
     ProgressCallback,
@@ -91,6 +92,12 @@ class RuntimeStats:
     latency_ewma_seconds: Optional[float]
     #: hit/miss counters of the runtime's shared result cache
     cache: Dict[str, int]
+    #: problem-kernel compilations in this *process* so far (a process-wide
+    #: counter, not a per-runtime one: compilations happen wherever a plain
+    #: problem first meets an analyzer — including search entry points —
+    #: and the interesting invariant is that warm overlay-based searches
+    #: leave it flat)
+    kernel_compilations: int = 0
     #: per-endpoint routing snapshots (``remote`` backend only, else None)
     endpoints: Optional[List[Dict[str, Any]]] = None
 
@@ -111,6 +118,7 @@ class RuntimeStats:
             "jobs_since_recycle": self.jobs_since_recycle,
             "latency_ewma_seconds": self.latency_ewma_seconds,
             "cache": dict(self.cache),
+            "kernel_compilations": self.kernel_compilations,
             **(
                 {"endpoints": [dict(record) for record in self.endpoints]}
                 if self.endpoints is not None
@@ -405,6 +413,7 @@ class EngineRuntime:
                 jobs_since_recycle=self._pool_jobs,
                 latency_ewma_seconds=self._latency_ewma,
                 cache=self.cache.stats.to_dict(),
+                kernel_compilations=_kernel_compilations(),
                 endpoints=(
                     self.dispatcher.stats()["endpoints"]
                     if self.dispatcher is not None

@@ -21,7 +21,12 @@ Endpoints
     a ``repro-batch`` document (``batch_results_to_dict``) plus a
     ``failures`` map for jobs that raised (``schedules`` holds ``null`` at
     failed positions, in submission order — the engine's partial-failure
-    contract over HTTP).
+    contract over HTTP).  The *delta* form —
+    ``{"problem": <repro-problem>, "overlays": [<repro-overlay>...]}`` —
+    ships one base problem plus per-probe parameter deltas instead of N full
+    problem documents: the server compiles the base into a problem kernel
+    once and analyses every overlay against it (the wire format behind the
+    cluster dispatcher's same-structure batching).
 ``POST /search``
     ``{"problem": ..., "kind": "memory"|"wcet"|"horizon", "max_factor"?,
     "tolerance"?, "speculation"?, "horizon"?, "algorithm"?}`` → the same
@@ -53,8 +58,9 @@ from ..analysis.schedulability import minimal_horizon
 from ..analysis.search import SearchDriver
 from ..analysis.sensitivity import memory_sensitivity, wcet_sensitivity
 from ..core.analyzer import INCREMENTAL
+from ..core.kernel import compile_problem
 from ..errors import QueueFullError, ReproError, SerializationError, ServiceError
-from ..io.json_io import batch_results_to_dict, problem_from_dict
+from ..io.json_io import batch_results_to_dict, overlay_from_dict, problem_from_dict
 from .metrics import METRICS_CONTENT_TYPE, render_prometheus_metrics
 from .queue import JobQueue
 from .runtime import EngineRuntime
@@ -228,17 +234,20 @@ class AnalysisServer:
         }
 
     def handle_batch(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
-        records = document.get("problems")
-        if not isinstance(records, list) or not records:
-            raise _BadRequest("request body must carry a non-empty 'problems' list")
-        problems = []
-        for position, record in enumerate(records):
-            if not isinstance(record, dict):
-                raise _BadRequest(f"problems[{position}] is not an object")
-            try:
-                problems.append(problem_from_dict(record))
-            except SerializationError as exc:
-                raise _BadRequest(f"problems[{position}]: {exc}") from exc
+        if "overlays" in document:
+            problems = self._parse_overlay_batch(document)
+        else:
+            records = document.get("problems")
+            if not isinstance(records, list) or not records:
+                raise _BadRequest("request body must carry a non-empty 'problems' list")
+            problems = []
+            for position, record in enumerate(records):
+                if not isinstance(record, dict):
+                    raise _BadRequest(f"problems[{position}] is not an object")
+                try:
+                    problems.append(problem_from_dict(record))
+                except SerializationError as exc:
+                    raise _BadRequest(f"problems[{position}]: {exc}") from exc
         algorithm = document.get("algorithm")
         priority = int(document.get("priority", 0))
         futures = self.queue.map(
@@ -266,6 +275,30 @@ class AnalysisServer:
         response["count"] = len(schedules)
         response["failures"] = failures
         return 200, response
+
+    @staticmethod
+    def _parse_overlay_batch(document: Dict[str, Any]) -> List[Any]:
+        """Delta-form batch: one base problem + N parameter overlays.
+
+        The base is compiled into a :class:`~repro.core.CompiledProblem` once;
+        every overlay becomes an :class:`~repro.core.OverlayProblem` probe
+        against it, so a same-structure batch walks the graph structure a
+        single time however many variants it carries.
+        """
+        records = document.get("overlays")
+        if not isinstance(records, list) or not records:
+            raise _BadRequest("request body must carry a non-empty 'overlays' list")
+        base = _parse_problem(document)
+        kernel = compile_problem(base)
+        probes = []
+        for position, record in enumerate(records):
+            if not isinstance(record, dict):
+                raise _BadRequest(f"overlays[{position}] is not an object")
+            try:
+                probes.append(overlay_from_dict(record, kernel))
+            except SerializationError as exc:
+                raise _BadRequest(f"overlays[{position}]: {exc}") from exc
+        return probes
 
     def handle_search(self, document: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         problem = _parse_problem(document)

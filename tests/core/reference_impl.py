@@ -1,0 +1,352 @@
+"""Frozen pre-kernel reference implementations of both analyzers.
+
+These are verbatim copies of the dict-based ``IncrementalAnalyzer.run`` and
+``FixedPointAnalyzer.run`` as they existed before the compiled-kernel
+refactor (PR 5): string-keyed dictionaries, per-run derivation of the
+effective predecessor map and topological order, and the all-pairs O(n²)
+overlap scan in the fixed-point inner sweep.  The property tests assert the
+kernel-based production analyzers produce bit-identical schedules, verdicts
+and counters against them.
+
+Do not "improve" this module — its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.interference import (
+    IbusCallCounter,
+    InterferenceTracker,
+    interference_from_overlaps,
+)
+from repro.core.problem import AnalysisProblem
+from repro.core.schedule import Schedule, ScheduledTask, ScheduleStats
+from repro.errors import ConvergenceError
+from repro.model import MemoryDemand
+
+_INFINITY = float("inf")
+
+
+class _AliveTask:
+    __slots__ = ("name", "core", "release", "wcet", "demand", "tracker")
+
+    def __init__(self, name, core, release, wcet, demand, tracker) -> None:
+        self.name = name
+        self.core = core
+        self.release = release
+        self.wcet = wcet
+        self.demand = demand
+        self.tracker = tracker
+
+    @property
+    def finish(self) -> int:
+        return self.release + self.wcet + self.tracker.interference
+
+    def to_entry(self) -> ScheduledTask:
+        return ScheduledTask(
+            name=self.name,
+            core=self.core,
+            release=self.release,
+            wcet=self.wcet,
+            interference_by_bank=self.tracker.interference_by_bank,
+        )
+
+
+def reference_incremental(problem: AnalysisProblem) -> Schedule:
+    """The pre-kernel incremental algorithm (cursor starting at t = 0)."""
+    graph = problem.graph
+    mapping = problem.mapping
+    platform = problem.platform
+    arbiter = problem.arbiter
+    horizon = problem.horizon
+    counter = IbusCallCounter()
+
+    task_count = graph.task_count
+    if task_count == 0:
+        stats = ScheduleStats(algorithm="incremental")
+        return Schedule([], algorithm="incremental", stats=stats, problem_name=problem.name)
+
+    wcet: Dict[str, int] = {}
+    demand: Dict[str, MemoryDemand] = {}
+    min_release: Dict[str, int] = {}
+    for task in graph:
+        wcet[task.name] = task.wcet
+        demand[task.name] = task.demand
+        min_release[task.name] = task.min_release
+
+    pending: Dict[str, Set[str]] = {
+        name: set(preds) for name, preds in problem.effective_predecessor_map().items()
+    }
+    dependents: Dict[str, List[str]] = {name: [] for name in pending}
+    for consumer, preds in pending.items():
+        for producer in preds:
+            dependents[producer].append(consumer)
+
+    core_queues: Dict[int, deque] = {core: deque(order) for core, order in mapping.items()}
+    core_ids = sorted(core_queues)
+
+    future_heap: List[Tuple[int, str]] = [(min_release[name], name) for name in pending]
+    heapq.heapify(future_heap)
+
+    alive: Dict[str, _AliveTask] = {}
+    closed: Dict[str, ScheduledTask] = {}
+    opened: Set[str] = set()
+    cursor_steps = 0
+    unschedulable = False
+
+    t: float = 0.0
+    while t < _INFINITY:
+        cursor_steps += 1
+        now = int(t)
+
+        closing = [item for item in alive.values() if item.finish == now]
+        for item in closing:
+            entry = item.to_entry()
+            closed[item.name] = entry
+            del alive[item.name]
+            for consumer in dependents[item.name]:
+                pending[consumer].discard(item.name)
+
+        opening: List[_AliveTask] = []
+        for core in core_ids:
+            queue = core_queues[core]
+            if not queue:
+                continue
+            head = queue[0]
+            if pending[head]:
+                continue
+            if min_release[head] > now:
+                continue
+            queue.popleft()
+            tracker = InterferenceTracker(
+                name=head,
+                core=core,
+                demand=demand[head],
+                arbiter=arbiter,
+                platform=platform,
+                counter=counter,
+            )
+            item = _AliveTask(
+                name=head,
+                core=core,
+                release=now,
+                wcet=wcet[head],
+                demand=demand[head],
+                tracker=tracker,
+            )
+            opening.append(item)
+            opened.add(head)
+
+        for item in opening:
+            for other in alive.values():
+                if other.core == item.core:
+                    continue
+                other.tracker.add_source(item.name, item.core, item.demand)
+                item.tracker.add_source(other.name, other.core, other.demand)
+            alive[item.name] = item
+
+        t_next: float = _INFINITY
+        for item in alive.values():
+            finish = item.finish
+            if finish < t_next:
+                t_next = finish
+        while future_heap and (future_heap[0][0] <= now or future_heap[0][1] in opened):
+            heapq.heappop(future_heap)
+        if future_heap and future_heap[0][0] < t_next:
+            t_next = future_heap[0][0]
+
+        if horizon is not None and t_next != _INFINITY and t_next > horizon:
+            unschedulable = True
+            break
+        t = t_next
+
+    entries = list(closed.values())
+    entries.extend(item.to_entry() for item in alive.values())
+    never_opened = [name for name in pending if name not in opened]
+    if never_opened:
+        unschedulable = True
+
+    makespan = max((entry.finish for entry in entries), default=0)
+    if horizon is not None and makespan > horizon:
+        unschedulable = True
+
+    stats = ScheduleStats(
+        algorithm="incremental", cursor_steps=cursor_steps, ibus_calls=counter.count
+    )
+    return Schedule(
+        entries,
+        algorithm="incremental",
+        schedulable=not unschedulable,
+        unscheduled=never_opened,
+        stats=stats,
+        problem_name=problem.name,
+    )
+
+
+def _effective_topological_order(problem: AnalysisProblem) -> List[str]:
+    predecessors = problem.effective_predecessor_map()
+    in_degree = {name: len(preds) for name, preds in predecessors.items()}
+    dependents: Dict[str, List[str]] = {name: [] for name in predecessors}
+    for consumer, preds in predecessors.items():
+        for producer in preds:
+            dependents[producer].append(consumer)
+    ready = [name for name, degree in in_degree.items() if degree == 0]
+    order: List[str] = []
+    head = 0
+    while head < len(ready):
+        name = ready[head]
+        head += 1
+        order.append(name)
+        for consumer in dependents[name]:
+            in_degree[consumer] -= 1
+            if in_degree[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != len(predecessors):
+        from repro.errors import MappingError
+
+        remaining = sorted(set(predecessors) - set(order))
+        raise MappingError(
+            "per-core execution order contradicts the task dependencies; "
+            "involved tasks: " + ", ".join(remaining[:8])
+        )
+    return order
+
+
+def _propagate_releases(
+    names: List[str],
+    predecessors: Dict[str, Set[str]],
+    min_release: Dict[str, int],
+    response: Dict[str, int],
+) -> Dict[str, int]:
+    release: Dict[str, int] = {}
+    for name in names:
+        value = min_release[name]
+        for pred in predecessors[name]:
+            finish = release[pred] + response[pred]
+            if finish > value:
+                value = finish
+        release[name] = value
+    return release
+
+
+def reference_fixedpoint(
+    problem: AnalysisProblem,
+    *,
+    max_outer_iterations: Optional[int] = None,
+    max_inner_iterations: Optional[int] = None,
+) -> Schedule:
+    """The pre-kernel fixed-point baseline (all-pairs O(n²) inner sweep)."""
+    n = max(problem.task_count, 1)
+    max_outer = max_outer_iterations or (4 * n + 16)
+    max_inner = max_inner_iterations or (4 * n + 16)
+
+    graph = problem.graph
+    mapping = problem.mapping
+    platform = problem.platform
+    arbiter = problem.arbiter
+    horizon = problem.horizon
+    counter = IbusCallCounter()
+
+    if graph.task_count == 0:
+        stats = ScheduleStats(algorithm="fixedpoint")
+        return Schedule([], algorithm="fixedpoint", stats=stats, problem_name=problem.name)
+
+    names = _effective_topological_order(problem)
+    wcet: Dict[str, int] = {}
+    demand: Dict[str, MemoryDemand] = {}
+    min_release: Dict[str, int] = {}
+    core_of: Dict[str, int] = {}
+    for task in graph:
+        wcet[task.name] = task.wcet
+        demand[task.name] = task.demand
+        min_release[task.name] = task.min_release
+        core_of[task.name] = mapping.core_of(task.name)
+    predecessors = problem.effective_predecessor_map()
+
+    response: Dict[str, int] = {name: wcet[name] for name in names}
+    per_bank: Dict[str, Dict[int, int]] = {name: {} for name in names}
+    release = _propagate_releases(names, predecessors, min_release, response)
+
+    outer_iterations = 0
+    inner_iterations = 0
+    unschedulable = False
+
+    while True:
+        outer_iterations += 1
+        if outer_iterations > max_outer:
+            raise ConvergenceError(
+                f"release-date fixed point did not converge within {max_outer} iterations"
+            )
+
+        while True:
+            inner_iterations += 1
+            if inner_iterations > max_inner * max_outer:
+                raise ConvergenceError(
+                    "response-time fixed point did not converge "
+                    f"(iteration budget exhausted at outer iteration {outer_iterations})"
+                )
+            changed = False
+            new_response: Dict[str, int] = {}
+            new_per_bank: Dict[str, Dict[int, int]] = {}
+            for dest in names:
+                dest_release = release[dest]
+                dest_finish = dest_release + response[dest]
+                sources: List[Tuple[str, int, MemoryDemand]] = []
+                for src in names:
+                    if src == dest or core_of[src] == core_of[dest]:
+                        continue
+                    src_release = release[src]
+                    src_finish = src_release + response[src]
+                    if dest_release < src_finish and src_release < dest_finish:
+                        sources.append((src, core_of[src], demand[src]))
+                banks = interference_from_overlaps(
+                    core_of[dest], demand[dest], sources, arbiter, platform, counter
+                )
+                new_per_bank[dest] = banks
+                new_response[dest] = wcet[dest] + sum(banks.values())
+                if new_response[dest] != response[dest]:
+                    changed = True
+            response = new_response
+            per_bank = new_per_bank
+            if not changed:
+                break
+
+        new_release = _propagate_releases(names, predecessors, min_release, response)
+
+        makespan = max(new_release[name] + response[name] for name in names)
+        if horizon is not None and makespan > horizon:
+            unschedulable = True
+            release = new_release
+            break
+
+        if new_release == release:
+            break
+        release = new_release
+
+    entries = [
+        ScheduledTask(
+            name=name,
+            core=core_of[name],
+            release=release[name],
+            wcet=wcet[name],
+            interference_by_bank=per_bank[name],
+        )
+        for name in names
+    ]
+    stats = ScheduleStats(
+        algorithm="fixedpoint",
+        outer_iterations=outer_iterations,
+        inner_iterations=inner_iterations,
+        ibus_calls=counter.count,
+    )
+    return Schedule(
+        entries,
+        algorithm="fixedpoint",
+        schedulable=not unschedulable,
+        unscheduled=[],
+        stats=stats,
+        problem_name=problem.name,
+    )

@@ -35,7 +35,7 @@ def test_batch_serial(tmp_path, problem_files, capsys):
     code = main(["batch", *map(str, problem_files), "--workers", "1", "--quiet"])
     assert code == 0
     output = capsys.readouterr().out
-    assert "3 problem(s): 3 analysed" in output
+    assert "3 problem(s) over 3 structure(s): 3 analysed" in output
 
 
 def test_batch_parallel_with_outputs(tmp_path, problem_files, capsys):
