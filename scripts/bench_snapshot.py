@@ -20,10 +20,17 @@ Measures, on one deterministic layer-by-layer workload:
    one ``fixedpoint`` analysis (whose inner loop is now a sort-based interval
    sweep instead of the all-pairs scan), as a per-PR trajectory data point.
 
-Writes a JSON document (default ``BENCH_PR5.json``) so CI finally records
+3. **Tracing overhead** — the same serial analysis timed with ``repro.obs``
+   tracing disabled and enabled (interleaved best-of so clock drift hits both
+   modes equally), plus a microbenchmark of the disabled-mode ``obs.span()``
+   fast path.  The disabled path must be free: its estimated overhead
+   (span call sites x per-call no-op cost / run time) is asserted < 5% by
+   ``tests/bench/test_tracing_overhead.py``.
+
+Writes a JSON document (default ``BENCH_PR6.json``) so CI finally records
 perf data points over time::
 
-    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR5.json
+    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR6.json
 
 ``--tiny`` shrinks the workload for CI runners; the numbers are then only
 good for trajectory, not for absolute claims.  Exit code 0 unless the two
@@ -41,7 +48,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import AnalysisProblem  # noqa: E402
+from repro import AnalysisProblem, obs  # noqa: E402
 from repro.analysis import SearchDriver, bracket_search, memory_sensitivity  # noqa: E402
 from repro.analysis.sensitivity import scale_memory_demand  # noqa: E402
 from repro.core import analyze_fixedpoint, analyze_incremental, compilation_count  # noqa: E402
@@ -125,10 +132,62 @@ def measure_fixedpoint(problem, *, repeats):
     }
 
 
+def measure_tracing_overhead(problem, *, repeats, noop_calls=100_000):
+    """Serial analysis wall time with tracing disabled vs enabled.
+
+    The two modes are interleaved inside one loop so thermal/clock drift
+    penalises both equally, then the best-of time per mode is kept.  On top
+    of the end-to-end comparison, the disabled-mode ``obs.span()`` fast path
+    is microbenchmarked so the disabled overhead can be bounded analytically:
+    the instrumentation touches ``spans_per_run`` call sites per analysis, so
+    its cost is at most ``spans_per_run * noop cost`` of the run time.
+    """
+    disabled_best = float("inf")
+    enabled_best = float("inf")
+    spans_per_run = 0
+    disabled_makespan = enabled_makespan = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        disabled_makespan = analyze_incremental(problem).makespan
+        disabled_best = min(disabled_best, time.perf_counter() - started)
+
+        tracer = obs.Tracer(service="bench")
+        with tracer.activate():
+            started = time.perf_counter()
+            enabled_makespan = analyze_incremental(problem).makespan
+            enabled_best = min(enabled_best, time.perf_counter() - started)
+        spans_per_run = len(tracer.spans)
+    if disabled_makespan != enabled_makespan:
+        raise SystemExit("BUG: tracing perturbed the analysis verdict")
+
+    started = time.perf_counter()
+    for _ in range(noop_calls):
+        with obs.span("bench.noop"):
+            pass
+    noop_span_seconds_per_call = (time.perf_counter() - started) / noop_calls
+
+    estimated_disabled_overhead = (
+        spans_per_run * noop_span_seconds_per_call / disabled_best
+        if disabled_best
+        else None
+    )
+    return {
+        "disabled_seconds": disabled_best,
+        "enabled_seconds": enabled_best,
+        "enabled_overhead_ratio": (
+            enabled_best / disabled_best - 1.0 if disabled_best else None
+        ),
+        "spans_per_run": spans_per_run,
+        "noop_span_seconds_per_call": noop_span_seconds_per_call,
+        "estimated_disabled_overhead": estimated_disabled_overhead,
+        "makespan": disabled_makespan,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tiny", action="store_true", help="CI-sized workload")
-    parser.add_argument("--output", default="BENCH_PR5.json", help="JSON output path")
+    parser.add_argument("--output", default="BENCH_PR6.json", help="JSON output path")
     parser.add_argument("--seed", type=int, default=2020)
     args = parser.parse_args()
 
@@ -153,11 +212,12 @@ def main() -> int:
         fixedpoint_tasks, layer, core_count=cores, seed=args.seed
     ).to_problem()
     fixedpoint = measure_fixedpoint(fp_problem, repeats=repeats)
+    tracing = measure_tracing_overhead(fp_problem, repeats=repeats)
 
     document = {
         "format": "repro-bench-snapshot",
         "version": 1,
-        "pr": 5,
+        "pr": 6,
         "profile": "tiny" if args.tiny else "full",
         "workload": {
             "generator": "fixed-LS",
@@ -170,6 +230,7 @@ def main() -> int:
         },
         "sensitivity": sensitivity,
         "fixedpoint": fixedpoint,
+        "tracing": tracing,
     }
     output = Path(args.output)
     output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
@@ -192,6 +253,15 @@ def main() -> int:
             seconds=fixedpoint["seconds"],
             inner=fixedpoint["inner_iterations"],
             ibus=fixedpoint["ibus_calls"],
+        )
+    )
+    print(
+        "tracing: disabled {off:.3f}s | enabled {on:.3f}s "
+        "({spans} spans) | est. disabled overhead {est:.4%}".format(
+            off=tracing["disabled_seconds"],
+            on=tracing["enabled_seconds"],
+            spans=tracing["spans_per_run"],
+            est=tracing["estimated_disabled_overhead"],
         )
     )
     return 0

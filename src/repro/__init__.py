@@ -34,6 +34,9 @@ The main subpackages are:
 * :mod:`repro.service` — persistent analysis runtime (one warm worker pool
   shared across batches and searches), asynchronous job queue and the
   stdlib HTTP JSON API server behind ``repro-rta serve``;
+* :mod:`repro.obs` — stdlib-only observability: nested tracing spans with
+  cross-process stitching (``traceparent``), Chrome-trace export,
+  Prometheus histograms and structured JSONL logging;
 * :mod:`repro.viz`, :mod:`repro.io`, :mod:`repro.cli`, :mod:`repro.bench` —
   reporting, persistence, command line and the benchmark harness reproducing
   the paper's figures.

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..core import AnalysisProblem, ParamOverlay, Schedule, analyze, compile_problem
 from ..errors import AnalysisError
 from .search import SearchDriver, resolve_algorithm
@@ -131,14 +132,17 @@ def minimal_horizon(
     with every other overlay probe of the same problem.
     """
     algorithm = resolve_algorithm(algorithm, driver)
-    probe = compile_problem(problem).with_overlay(
-        ParamOverlay(horizon=None), name=problem.name
-    )
-    if driver is None:
-        unconstrained = analyze(probe, algorithm)
-    else:
-        driver.begin_search()
-        unconstrained = driver.evaluate([probe])[0]
+    with obs.span(
+        "search.minimal_horizon", problem=problem.name, algorithm=algorithm
+    ):
+        probe = compile_problem(problem).with_overlay(
+            ParamOverlay(horizon=None), name=problem.name
+        )
+        if driver is None:
+            unconstrained = analyze(probe, algorithm)
+        else:
+            driver.begin_search()
+            unconstrained = driver.evaluate([probe])[0]
     if not unconstrained.schedulable:
         raise AnalysisError(
             f"problem {problem.name!r} cannot be scheduled at all "
@@ -160,15 +164,18 @@ def minimal_horizon_many(
     analysed one by one.  Verdicts are identical either way.
     """
     algorithm = resolve_algorithm(algorithm, driver)
-    unconstrained = [
-        compile_problem(problem).with_overlay(ParamOverlay(horizon=None), name=problem.name)
-        for problem in problems
-    ]
-    if driver is None:
-        schedules = [analyze(probe, algorithm) for probe in unconstrained]
-    else:
-        driver.begin_search()
-        schedules = driver.evaluate(unconstrained)
+    with obs.span(
+        "search.minimal_horizon_many", problems=len(problems), algorithm=algorithm
+    ):
+        unconstrained = [
+            compile_problem(problem).with_overlay(ParamOverlay(horizon=None), name=problem.name)
+            for problem in problems
+        ]
+        if driver is None:
+            schedules = [analyze(probe, algorithm) for probe in unconstrained]
+        else:
+            driver.begin_search()
+            schedules = driver.evaluate(unconstrained)
     deadlocked = [
         problem.name for problem, schedule in zip(problems, schedules) if not schedule.schedulable
     ]

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..core import AnalysisProblem, OverlayProblem, Schedule, analyze
 from ..core.analyzer import INCREMENTAL
 from ..engine import BatchAnalyzer, CacheStats, ResultCache, default_worker_count
@@ -290,13 +291,19 @@ class SearchDriver:
             self.begin_search()
         if not problems:
             return []
-        if self._analyzer is not None:
-            report = self._analyzer.run(problems)
-            schedules = report.schedules
-            computed, cached = report.computed, report.cached
-        else:
-            schedules = [analyze(problem, self.algorithm) for problem in problems]
-            computed, cached = len(schedules), 0
+        with obs.span(
+            "search.generation",
+            generation=self._generation + 1,
+            probes=len(problems),
+        ) as generation_span:
+            if self._analyzer is not None:
+                report = self._analyzer.run(problems)
+                schedules = report.schedules
+                computed, cached = report.computed, report.cached
+            else:
+                schedules = [analyze(problem, self.algorithm) for problem in problems]
+                computed, cached = len(schedules), 0
+            generation_span.set(computed=computed, cached=cached)
         self.total_computed += computed
         self.total_cached += cached
         self._generation += 1

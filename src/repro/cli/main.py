@@ -21,9 +21,10 @@ import argparse
 import json
 import sys
 import time
+from contextlib import ExitStack
 from typing import List, Optional
 
-from .. import __version__
+from .. import __version__, obs
 from ..analysis import (
     SearchDriver,
     SearchProgressEvent,
@@ -137,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", help="write all schedules as one JSON batch document")
     batch.add_argument("--csv", help="write a one-row-per-problem CSV summary")
     batch.add_argument("--quiet", action="store_true", help="suppress per-chunk progress")
+    batch.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="trace the run and write a Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing; spans cover CLI, engine, "
+        "workers and — with --endpoints — the remote servers)",
+    )
 
     search = subparsers.add_parser(
         "search",
@@ -197,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--output", help="write the search result as JSON")
     search.add_argument("--quiet", action="store_true", help="suppress per-generation progress")
+    search.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="trace the search and write a Chrome trace-event JSON "
+        "(one stitched distributed trace when --endpoints is used)",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -239,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=1024, help="job-queue backpressure bound"
     )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="trace every request and persist JSONL request/span logs "
+        "(requests-<port>.jsonl, spans-<port>.jsonl) under this directory",
+    )
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -395,6 +415,14 @@ def _command_batch(args: argparse.Namespace) -> int:
     failures = {}
     report = None
     results_cached = False
+    tracer: Optional[obs.Tracer] = None
+    trace_scope = ExitStack()
+    if args.trace_out:
+        tracer = obs.Tracer(service="cli")
+        trace_scope.enter_context(tracer.activate())
+        trace_scope.enter_context(
+            obs.span("cli.batch", problems=len(problems), algorithm=args.algorithm)
+        )
     try:
         report = analyzer.run(problems, progress=None if args.quiet else on_progress)
         schedules = report.schedules
@@ -404,8 +432,12 @@ def _command_batch(args: argparse.Namespace) -> int:
         failures = exc.failures
         results_cached = exc.results_cached
     finally:
+        trace_scope.close()
         if runtime is not None:
             runtime.close()
+    if tracer is not None:
+        obs.write_chrome_trace(tracer.spans, args.trace_out)
+        print(f"trace written to {args.trace_out} ({len(tracer.spans)} spans)")
     if not args.quiet:
         print(file=sys.stderr)
     rows = [
@@ -503,6 +535,19 @@ def _command_search(args: argparse.Namespace) -> int:
         progress=None if args.quiet else on_progress,
         runtime=runtime,
     )
+    tracer: Optional[obs.Tracer] = None
+    trace_scope = ExitStack()
+    if args.trace_out:
+        tracer = obs.Tracer(service="cli")
+        trace_scope.enter_context(tracer.activate())
+        trace_scope.enter_context(
+            obs.span(
+                "cli.search",
+                kind=args.kind,
+                problem=problem.name,
+                algorithm=args.algorithm,
+            )
+        )
     try:
         if args.kind == "horizon":
             horizon = minimal_horizon(problem, algorithm=args.algorithm, driver=driver)
@@ -520,8 +565,12 @@ def _command_search(args: argparse.Namespace) -> int:
             document = {"kind": args.kind, "problem": problem.name, **result.to_dict()}
             exit_code = 0 if result.breaking_factor > 0 else 2
     finally:
+        trace_scope.close()
         if runtime is not None:
             runtime.close()
+    if tracer is not None:
+        obs.write_chrome_trace(tracer.spans, args.trace_out)
+        print(f"trace written to {args.trace_out} ({len(tracer.spans)} spans)")
     if not args.quiet:
         print(file=sys.stderr)
     if args.kind == "horizon":
@@ -574,6 +623,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         max_pending=args.max_pending,
         quiet=not args.verbose,
+        trace_dir=args.trace_dir,
     )
     stats = runtime.stats()
     cache_text = args.cache_dir if args.cache_dir else "in-memory"

@@ -40,6 +40,7 @@ import heapq
 import time as _time
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..errors import ConvergenceError
 from ..model import MemoryDemand
 from .interference import IbusCallCounter, interference_from_overlaps
@@ -83,6 +84,22 @@ class FixedPointAnalyzer:
 
     def run(self) -> Schedule:
         """Compute the schedule; inspect :attr:`Schedule.schedulable` for the verdict."""
+        if not obs.tracing_enabled():
+            return self._run()
+        with obs.span(
+            "analyze.fixedpoint", problem=getattr(self.problem, "name", "")
+        ) as phase:
+            schedule = self._run()
+            phase.set(
+                outer_iterations=schedule.stats.outer_iterations,
+                inner_iterations=schedule.stats.inner_iterations,
+                ibus_calls=schedule.stats.ibus_calls,
+                kernel_compilations=schedule.stats.kernel_compilations,
+                schedulable=schedule.schedulable,
+            )
+            return schedule
+
+    def _run(self) -> Schedule:
         started = _time.perf_counter()
         problem = self.problem
         if isinstance(problem, OverlayProblem):
@@ -97,7 +114,7 @@ class FixedPointAnalyzer:
                 return Schedule(
                     [], algorithm="fixedpoint", stats=stats, problem_name=problem.name
                 )
-            kernel = compile_problem(problem)
+            kernel = compile_problem(problem)  # traced as kernel.compile
             wcet = kernel.wcet
             demand = kernel.demand
             horizon = kernel.horizon
@@ -142,6 +159,8 @@ class FixedPointAnalyzer:
 
         while True:
             outer_iterations += 1
+            sweep_started = _time.perf_counter()
+            inner_before = inner_iterations
             if outer_iterations > self.max_outer_iterations:
                 raise ConvergenceError(
                     f"release-date fixed point did not converge within "
@@ -189,6 +208,12 @@ class FixedPointAnalyzer:
             )
 
             makespan = max(new_release[i] + response[i] for i in range(n))
+            obs.record_span(
+                "fixedpoint.outer",
+                _time.perf_counter() - sweep_started,
+                iteration=outer_iterations,
+                inner_iterations=inner_iterations - inner_before,
+            )
             if horizon is not None and makespan > horizon:
                 unschedulable = True
                 release = new_release

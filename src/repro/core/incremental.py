@@ -39,6 +39,7 @@ import heapq
 import time as _time
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from .events import AnalysisTrace
 from .interference import IbusCallCounter, InterferenceTracker
 from .kernel import OverlayProblem, compile_problem
@@ -120,6 +121,21 @@ class IncrementalAnalyzer:
     def run(self) -> Schedule:
         """Compute the schedule.  Never raises for unschedulable inputs; inspect
         :attr:`Schedule.schedulable` instead."""
+        if not obs.tracing_enabled():
+            return self._run()
+        with obs.span(
+            "analyze.incremental", problem=getattr(self.problem, "name", "")
+        ) as phase:
+            schedule = self._run()
+            phase.set(
+                cursor_steps=schedule.stats.cursor_steps,
+                ibus_calls=schedule.stats.ibus_calls,
+                kernel_compilations=schedule.stats.kernel_compilations,
+                schedulable=schedule.schedulable,
+            )
+            return schedule
+
+    def _run(self) -> Schedule:
         started = _time.perf_counter()
         problem = self.problem
         if isinstance(problem, OverlayProblem):
@@ -134,7 +150,7 @@ class IncrementalAnalyzer:
                 return Schedule(
                     [], algorithm="incremental", stats=stats, problem_name=problem.name
                 )
-            kernel = compile_problem(problem)
+            kernel = compile_problem(problem)  # traced as kernel.compile
             wcet = kernel.wcet
             demand = kernel.demand
             horizon = kernel.horizon
@@ -198,6 +214,7 @@ class IncrementalAnalyzer:
             t: float = _INFINITY
         else:
             t = float(start)
+        loop_started = _time.perf_counter()
         while t < _INFINITY:
             cursor_steps += 1
             now = int(t)
@@ -281,6 +298,14 @@ class IncrementalAnalyzer:
                 unschedulable = True
                 break
             t = t_next
+
+        obs.record_span(
+            "incremental.event_loop",
+            _time.perf_counter() - loop_started,
+            tasks=task_count,
+            cursor_steps=cursor_steps,
+            ibus_calls=counter.count,
+        )
 
         # --- wrap up --------------------------------------------------------------
         # tasks still alive when the loop stopped (horizon exceeded) keep their

@@ -42,6 +42,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import AnalysisError, ModelError
 from ..model import MemoryDemand
 from .problem import AnalysisProblem
@@ -307,7 +308,10 @@ def compile_problem(problem: AnalysisProblem) -> "CompiledProblem":
     :func:`compilation_count` — reuse the returned kernel across parameter
     variants instead of recompiling per probe.
     """
-    kernel = CompiledProblem(problem)
+    with obs.span(
+        "kernel.compile", problem=problem.name, tasks=problem.task_count
+    ):
+        kernel = CompiledProblem(problem)
     _count_compilation()
     return kernel
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import warnings
 from typing import Dict, Iterable, List, Optional, Union
 
+from .. import obs
 from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..core.analyzer import INCREMENTAL
 from ..errors import BatchExecutionError, CacheError, EngineError
@@ -132,6 +133,23 @@ class BatchAnalyzer:
         parameter delta); both digest identically for identical content, so
         the cache and the intra-batch dedup treat them interchangeably.
         """
+        if not obs.tracing_enabled():
+            return self._run(problems, progress=progress)
+        with obs.span("batch.run", algorithm=self.algorithm) as phase:
+            report = self._run(problems, progress=progress)
+            phase.set(
+                jobs=len(report.schedules),
+                cached=report.cached,
+                computed=report.computed,
+            )
+            return report
+
+    def _run(
+        self,
+        problems: Iterable[Union[AnalysisProblem, OverlayProblem]],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> BatchReport:
         jobs = [
             AnalysisJob(problem=problem, algorithm=self.algorithm, index=index)
             for index, problem in enumerate(problems)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from .. import obs
 from ..core import Schedule
 from ..errors import CacheError, ValidationError
 
@@ -69,13 +70,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         return (self.hits / self.lookups) if self.lookups else 0.0
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, float]:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "hits": self.hits,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate(),
         }
 
 
@@ -108,22 +112,26 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[Schedule]:
         """Cached schedule for ``key``, or ``None`` (counted as hit or miss)."""
-        with self._lock:
-            record = self._memory.get(key)
-            if record is not None:
-                self._memory.move_to_end(key)
-                self.stats.memory_hits += 1
-                return Schedule.from_dict(record)
-        loaded = self._read_disk(key)
-        if loaded is not None:
-            record, schedule = loaded
+        with obs.span("cache.lookup") as lookup:
             with self._lock:
-                self.stats.disk_hits += 1
-                self._remember(key, record)
-            return schedule
-        with self._lock:
-            self.stats.misses += 1
-        return None
+                record = self._memory.get(key)
+                if record is not None:
+                    self._memory.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    lookup.set(outcome="memory_hit")
+                    return Schedule.from_dict(record)
+            loaded = self._read_disk(key)
+            if loaded is not None:
+                record, schedule = loaded
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._remember(key, record)
+                lookup.set(outcome="disk_hit")
+                return schedule
+            with self._lock:
+                self.stats.misses += 1
+            lookup.set(outcome="miss")
+            return None
 
     def put(self, key: str, schedule: Schedule) -> None:
         """Store ``schedule`` under ``key`` in both tiers."""

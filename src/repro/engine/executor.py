@@ -29,9 +29,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core import Schedule
 from ..errors import BatchExecutionError, EngineError
 from .jobs import AnalysisJob
@@ -85,6 +87,7 @@ def default_worker_count() -> int:
 def _run_chunk(
     payloads: Sequence[Dict[str, Any]],
     structures: Optional[Dict[str, Any]] = None,
+    traceparent: Optional[str] = None,
 ) -> List[Tuple[int, Dict[str, Any]]]:
     """Worker entry point: run every job of one chunk, return indexed outcomes.
 
@@ -94,12 +97,35 @@ def _run_chunk(
     (one entry per distinct structure digest, factored out of the payloads by
     :func:`run_jobs_on` so a chunk of N same-structure probes ships — and
     compiles — its base problem once).
+
+    When the submitting side was tracing, ``traceparent`` carries its trace
+    position into the worker: the chunk runs under a local tracer continuing
+    that trace, and the worker-side spans ride back serialized on the first
+    outcome (``"spans"`` key) to be stitched into the parent's trace.
     """
+    if traceparent is None:
+        return _run_chunk_inner(payloads, structures)
+    tracer = obs.Tracer.from_traceparent(
+        traceparent, service=f"engine-worker:{os.getpid()}"
+    )
+    with tracer.activate():
+        with obs.span("engine.chunk", jobs=len(payloads)):
+            results = _run_chunk_inner(payloads, structures)
+    if results:
+        results[0][1]["spans"] = tracer.span_dicts()
+    return results
+
+
+def _run_chunk_inner(
+    payloads: Sequence[Dict[str, Any]],
+    structures: Optional[Dict[str, Any]],
+) -> List[Tuple[int, Dict[str, Any]]]:
     results: List[Tuple[int, Dict[str, Any]]] = []
     for payload in payloads:
         job = AnalysisJob.from_payload(payload, structures=structures)
         try:
-            results.append((job.index, {"schedule": job.run().to_dict()}))
+            with obs.span("job.run", job=job.name, algorithm=job.algorithm):
+                results.append((job.index, {"schedule": job.run().to_dict()}))
         except Exception as exc:  # noqa: BLE001 - reported per job, batch continues
             results.append((job.index, {"error": f"{type(exc).__name__}: {exc}"}))
     return results
@@ -126,7 +152,8 @@ def run_jobs_serial(
     failures: Dict[int, str] = {}
     for done, job in enumerate(jobs, start=1):
         try:
-            results.append(job.run())
+            with obs.span("job.run", job=job.name, algorithm=job.algorithm):
+                results.append(job.run())
         except Exception as exc:  # noqa: BLE001 - collected, raised at the end
             results.append(None)
             failures[done - 1] = f"{job.name}: {type(exc).__name__}: {exc}"
@@ -167,6 +194,11 @@ def run_jobs_on(
         return []
     if chunksize is None:
         chunksize = max(1, total // (max(1, workers) * 4))
+    # when the caller is tracing, ship its trace position to the workers so
+    # their spans come back stitched under the dispatching span
+    traceparent = obs.current_traceparent()
+    tracer = obs.current_tracer()
+    dispatch_started = _perf_counter()
     # result ordering is defined by submission position; the caller's own
     # job.index is left untouched (it may carry outer-batch semantics)
     payloads = []
@@ -197,7 +229,7 @@ def run_jobs_on(
                         if key != "base_problem"
                     }
             stripped.append(payload)
-        future = pool.submit(_run_chunk, stripped, structures or None)
+        future = pool.submit(_run_chunk, stripped, structures or None, traceparent)
         pending[future] = [payload["index"] for payload in stripped]
     while pending:
         finished, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -213,11 +245,21 @@ def run_jobs_on(
                     for position in positions
                 ]
             for position, outcome in chunk_outcomes:
+                spans = outcome.pop("spans", None)
+                if spans and tracer is not None:
+                    tracer.record_foreign(spans)
                 outcomes[position] = outcome
                 done += 1
                 last_name = jobs[position].name
             if progress is not None:
                 progress(ProgressEvent(done=done, total=total, job_name=last_name))
+    obs.record_span(
+        "engine.dispatch",
+        _perf_counter() - dispatch_started,
+        jobs=total,
+        chunks=len(chunks),
+        chunksize=chunksize,
+    )
     missing = [jobs[position].name for position in range(total) if position not in outcomes]
     if missing:
         raise EngineError(f"batch lost results for {len(missing)} job(s): {missing[:5]}")

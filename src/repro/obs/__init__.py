@@ -1,0 +1,57 @@
+"""Tracing and telemetry for the analysis stack (stdlib-only).
+
+The package has three small parts:
+
+- :mod:`repro.obs.tracer` — nested :class:`Span` production with
+  ``contextvars`` propagation, a zero-overhead no-op mode when no tracer is
+  active, and ``traceparent``-style context propagation across HTTP hops and
+  worker processes.
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and JSONL structured-log exporters, plus the
+  trace-file schema validator CI uses.
+- :mod:`repro.obs.histogram` — the Prometheus-style latency accumulator the
+  service metrics are fed from.
+
+See ``docs/observability.md`` for the span taxonomy and recipes.
+"""
+
+from .export import (
+    JsonlLogger,
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .histogram import DEFAULT_LATENCY_BUCKETS, Histogram
+from .tracer import (
+    TRACEPARENT_HEADER,
+    Span,
+    Tracer,
+    current_span_id,
+    current_traceparent,
+    current_tracer,
+    format_traceparent,
+    parse_traceparent,
+    record_span,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "tracing_enabled",
+    "current_tracer",
+    "current_span_id",
+    "current_traceparent",
+    "format_traceparent",
+    "parse_traceparent",
+    "record_span",
+    "TRACEPARENT_HEADER",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "JsonlLogger",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+]

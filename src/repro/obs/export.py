@@ -1,0 +1,204 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL structured logs.
+
+:func:`chrome_trace_document` turns a list of :class:`~repro.obs.Span`
+records into the Chrome trace-event format (the ``{"traceEvents": [...]}``
+container), which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  Every span becomes one complete (``"ph": "X"``) event; logical
+process names (``Span.process``) become trace process lanes via ``"M"``
+metadata events.
+
+:func:`validate_chrome_trace` is the schema check CI runs against exported
+files, and :class:`JsonlLogger` is the one-line-of-JSON-per-event structured
+log sink the server uses for request logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "JsonlLogger",
+]
+
+#: trace-event phases the validator accepts (we only *emit* X and M)
+_KNOWN_PHASES = frozenset("BEXIiMCbnesftPNODSv")
+
+
+def _as_span(record: Union[Span, Dict[str, Any]]) -> Span:
+    return record if isinstance(record, Span) else Span.from_dict(record)
+
+
+def chrome_trace_document(
+    spans: Iterable[Union[Span, Dict[str, Any]]],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Chrome trace-event document for ``spans`` (Span objects or dicts).
+
+    Spans are grouped into trace "processes" by their logical
+    :attr:`~repro.obs.Span.process` name and into "threads" by thread id;
+    trace/span/parent ids and span attributes ride in each event's ``args``
+    so the stitched hierarchy stays inspectable in the UI.
+    """
+    parsed = [_as_span(record) for record in spans]
+    pids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for record in parsed:
+        process = record.process or "repro"
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[process],
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": process},
+                }
+            )
+    for record in parsed:
+        args: Dict[str, Any] = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+        }
+        if record.parent_id:
+            args["parent_id"] = record.parent_id
+        if record.status != "ok":
+            args["status"] = record.status
+        for key, value in record.attributes.items():
+            args.setdefault(str(key), value)
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "pid": pids[record.process or "repro"],
+                "tid": record.thread,
+                "ts": record.start * 1e6,
+                "dur": max(record.duration, 0.0) * 1e6,
+                "args": args,
+            }
+        )
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+    if metadata:
+        document["otherData"].update(metadata)
+    return document
+
+
+def write_chrome_trace(
+    spans: Iterable[Union[Span, Dict[str, Any]]],
+    path: Union[str, "os.PathLike[str]"],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write :func:`chrome_trace_document` to ``path``; returns the document."""
+    document = chrome_trace_document(spans, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return document
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Check ``document`` against the Chrome trace-event schema.
+
+    Returns a list of human-readable problems — empty means the document is
+    loadable.  Accepts either the object form (``{"traceEvents": [...]}``)
+    or the bare event-array form.
+    """
+    problems: List[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level 'traceEvents' must be a list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return ["document must be an object with 'traceEvents' or an event array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int) or isinstance(event.get(key), bool):
+                problems.append(f"{where}: {key!r} must be an integer")
+        ts = event.get("ts")
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            problems.append(f"{where}: 'ts' must be a number")
+        if phase == "X":
+            dur = event.get("dur")
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs a non-negative 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+class JsonlLogger:
+    """Thread-safe one-JSON-object-per-line event log.
+
+    Sinks are a writable text ``stream``, a file ``path`` (opened in append
+    mode), or both; with neither the logger is a no-op, which is how
+    "quiet by default" request logging costs nothing.
+    """
+
+    def __init__(
+        self,
+        *,
+        stream: Optional[IO[str]] = None,
+        path: Optional[Union[str, "os.PathLike[str]"]] = None,
+    ) -> None:
+        self._stream = stream
+        self._handle: Optional[IO[str]] = None
+        if path is not None:
+            self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None or self._handle is not None
+
+    def log(self, event: str, **fields: Any) -> None:
+        """Emit one event line: ``{"ts": <epoch>, "event": event, ...}``."""
+        if not self.enabled:
+            return
+        record = {"ts": round(time.time(), 6), "event": str(event)}
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            for sink in (self._stream, self._handle):
+                if sink is not None:
+                    sink.write(line + "\n")
+                    try:
+                        sink.flush()
+                    except (OSError, ValueError):
+                        pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                finally:
+                    self._handle = None

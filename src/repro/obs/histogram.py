@@ -1,0 +1,100 @@
+"""Prometheus-style histogram accumulator.
+
+A :class:`Histogram` is the lightweight latency accumulator the service
+telemetry feeds (:class:`~repro.service.RuntimeStats` job latency, queue
+wait, request duration).  It keeps per-bucket counts plus a running sum, is
+thread-safe, and serializes to the cumulative-bucket dict shape
+``render_prometheus_metrics`` renders as ``*_bucket``/``*_sum``/``*_count``
+series.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_LATENCY_BUCKETS", "Histogram"]
+
+#: Upper bounds (seconds) tuned for analyzer jobs: sub-millisecond overlay
+#: re-analyses up through multi-second cold cluster batches.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus cumulative serialization.
+
+    :param buckets: strictly increasing finite upper bounds; the implicit
+        ``+Inf`` bucket is always present and need not be listed.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = [float(bound) for bound in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(bound) for bound in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        value = float(value)
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Cumulative-bucket form: ``{"buckets": [[le, n], ...], "sum", "count"}``.
+
+        ``le`` is the bucket's inclusive upper bound as a float, with the
+        final ``+Inf`` bucket carried as the string ``"+Inf"``; counts are
+        cumulative, Prometheus-style.  Empty histograms serialize too (all
+        zeros) so the metrics renderer can expose the series immediately.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            running_sum = self._sum
+        buckets: List[List[Any]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self._bounds, counts):
+            cumulative += bucket_count
+            buckets.append([bound, cumulative])
+        buckets.append(["+Inf", total])
+        return {"buckets": buckets, "sum": running_sum, "count": total}

@@ -27,6 +27,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterable, List, Optional
 
+from .. import obs
 from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..errors import BatchExecutionError, SerializationError, ServiceError
 from ..io.json_io import overlay_to_dict, problem_to_dict
@@ -69,11 +70,27 @@ class ServiceClient:
         HTTP code for error responses, and with ``status=None`` for transport
         failures (connection refused, timeout, DNS...).
         """
+        if not obs.tracing_enabled():
+            return self._transport(method, path, document)
+        with obs.span(
+            "client.request", method=method, path=path, endpoint=self.base_url
+        ):
+            # the traceparent header is read inside _transport, so the
+            # server-side spans parent under this client.request span
+            return self._transport(method, path, document)
+
+    def _transport(
+        self, method: str, path: str, document: Optional[Dict[str, Any]] = None
+    ) -> bytes:
         url = f"{self.base_url}{path}"
         data = None if document is None else json.dumps(document).encode("utf-8")
-        request = urllib.request.Request(
-            url, data=data, method=method, headers={"Content-Type": "application/json"}
-        )
+        headers = {"Content-Type": "application/json"}
+        traceparent = obs.current_traceparent()
+        if traceparent is not None:
+            # distributed tracing: the server continues this trace and ships
+            # its spans back on the response (see AnalysisServer)
+            headers[obs.TRACEPARENT_HEADER] = traceparent
+        request = urllib.request.Request(url, data=data, method=method, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read()
@@ -110,6 +127,11 @@ class ServiceClient:
             raise ServiceError(f"analysis service returned invalid JSON for {path}: {exc}") from exc
         if not isinstance(parsed, dict):
             raise ServiceError(f"analysis service returned a non-object for {path}")
+        remote_spans = parsed.pop("trace", None)
+        if remote_spans:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                tracer.record_foreign(remote_spans)
         return parsed
 
     @staticmethod

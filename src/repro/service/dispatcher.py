@@ -65,11 +65,13 @@ makes ``analyze_many(runtime=...)``, ``BatchAnalyzer(runtime=...)`` and
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..arbiter import create_arbiter
 from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..engine.executor import ProgressCallback, ProgressEvent, _summarize
@@ -575,9 +577,10 @@ class ClusterDispatcher:
         self, jobs: Sequence[AnalysisJob]
     ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
         """Run one work unit: a delta sub-batch, or a single plain job."""
-        if len(jobs) == 1 and not isinstance(jobs[0].problem, OverlayProblem):
-            return [self._dispatch_one(jobs[0])], {}
-        return self._dispatch_delta(jobs)
+        with obs.span("cluster.unit", jobs=len(jobs)):
+            if len(jobs) == 1 and not isinstance(jobs[0].problem, OverlayProblem):
+                return [self._dispatch_one(jobs[0])], {}
+            return self._dispatch_delta(jobs)
 
     def _plan_units(self, jobs: Sequence[AnalysisJob]) -> List[List[int]]:
         """Partition a batch into dispatch units (lists of batch positions).
@@ -641,13 +644,30 @@ class ClusterDispatcher:
         done = 0
         units = self._plan_units(jobs)
         workers = min(len(units), max(1, self.capacity))
-        with ThreadPoolExecutor(
+        dispatch_span = obs.span(
+            "cluster.dispatch",
+            jobs=total,
+            units=len(units),
+            endpoints=len(self._endpoints),
+        )
+        traced = obs.tracing_enabled()
+        with dispatch_span, ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-cluster"
         ) as pool:
-            futures = {
-                pool.submit(self._dispatch_unit, [jobs[position] for position in unit]): unit
-                for unit in units
-            }
+
+            def _submit(unit: List[int]):
+                unit_jobs = [jobs[position] for position in unit]
+                if not traced:
+                    return pool.submit(self._dispatch_unit, unit_jobs)
+                # contextvars do not flow into pool threads: carry the active
+                # tracer/span over explicitly so unit spans stitch under the
+                # cluster.dispatch span (one fresh copy per task — a Context
+                # cannot be entered concurrently)
+                return pool.submit(
+                    contextvars.copy_context().run, self._dispatch_unit, unit_jobs
+                )
+
+            futures = {_submit(unit): unit for unit in units}
             for future in as_completed(futures):
                 unit = futures[future]
                 try:

@@ -53,6 +53,17 @@ _CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
     ("misses", "repro_cache_misses_total", "Result-cache misses"),
     ("stores", "repro_cache_stores_total", "Schedules stored into the result cache"),
     ("corrupt", "repro_cache_corrupt_total", "Corrupt disk cache entries quarantined"),
+    ("hits", "repro_cache_hits_total", "Result-cache hits (memory + disk)"),
+    ("lookups", "repro_cache_lookups_total", "Result-cache lookups (hits + misses)"),
+)
+
+#: (section, key, metric name, help) for the latency histograms — serialized
+#: by repro.obs.Histogram.to_dict() as {"buckets": [[le, cumulative]...],
+#: "sum": ..., "count": ...} and rendered as native Prometheus histograms
+_HISTOGRAM_SERIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("runtime", "latency_histogram", "repro_job_latency_seconds", "Per-job analyzer wall time"),
+    ("queue", "wait_histogram", "repro_queue_wait_seconds", "Submit-to-drain wait of queued jobs"),
+    ("server", "request_histogram", "repro_request_duration_seconds", "HTTP request handling duration"),
 )
 
 
@@ -92,11 +103,41 @@ def render_prometheus_metrics(stats: Dict[str, Any]) -> str:
         for labels, text in rendered:
             lines.append(f"{name}{labels} {text}")
 
+    def emit_histogram(name: str, help_text: str, document: Any) -> None:
+        if not isinstance(document, dict):
+            return
+        buckets = document.get("buckets")
+        if not isinstance(buckets, list):
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
+        for entry in buckets:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                continue
+            le, cumulative = entry
+            le_text = "+Inf" if le in ("+Inf", None) else _format_value(le)
+            count_text = _format_value(cumulative)
+            if le_text is None or count_text is None:
+                continue
+            lines.append(f'{name}_bucket{{le="{le_text}"}} {count_text}')
+        for suffix, key in (("_sum", "sum"), ("_count", "count")):
+            text = _format_value(document.get(key))
+            if text is not None:
+                lines.append(f"{name}{suffix} {text}")
+
     for section, key, name, kind, help_text in _SERIES:
         emit(name, kind, help_text, [("", (stats.get(section) or {}).get(key))])
     cache = runtime.get("cache") or {}
     for key, name, help_text in _CACHE_SERIES:
         emit(name, "counter", help_text, [("", cache.get(key))])
+    emit(
+        "repro_cache_hit_rate",
+        "gauge",
+        "Fraction of result-cache lookups served from cache (memory or disk)",
+        [("", cache.get("hit_rate"))],
+    )
+    for section, key, name, help_text in _HISTOGRAM_SERIES:
+        emit_histogram(name, help_text, (stats.get(section) or {}).get(key))
     for key, name, kind, help_text in (
         ("healthy", "repro_cluster_endpoint_healthy", "gauge", "1 when the endpoint is in rotation, 0 while quarantined"),
         ("outstanding", "repro_cluster_endpoint_outstanding", "gauge", "Jobs currently in flight on the endpoint"),

@@ -37,6 +37,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..core import AnalysisProblem, OverlayProblem, Schedule
 from ..core.analyzer import INCREMENTAL
 from ..engine.batch import BatchAnalyzer
@@ -59,8 +60,11 @@ class QueueStats:
     pending: int
     in_flight: int
     max_pending: int
+    #: submit-to-drain wait-time histogram (cumulative Prometheus buckets;
+    #: see :class:`repro.obs.Histogram`); None on pre-histogram snapshots
+    wait_histogram: Optional[Dict[str, Any]] = None
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -71,13 +75,28 @@ class QueueStats:
             "pending": self.pending,
             "in_flight": self.in_flight,
             "max_pending": self.max_pending,
+            **(
+                {"wait_histogram": dict(self.wait_histogram)}
+                if self.wait_histogram is not None
+                else {}
+            ),
         }
 
 
 class _Entry:
     """One unit of queued work plus every future coalesced onto it."""
 
-    __slots__ = ("key", "problem", "algorithm", "priority", "seq", "waiters")
+    __slots__ = (
+        "key",
+        "problem",
+        "algorithm",
+        "priority",
+        "seq",
+        "waiters",
+        "enqueued",
+        "tracer",
+        "parent_span_id",
+    )
 
     def __init__(
         self,
@@ -94,6 +113,12 @@ class _Entry:
         self.seq = seq
         #: (future, problem name) pairs; the first is the originating submission
         self.waiters: List[Tuple[Future, str]] = []
+        #: submission instant (wait-time telemetry reference point)
+        self.enqueued = time.perf_counter()
+        #: the submitter's trace position — the dispatcher thread records the
+        #: wait span and stitches batch spans back under it
+        self.tracer = obs.current_tracer()
+        self.parent_span_id = obs.current_span_id()
 
 
 class JobQueue:
@@ -146,6 +171,7 @@ class JobQueue:
         self._coalesced = 0
         self._cancelled = 0
         self._batches = 0
+        self._wait_histogram = obs.Histogram()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-jobqueue", daemon=True
         )
@@ -236,6 +262,7 @@ class JobQueue:
         """Take the highest-priority queued entries (under the lock)."""
         batch: List[_Entry] = []
         limit = self.max_batch if self.max_batch is not None else len(self._heap)
+        drained_wall = time.time()
         while self._heap and len(batch) < limit:
             _, _, entry = heapq.heappop(self._heap)
             if self._queued.get(entry.key) is entry:
@@ -243,6 +270,17 @@ class JobQueue:
             if self.coalesce:
                 self._running[entry.key] = entry
             batch.append(entry)
+            wait = max(time.perf_counter() - entry.enqueued, 0.0)
+            self._wait_histogram.observe(wait)
+            if entry.tracer is not None:
+                entry.tracer.record_completed(
+                    "queue.wait",
+                    wait,
+                    start=drained_wall - wait,
+                    parent_id=entry.parent_span_id,
+                    problem=entry.problem.name,
+                    priority=entry.priority,
+                )
         return batch
 
     def _dispatch_loop(self) -> None:
@@ -262,6 +300,19 @@ class JobQueue:
 
     def _execute(self, batch: List[_Entry]) -> None:
         """Run one drained batch (grouped by algorithm) and resolve its futures."""
+        # the dispatcher thread has no trace context of its own; when the
+        # batch carries traced submissions, execute under the first
+        # submitter's tracer so runtime/engine/analyzer spans stitch into its
+        # trace (a mixed drain attaches the shared batch spans to that first
+        # trace — the per-entry queue.wait spans are always exact)
+        traced = next((entry for entry in batch if entry.tracer is not None), None)
+        if traced is None:
+            self._execute_groups(batch)
+            return
+        with traced.tracer.activate(parent_id=traced.parent_span_id):
+            self._execute_groups(batch)
+
+    def _execute_groups(self, batch: List[_Entry]) -> None:
         # outcomes are keyed by entry *identity*, never by content digest:
         # with coalescing off, one drained batch may carry several entries of
         # the same digest, and each must resolve to its own schedule object
@@ -385,4 +436,5 @@ class JobQueue:
                 pending=len(self._heap),
                 in_flight=len(self._running),
                 max_pending=self.max_pending,
+                wait_histogram=self._wait_histogram.to_dict(),
             )

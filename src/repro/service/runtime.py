@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..core import Schedule
 from ..core.kernel import compilation_count as _kernel_compilations
 from ..engine.cache import PathLike, ResultCache
@@ -100,6 +101,10 @@ class RuntimeStats:
     kernel_compilations: int = 0
     #: per-endpoint routing snapshots (``remote`` backend only, else None)
     endpoints: Optional[List[Dict[str, Any]]] = None
+    #: per-job latency histogram (cumulative Prometheus buckets; see
+    #: :class:`repro.obs.Histogram`), fed from the same in-worker wall times
+    #: as the EWMA — None on snapshots taken before the accumulator existed
+    latency_histogram: Optional[Dict[str, Any]] = None
 
     @property
     def jobs_run(self) -> int:
@@ -122,6 +127,11 @@ class RuntimeStats:
             **(
                 {"endpoints": [dict(record) for record in self.endpoints]}
                 if self.endpoints is not None
+                else {}
+            ),
+            **(
+                {"latency_histogram": dict(self.latency_histogram)}
+                if self.latency_histogram is not None
                 else {}
             ),
         }
@@ -231,6 +241,7 @@ class EngineRuntime:
         self.cache = cache if isinstance(cache, ResultCache) else ResultCache(path=cache)
         self._latency_smoothing = float(latency_smoothing)
         self._latency_ewma: Optional[float] = None
+        self._latency_histogram = obs.Histogram()
         #: worker pools constructed so far — the acceptance-test hook proving
         #: that N batches + a whole search share a single construction
         self.pools_created = 0
@@ -289,7 +300,10 @@ class EngineRuntime:
                 self._pool = None
                 self._pool_jobs = 0
             if self._pool is None:
-                self._pool = self._build_pool()
+                with obs.span(
+                    "runtime.pool_build", backend=self.backend, workers=self.max_workers
+                ):
+                    self._pool = self._build_pool()
                 self.pools_created += 1
                 self._pool_jobs = 0
             self._active += 1
@@ -357,27 +371,28 @@ class EngineRuntime:
         jobs = list(jobs)
         if not jobs:
             return []
-        pool = self._acquire_pool()
-        try:
-            if self.dispatcher is not None:
-                results = self.dispatcher.run(jobs, progress=progress)
-            elif pool is None:
-                results = run_jobs_serial(jobs, progress)
-            else:
-                results = run_jobs_on(
-                    pool,
-                    jobs,
-                    workers=min(self.max_workers, len(jobs)),
-                    chunksize=chunksize if chunksize is not None else self.chunksize,
-                    progress=progress,
-                )
-        except BatchExecutionError as exc:
-            self._record(jobs, exc.results)
-            raise
-        finally:
-            self._release_pool(len(jobs))
-        self._record(jobs, results)
-        return results
+        with obs.span("runtime.batch", backend=self.backend, jobs=len(jobs)):
+            pool = self._acquire_pool()
+            try:
+                if self.dispatcher is not None:
+                    results = self.dispatcher.run(jobs, progress=progress)
+                elif pool is None:
+                    results = run_jobs_serial(jobs, progress)
+                else:
+                    results = run_jobs_on(
+                        pool,
+                        jobs,
+                        workers=min(self.max_workers, len(jobs)),
+                        chunksize=chunksize if chunksize is not None else self.chunksize,
+                        progress=progress,
+                    )
+            except BatchExecutionError as exc:
+                self._record(jobs, exc.results)
+                raise
+            finally:
+                self._release_pool(len(jobs))
+            self._record(jobs, results)
+            return results
 
     def _record(self, jobs: Sequence[AnalysisJob], results: Sequence[Optional[Schedule]]) -> None:
         completed = [schedule for schedule in results if schedule is not None]
@@ -389,6 +404,7 @@ class EngineRuntime:
                 # per-job latency as measured inside the worker, not the batch
                 # wall clock — pool queueing must not pollute the EWMA
                 observed = float(schedule.stats.wall_time_seconds)
+                self._latency_histogram.observe(observed)
                 if self._latency_ewma is None:
                     self._latency_ewma = observed
                 else:
@@ -419,4 +435,5 @@ class EngineRuntime:
                     if self.dispatcher is not None
                     else None
                 ),
+                latency_histogram=self._latency_histogram.to_dict(),
             )

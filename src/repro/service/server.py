@@ -48,12 +48,15 @@ Errors come back as ``{"error": "..."}`` with 400 (bad request), 404, 405,
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
-from .. import __version__
+from .. import __version__, obs
 from ..analysis.schedulability import minimal_horizon
 from ..analysis.search import SearchDriver
 from ..analysis.sensitivity import memory_sensitivity, wcet_sensitivity
@@ -90,6 +93,16 @@ class AnalysisServer:
     binds an ephemeral port — read :attr:`port` / :attr:`url` after
     construction.  Use :meth:`start` for a background thread (tests, embedded
     use) or :meth:`serve_forever` to serve on the calling thread (the CLI).
+
+    Request logging is structured JSONL through :class:`repro.obs.JsonlLogger`
+    (one JSON object per request: method, path, status, duration, trace id) —
+    quiet by default; ``quiet=False`` emits the lines to stderr.  A request
+    carrying a ``traceparent`` header is executed under a per-request tracer
+    continuing the client's trace, and its server-side spans travel back on
+    the JSON response (``"trace"`` key) for distributed stitching.
+    ``trace_dir`` additionally persists request logs and span records as
+    JSONL files (``requests-<port>.jsonl`` / ``spans-<port>.jsonl``) and
+    traces *every* request, header or not.
     """
 
     def __init__(
@@ -102,15 +115,20 @@ class AnalysisServer:
         max_pending: int = 1024,
         submit_timeout: Optional[float] = 30.0,
         quiet: bool = True,
+        trace_dir: Union[str, Path, None] = None,
     ) -> None:
         self._owns_runtime = runtime is None
         self.runtime = runtime if runtime is not None else EngineRuntime()
         self.default_algorithm = algorithm
         self.submit_timeout = submit_timeout
         self.quiet = quiet
+        self.trace_dir = None if trace_dir is None else Path(trace_dir).expanduser()
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         self.queue = JobQueue(self.runtime, algorithm=algorithm, max_pending=max_pending)
         self._requests = 0
         self._requests_lock = threading.Lock()
+        self._request_histogram = obs.Histogram()
         service = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -118,8 +136,9 @@ class AnalysisServer:
             server_version = f"repro-service/{__version__}"
 
             def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-                if not service.quiet:
-                    BaseHTTPRequestHandler.log_message(self, format, *args)
+                # the default stderr access-log line is replaced by the
+                # structured JSONL record _dispatch emits per request
+                pass
 
             def _reply(self, status: int, document: Any) -> None:
                 # dict responses are JSON; str responses (the /metrics text
@@ -139,8 +158,34 @@ class AnalysisServer:
             def _dispatch(self, method: str) -> None:
                 with service._requests_lock:
                     service._requests += 1
+                started = time.perf_counter()
                 path = urlsplit(self.path).path.rstrip("/") or "/"
+                traceparent = self.headers.get(obs.TRACEPARENT_HEADER)
+                tracer: Optional[obs.Tracer] = None
+                if traceparent or service.trace_dir is not None:
+                    tracer = obs.Tracer.from_traceparent(
+                        traceparent, service=f"server:{service.port}"
+                    )
+                if tracer is None:
+                    status, response = self._evaluate(method, path)
+                else:
+                    with tracer.activate():
+                        with obs.span("http.request", method=method, path=path) as req:
+                            status, response = self._evaluate(method, path)
+                            req.set(status=status)
+                    if traceparent and isinstance(response, dict):
+                        # hand the server-side spans back to the caller so one
+                        # cluster search stitches into a single trace
+                        response = {**response, "trace": tracer.span_dicts()}
+                self._reply(status, response)
+                duration = time.perf_counter() - started
+                service._request_histogram.observe(duration)
+                service._log_request(method, path, status, duration, tracer)
+
+            def _evaluate(self, method: str, path: str) -> Tuple[int, Any]:
+                """Route and run one request; always returns (status, body)."""
                 try:
+                    document: Dict[str, Any] = {}
                     if method == "POST":
                         length = int(self.headers.get("Content-Length") or 0)
                         raw = self.rfile.read(length) if length else b""
@@ -162,23 +207,20 @@ class AnalysisServer:
                     if handler is None:
                         known = {route_path for _, route_path in routes}
                         if path in known:
-                            self._reply(405, {"error": f"method {method} not allowed on {path}"})
-                        else:
-                            self._reply(404, {"error": f"unknown endpoint {path}"})
-                        return
-                    status, response = handler()
-                    self._reply(status, response)
+                            return 405, {"error": f"method {method} not allowed on {path}"}
+                        return 404, {"error": f"unknown endpoint {path}"}
+                    return handler()
                 except _BadRequest as exc:
-                    self._reply(400, {"error": str(exc)})
+                    return 400, {"error": str(exc)}
                 except (TypeError, ValueError) as exc:
                     # malformed field values (e.g. a non-numeric max_factor)
-                    self._reply(400, {"error": f"invalid request: {exc}"})
+                    return 400, {"error": f"invalid request: {exc}"}
                 except QueueFullError as exc:
-                    self._reply(503, {"error": str(exc)})
+                    return 503, {"error": str(exc)}
                 except ReproError as exc:
-                    self._reply(422, {"error": f"{type(exc).__name__}: {exc}"})
+                    return 422, {"error": f"{type(exc).__name__}: {exc}"}
                 except Exception as exc:  # noqa: BLE001 - never kill the connection thread
-                    self._reply(500, {"error": f"internal error: {type(exc).__name__}: {exc}"})
+                    return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
 
             def do_GET(self) -> None:
                 self._dispatch("GET")
@@ -190,6 +232,45 @@ class AnalysisServer:
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        # loggers are built after the listener so the bound port can name the
+        # trace files (meaningful with port=0)
+        self._request_log = obs.JsonlLogger(
+            stream=None if quiet else sys.stderr,
+            path=(
+                None
+                if self.trace_dir is None
+                else self.trace_dir / f"requests-{self.port}.jsonl"
+            ),
+        )
+        self._span_log = obs.JsonlLogger(
+            path=(
+                None
+                if self.trace_dir is None
+                else self.trace_dir / f"spans-{self.port}.jsonl"
+            ),
+        )
+
+    def _log_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration: float,
+        tracer: Optional[obs.Tracer],
+    ) -> None:
+        """One structured request-log record (and the request's span records)."""
+        if self._request_log.enabled:
+            self._request_log.log(
+                "request",
+                method=method,
+                path=path,
+                status=status,
+                duration_ms=round(duration * 1000.0, 3),
+                trace_id=None if tracer is None else tracer.trace_id,
+            )
+        if tracer is not None and self._span_log.enabled:
+            for record in tracer.span_dicts():
+                self._span_log.log("span", **record)
 
     # ------------------------------------------------------------------
     # endpoint handlers (HTTP-free: also directly testable)
@@ -208,6 +289,7 @@ class AnalysisServer:
                 "requests": requests,
                 "default_algorithm": self.default_algorithm,
                 "version": __version__,
+                "request_histogram": self._request_histogram.to_dict(),
             },
         }
 
@@ -378,6 +460,8 @@ class AnalysisServer:
         self.queue.close(drain=True)
         if self._owns_runtime:
             self.runtime.close()
+        self._request_log.close()
+        self._span_log.close()
 
     def __enter__(self) -> "AnalysisServer":
         return self

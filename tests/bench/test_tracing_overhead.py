@@ -1,0 +1,40 @@
+"""Disabled-mode tracing must be free: overhead bound asserted < 5%.
+
+Loads ``scripts/bench_snapshot.py`` (the CI perf-snapshot harness) and runs
+its tracing-overhead measurement on a small deterministic workload.  The
+end-to-end disabled-vs-enabled comparison is too noisy to gate CI on, so the
+assertion uses the analytic bound instead: the instrumentation touches
+``spans_per_run`` call sites per analysis, each costing one disabled-mode
+``obs.span()`` no-op, and that total must stay below 5% of the run time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+from repro import obs
+from repro.generators import fixed_ls_workload
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_snapshot.py"
+_spec = importlib.util.spec_from_file_location("bench_snapshot", _SCRIPT)
+bench_snapshot = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_snapshot)
+
+
+class TestTracingOverhead:
+    def test_disabled_mode_overhead_under_five_percent(self):
+        problem = fixed_ls_workload(48, 8, core_count=8, seed=7).to_problem()
+        report = bench_snapshot.measure_tracing_overhead(
+            problem, repeats=3, noop_calls=20_000
+        )
+        assert report["spans_per_run"] >= 1  # the workload is instrumented
+        assert report["disabled_seconds"] > 0
+        assert report["enabled_seconds"] > 0
+        assert report["estimated_disabled_overhead"] < 0.05
+
+    def test_measurement_leaves_tracing_disabled(self):
+        problem = fixed_ls_workload(32, 8, core_count=4, seed=7).to_problem()
+        bench_snapshot.measure_tracing_overhead(problem, repeats=1, noop_calls=1_000)
+        assert not obs.tracing_enabled()
+        assert obs.current_tracer() is None

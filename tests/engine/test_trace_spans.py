@@ -1,0 +1,92 @@
+"""Engine-layer tracing: chunk dispatch spans and worker-span stitching.
+
+Worker processes cannot share the submitting process's tracer, so
+:func:`repro.engine.executor._run_chunk` builds a child tracer from the
+propagated ``traceparent``, and its serialized spans ride back alongside the
+first chunk outcome to be merged into the caller's trace.
+"""
+
+from __future__ import annotations
+
+from repro import analyze_many, obs
+from repro.engine import BatchAnalyzer
+from repro.generators import fixed_ls_workload
+
+
+def _sweep(count: int):
+    return [
+        fixed_ls_workload(16, 4, core_count=4, seed=seed).to_problem()
+        for seed in range(count)
+    ]
+
+
+class TestProcessPoolStitching:
+    def test_worker_spans_merge_into_one_trace(self):
+        tracer = obs.Tracer(service="cli")
+        with tracer.activate():
+            schedules = analyze_many(_sweep(4), max_workers=2)
+        assert len(schedules) == 4
+        spans = tracer.spans
+        assert len({span.trace_id for span in spans}) == 1
+        names = {span.name for span in spans}
+        assert {"batch.run", "engine.dispatch", "engine.chunk", "job.run"} <= names
+        workers = {
+            span.process for span in spans if span.process.startswith("engine-worker:")
+        }
+        assert workers  # at least one worker process contributed spans
+        job_spans = [span for span in spans if span.name == "job.run"]
+        assert len(job_spans) == 4
+        assert all(span.process.startswith("engine-worker:") for span in job_spans)
+
+    def test_worker_spans_parent_under_dispatching_batch(self):
+        tracer = obs.Tracer(service="cli")
+        with tracer.activate():
+            analyze_many(_sweep(2), max_workers=2)
+        spans = tracer.spans
+        ids = {span.span_id for span in spans}
+        orphans = [
+            span
+            for span in spans
+            if span.parent_id is not None and span.parent_id not in ids
+        ]
+        assert orphans == []
+
+    def test_verdicts_unchanged_by_tracing(self):
+        def fingerprint(schedules):
+            return [
+                (s.to_dict()["entries"], s.makespan, s.schedulable) for s in schedules
+            ]
+
+        baseline = fingerprint(analyze_many(_sweep(3), max_workers=2))
+        tracer = obs.Tracer()
+        with tracer.activate():
+            traced = fingerprint(analyze_many(_sweep(3), max_workers=2))
+        assert traced == baseline
+
+
+class TestSerialAndCacheSpans:
+    def test_serial_path_emits_job_spans(self):
+        tracer = obs.Tracer()
+        with tracer.activate():
+            analyze_many(_sweep(2), max_workers=1)
+        names = [span.name for span in tracer.spans if span.name == "job.run"]
+        assert len(names) == 2
+
+    def test_cache_lookup_spans_carry_outcome(self):
+        analyzer = BatchAnalyzer(max_workers=1)
+        problems = _sweep(1)
+        tracer = obs.Tracer()
+        with tracer.activate():
+            analyzer.run(problems)
+            analyzer.run(problems)  # warm: served from the memory cache
+        outcomes = [
+            span.attributes["outcome"]
+            for span in tracer.spans
+            if span.name == "cache.lookup"
+        ]
+        assert outcomes == ["miss", "memory_hit"]
+
+    def test_no_spans_collected_when_disabled(self):
+        tracer = obs.Tracer()
+        analyze_many(_sweep(1), max_workers=1)  # not activated: no-op path
+        assert tracer.spans == []

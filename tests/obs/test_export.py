@@ -1,0 +1,129 @@
+"""Tests for the Chrome trace exporter, schema validator and JSONL logger."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import obs
+
+
+def _sample_spans():
+    tracer = obs.Tracer(service="cli")
+    with tracer.activate():
+        with obs.span("outer", jobs=2):
+            with obs.span("inner"):
+                pass
+    remote = obs.Tracer(trace_id=tracer.trace_id, service="server:8517")
+    remote.record_completed("http.request", 0.01)
+    tracer.record_foreign(remote.span_dicts())
+    return tracer.spans
+
+
+class TestChromeTraceDocument:
+    def test_structure(self):
+        document = obs.chrome_trace_document(_sample_spans())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["generator"] == "repro.obs"
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}
+
+    def test_one_process_lane_per_service(self):
+        events = obs.chrome_trace_document(_sample_spans())["traceEvents"]
+        lanes = {
+            event["args"]["name"]: event["pid"]
+            for event in events
+            if event["ph"] == "M"
+        }
+        assert set(lanes) == {"cli", "server:8517"}
+        assert len(set(lanes.values())) == 2  # distinct pids
+
+    def test_events_carry_span_identity_and_attributes(self):
+        events = obs.chrome_trace_document(_sample_spans())["traceEvents"]
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"]["jobs"] == 2
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["trace_id"] == inner["args"]["trace_id"]
+        assert outer["dur"] >= inner["dur"] >= 0
+
+    def test_accepts_dict_records(self):
+        dicts = [span.to_dict() for span in _sample_spans()]
+        document = obs.chrome_trace_document(dicts)
+        assert obs.validate_chrome_trace(document) == []
+
+    def test_metadata_merged_into_other_data(self):
+        document = obs.chrome_trace_document([], metadata={"command": "batch"})
+        assert document["otherData"]["command"] == "batch"
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(_sample_spans(), path)
+        loaded = json.loads(path.read_text())
+        assert obs.validate_chrome_trace(loaded) == []
+        assert loaded["traceEvents"]
+
+
+class TestValidator:
+    def test_accepts_generated_documents(self):
+        assert obs.validate_chrome_trace(obs.chrome_trace_document(_sample_spans())) == []
+
+    def test_accepts_bare_event_array(self):
+        events = obs.chrome_trace_document(_sample_spans())["traceEvents"]
+        assert obs.validate_chrome_trace(events) == []
+
+    def test_rejects_non_document(self):
+        assert obs.validate_chrome_trace("nope")
+        assert obs.validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_bad_events(self):
+        problems = obs.validate_chrome_trace(
+            [
+                {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+                {"ph": "X", "name": "", "pid": 1, "tid": 1, "ts": 0, "dur": 1},
+                {"ph": "X", "name": "x", "pid": True, "tid": 1, "ts": 0, "dur": 1},
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": "0", "dur": 1},
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0, "dur": -1},
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0, "dur": 1, "args": 3},
+            ]
+        )
+        assert len(problems) == 6
+
+
+class TestJsonlLogger:
+    def test_disabled_without_sinks(self):
+        logger = obs.JsonlLogger()
+        assert not logger.enabled
+        logger.log("request", path="/x")  # must not raise
+
+    def test_stream_sink(self):
+        stream = io.StringIO()
+        logger = obs.JsonlLogger(stream=stream)
+        logger.log("request", method="GET", path="/stats", status=200)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "request"
+        assert record["method"] == "GET"
+        assert record["status"] == 200
+        assert record["ts"] > 0
+
+    def test_file_sink_appends_lines(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        logger = obs.JsonlLogger(path=path)
+        logger.log("request", path="/a")
+        logger.log("request", path="/b")
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["path"] for line in lines] == ["/a", "/b"]
+
+    def test_non_json_values_stringified(self):
+        stream = io.StringIO()
+        logger = obs.JsonlLogger(stream=stream)
+        logger.log("event", value={1, 2}.__class__)  # a type: not JSON-serializable
+        assert json.loads(stream.getvalue())["value"].startswith("<class")
+
+    def test_close_is_idempotent(self, tmp_path):
+        logger = obs.JsonlLogger(path=tmp_path / "log.jsonl")
+        logger.close()
+        logger.close()
+        assert not logger.enabled or logger._handle is None

@@ -1,0 +1,77 @@
+"""Tests for the Prometheus-style histogram accumulator."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram
+
+
+class TestConstruction:
+    def test_default_buckets(self):
+        histogram = Histogram()
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, float("inf")])
+
+
+class TestObserve:
+    def test_cumulative_bucket_assignment(self):
+        histogram = Histogram([0.1, 1.0])
+        for value in (0.05, 0.1, 0.5, 2.0):
+            histogram.observe(value)
+        document = histogram.to_dict()
+        # le=0.1 is inclusive: 0.05 and 0.1 land there
+        assert document["buckets"] == [[0.1, 2], [1.0, 3], ["+Inf", 4]]
+        assert document["count"] == 4
+        assert document["sum"] == pytest.approx(2.65)
+
+    def test_empty_histogram_serializes(self):
+        document = Histogram([0.5]).to_dict()
+        assert document == {"buckets": [[0.5, 0], ["+Inf", 0]], "sum": 0.0, "count": 0}
+
+    def test_value_above_all_bounds_lands_in_inf(self):
+        histogram = Histogram([0.001])
+        histogram.observe(60.0)
+        document = histogram.to_dict()
+        assert document["buckets"][0][1] == 0
+        assert document["buckets"][-1] == ["+Inf", 1]
+
+    def test_thread_safety(self):
+        histogram = Histogram([0.5])
+        per_thread = 2000
+
+        def work():
+            for _ in range(per_thread):
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 4 * per_thread
+        assert histogram.sum == pytest.approx(0.25 * 4 * per_thread)
+
+    def test_dict_is_json_shaped(self):
+        import json
+
+        histogram = Histogram()
+        histogram.observe(0.01)
+        assert json.loads(json.dumps(histogram.to_dict()))["count"] == 1

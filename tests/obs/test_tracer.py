@@ -1,0 +1,191 @@
+"""Tests for the span tracer: nesting, propagation, no-op mode, wire forms."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+from repro import obs
+from repro.obs.tracer import _NullSpan
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert not obs.tracing_enabled()
+        assert obs.current_tracer() is None
+        assert obs.current_traceparent() is None
+        assert obs.current_span_id() is None
+
+    def test_span_is_shared_noop(self):
+        first = obs.span("anything", attr=1)
+        second = obs.span("else")
+        assert isinstance(first, _NullSpan)
+        assert first is second  # one shared singleton, no allocation per call
+
+    def test_noop_span_supports_protocol(self):
+        with obs.span("phase") as phase:
+            assert phase.set(count=3) is phase
+
+    def test_record_span_is_noop(self):
+        assert obs.record_span("phase", 0.5) is None
+
+
+class TestActivation:
+    def test_enables_and_disables(self):
+        tracer = obs.Tracer(service="test")
+        assert not obs.tracing_enabled()
+        with tracer.activate():
+            assert obs.tracing_enabled()
+            assert obs.current_tracer() is tracer
+        assert not obs.tracing_enabled()
+        assert obs.current_tracer() is None
+
+    def test_activation_survives_exceptions(self):
+        tracer = obs.Tracer()
+        try:
+            with tracer.activate():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not obs.tracing_enabled()
+
+    def test_parent_id_pins_root_parent(self):
+        tracer = obs.Tracer(trace_id="a" * 32)
+        with tracer.activate(parent_id="f" * 16):
+            with obs.span("child"):
+                pass
+        (child,) = tracer.spans
+        assert child.parent_id == "f" * 16
+
+    def test_thread_needs_explicit_context_copy(self):
+        tracer = obs.Tracer()
+        seen = {}
+
+        def worker(ctx=None):
+            if ctx is None:
+                seen["bare"] = obs.current_tracer()
+            else:
+                seen["copied"] = ctx.run(obs.current_tracer)
+
+        with tracer.activate():
+            bare = threading.Thread(target=worker)
+            bare.start()
+            bare.join()
+            copied = threading.Thread(
+                target=worker, args=(contextvars.copy_context(),)
+            )
+            copied.start()
+            copied.join()
+        assert seen["bare"] is None  # contextvars do not flow into threads
+        assert seen["copied"] is tracer
+
+
+class TestSpans:
+    def test_nesting_parents_correctly(self):
+        tracer = obs.Tracer(service="svc")
+        with tracer.activate():
+            with obs.span("outer", layer=1) as outer:
+                with obs.span("inner") as inner:
+                    pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].trace_id == spans["inner"].trace_id == tracer.trace_id
+        assert spans["outer"].attributes == {"layer": 1}
+        assert outer.duration >= inner.duration >= 0.0
+        assert all(s.process == "svc" for s in tracer.spans)
+
+    def test_set_attaches_late_attributes(self):
+        tracer = obs.Tracer()
+        with tracer.activate():
+            with obs.span("phase") as phase:
+                phase.set(iterations=7)
+        (span,) = tracer.spans
+        assert span.attributes["iterations"] == 7
+
+    def test_exception_marks_error_status(self):
+        tracer = obs.Tracer()
+        try:
+            with tracer.activate():
+                with obs.span("failing"):
+                    raise ValueError("bad input")
+        except ValueError:
+            pass
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert "ValueError" in span.attributes["error"]
+
+    def test_record_span_parents_under_current(self):
+        tracer = obs.Tracer()
+        with tracer.activate():
+            with obs.span("outer") as outer:
+                recorded = obs.record_span("measured", 0.25, loops=3)
+        assert recorded.parent_id == outer.span_id
+        assert recorded.duration == 0.25
+        assert recorded.attributes == {"loops": 3}
+        assert {s.name for s in tracer.spans} == {"outer", "measured"}
+
+    def test_record_completed_with_explicit_parent(self):
+        tracer = obs.Tracer()
+        span = tracer.record_completed("queue.wait", 0.1, start=123.0, parent_id="ab" * 8)
+        assert span.start == 123.0
+        assert span.parent_id == "ab" * 8
+        assert tracer.spans[0] is span
+
+    def test_round_trip_dict(self):
+        tracer = obs.Tracer(service="w")
+        with tracer.activate():
+            with obs.span("job", name_attr="x"):
+                pass
+        record = tracer.span_dicts()[0]
+        restored = obs.Span.from_dict(record)
+        assert restored.name == "job"
+        assert restored.trace_id == tracer.trace_id
+        assert restored.attributes == {"name_attr": "x"}
+
+    def test_record_foreign_merges_and_skips_malformed(self):
+        source = obs.Tracer(trace_id="c" * 32)
+        source.record_completed("remote", 0.01)
+        target = obs.Tracer(trace_id="c" * 32)
+        merged = target.record_foreign(source.span_dicts() + [{"bogus": True}])
+        assert merged == 1
+        assert [s.name for s in target.spans] == ["remote"]
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        header = obs.format_traceparent("ab" * 16, "cd" * 8)
+        assert obs.parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    def test_zero_parent_means_trace_only(self):
+        header = obs.format_traceparent("ab" * 16, None)
+        assert obs.parse_traceparent(header) == ("ab" * 16, None)
+
+    def test_malformed_headers_rejected(self):
+        for header in (None, "", "junk", "00-zz-cd-01", "00-" + "0" * 32 + "-x-01"):
+            assert obs.parse_traceparent(header) is None
+
+    def test_current_traceparent_carries_span_position(self):
+        tracer = obs.Tracer()
+        with tracer.activate():
+            with obs.span("outer") as outer:
+                header = obs.current_traceparent()
+        assert obs.parse_traceparent(header) == (tracer.trace_id, outer.span_id)
+
+    def test_from_traceparent_continues_trace(self):
+        parent = obs.Tracer()
+        with parent.activate():
+            with obs.span("client") as client_span:
+                header = obs.current_traceparent()
+        child = obs.Tracer.from_traceparent(header, service="server")
+        with child.activate():
+            with obs.span("server.side"):
+                pass
+        (server_span,) = child.spans
+        assert server_span.trace_id == parent.trace_id
+        assert server_span.parent_id == client_span.span_id
+
+    def test_from_traceparent_tolerates_garbage(self):
+        tracer = obs.Tracer.from_traceparent("not-a-header")
+        assert tracer.root_parent_id is None
+        assert len(tracer.trace_id) == 32

@@ -88,6 +88,62 @@ class TestRenderer:
         assert "repro_runtime_latency_ewma_seconds" not in text
         assert "NaN" not in text and "None" not in text
 
+    def test_cache_hit_rate_gauge(self):
+        runtime = {
+            **self.STATS["runtime"],
+            "cache": {
+                **self.STATS["runtime"]["cache"],
+                "hits": 4,
+                "lookups": 12,
+                "hit_rate": 4 / 12,
+            },
+        }
+        samples = _parse(render_prometheus_metrics({**self.STATS, "runtime": runtime}))
+        assert samples["repro_cache_hits_total"] == 4
+        assert samples["repro_cache_lookups_total"] == 12
+        assert samples["repro_cache_hit_rate"] == pytest.approx(1 / 3)
+
+    def test_histograms_rendered_prometheus_style(self):
+        histogram = {"buckets": [[0.1, 2], [1.0, 3], ["+Inf", 4]], "sum": 2.65, "count": 4}
+        stats = {
+            **self.STATS,
+            "runtime": {**self.STATS["runtime"], "latency_histogram": histogram},
+            "queue": {**self.STATS["queue"], "wait_histogram": histogram},
+            "server": {**self.STATS["server"], "request_histogram": histogram},
+        }
+        text = render_prometheus_metrics(stats)
+        samples = _parse(text)
+        for name in (
+            "repro_job_latency_seconds",
+            "repro_queue_wait_seconds",
+            "repro_request_duration_seconds",
+        ):
+            assert f"# TYPE {name} histogram" in text
+            assert samples[f'{name}_bucket{{le="0.1"}}'] == 2
+            assert samples[f'{name}_bucket{{le="+Inf"}}'] == 4
+            assert samples[f"{name}_sum"] == pytest.approx(2.65)
+            assert samples[f"{name}_count"] == 4
+
+    def test_missing_sections_render_cleanly(self):
+        # a minimal /stats document (old server, or sections still warming
+        # up) must not crash the renderer or emit malformed samples
+        text = render_prometheus_metrics({})
+        assert "repro_service_info" in text
+        assert "None" not in text and "NaN" not in text
+        samples = _parse(render_prometheus_metrics({"server": {"requests": 3}}))
+        assert samples["repro_server_requests_total"] == 3
+        assert not any(name.startswith("repro_job_latency_seconds") for name in samples)
+        assert not any(name.startswith("repro_cache_hit_rate") for name in samples)
+
+    def test_malformed_histogram_documents_skipped(self):
+        for bad in (None, "x", {"buckets": "x"}, {"buckets": [[0.1], ["+Inf", "a"]]}):
+            stats = {
+                **self.STATS,
+                "runtime": {**self.STATS["runtime"], "latency_histogram": bad},
+            }
+            text = render_prometheus_metrics(stats)
+            assert "repro_job_latency_seconds_bucket" not in text
+
     def test_remote_backend_exports_endpoint_series(self):
         runtime = {
             **self.STATS["runtime"],
@@ -143,6 +199,26 @@ class TestEndpoint:
         assert samples["repro_runtime_jobs_completed_total"] >= 1
         assert samples["repro_queue_submitted_total"] >= 1
         assert any(name.startswith("repro_service_info{") for name in samples)
+
+    def test_live_histograms_and_hit_rate_exposed(self, service):
+        server, client = service
+        problem = fixed_ls_workload(16, 4, core_count=4, seed=1).to_problem()
+        client.analyze(problem)
+        client.analyze(problem)  # second round: a cache hit
+        samples = _parse(client.metrics())
+        assert samples['repro_job_latency_seconds_bucket{le="+Inf"}'] >= 1
+        assert samples['repro_queue_wait_seconds_bucket{le="+Inf"}'] >= 1
+        assert samples['repro_request_duration_seconds_bucket{le="+Inf"}'] >= 2
+        assert samples["repro_request_duration_seconds_count"] >= 2
+        assert 0.0 <= samples["repro_cache_hit_rate"] <= 1.0
+        # /stats carries the same histograms as JSON
+        stats = client.stats()
+        assert stats["runtime"]["latency_histogram"]["count"] >= 1
+        assert stats["queue"]["wait_histogram"]["count"] >= 1
+        assert stats["server"]["request_histogram"]["count"] >= 2
+        cache = stats["runtime"]["cache"]
+        assert cache["lookups"] == cache["hits"] + cache["misses"]
+        assert cache["hit_rate"] == pytest.approx(cache["hits"] / cache["lookups"])
 
     def test_content_type_is_text_exposition(self, service):
         server, _ = service
