@@ -27,10 +27,23 @@ Measures, on one deterministic layer-by-layer workload:
    (span call sites x per-call no-op cost / run time) is asserted < 5% by
    ``tests/bench/test_tracing_overhead.py``.
 
-Writes a JSON document (default ``BENCH_PR6.json``) so CI finally records
+4. **Structural probe throughput** (PR 7) — one grid of single-edit
+   structural deltas (remaps + extra precedence edges) analysed three ways:
+
+   * *cold*: every probe materialises a fresh ``AnalysisProblem`` and the
+     analyzer recompiles it from scratch;
+   * *patch*: every probe is a :class:`repro.core.PatchedProblem` sharing
+     the parent kernel's untouched tables, analysed cold;
+   * *warm*: the same patched probes carrying a warm-start bundle from the
+     parent's schedule, so the analyzer resumes instead of starting over.
+
+   All three produce bit-identical verdicts (asserted); the snapshot
+   records the per-mode throughput and the warm-resume count.
+
+Writes a JSON document (default ``BENCH_PR7.json``) so CI finally records
 perf data points over time::
 
-    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR6.json
+    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR7.json
 
 ``--tiny`` shrinks the workload for CI runners; the numbers are then only
 good for trajectory, not for absolute claims.  Exit code 0 unless the two
@@ -49,9 +62,23 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import AnalysisProblem, obs  # noqa: E402
-from repro.analysis import SearchDriver, bracket_search, memory_sensitivity  # noqa: E402
+from repro.analysis import (  # noqa: E402
+    SearchDriver,
+    bracket_search,
+    edge_grid,
+    memory_sensitivity,
+    remap_grid,
+)
 from repro.analysis.sensitivity import scale_memory_demand  # noqa: E402
-from repro.core import analyze_fixedpoint, analyze_incremental, compilation_count  # noqa: E402
+from repro.core import (  # noqa: E402
+    PatchedProblem,
+    analyze_fixedpoint,
+    analyze_incremental,
+    compilation_count,
+    compile_problem,
+    patch_problem,
+)
+from repro.errors import ReproError  # noqa: E402
 from repro.generators import fixed_ls_workload  # noqa: E402
 
 
@@ -184,19 +211,87 @@ def measure_tracing_overhead(problem, *, repeats, noop_calls=100_000):
     }
 
 
+def measure_structural(problem, *, repeats, probe_limit):
+    """Structural grid throughput: cold rebuild vs kernel patch vs warm resume."""
+    kernel = compile_problem(problem)
+    parent_schedule = analyze_incremental(problem)
+    grid = []
+    for delta in remap_grid(kernel) + edge_grid(kernel, limit=probe_limit):
+        try:
+            patch_problem(kernel, delta)
+        except ReproError:
+            continue  # e.g. a remap that would create an ordering cycle
+        grid.append(delta)
+        if len(grid) >= probe_limit:
+            break
+
+    def run_cold():
+        return [
+            analyze_incremental(PatchedProblem(kernel, delta).materialize())
+            for delta in grid
+        ]
+
+    def run_patch():
+        return [
+            analyze_incremental(PatchedProblem(kernel, delta)) for delta in grid
+        ]
+
+    def run_warm():
+        return [
+            analyze_incremental(
+                PatchedProblem(kernel, delta, parent_schedule=parent_schedule)
+            )
+            for delta in grid
+        ]
+
+    cold_seconds, cold_schedules = _best_of(repeats, run_cold)
+    patch_seconds, patch_schedules = _best_of(repeats, run_patch)
+    warm_seconds, warm_schedules = _best_of(repeats, run_warm)
+    for cold, patch, warm in zip(cold_schedules, patch_schedules, warm_schedules):
+        if not (
+            cold.to_dict()["entries"]
+            == patch.to_dict()["entries"]
+            == warm.to_dict()["entries"]
+        ):
+            raise SystemExit(
+                "BUG: structural probe verdicts diverged across cold/patch/warm"
+            )
+    probes = len(grid)
+    warm_hits = sum(s.stats.warm_start_hits for s in warm_schedules)
+    return {
+        "probes": probes,
+        "warm_start_hits": warm_hits,
+        "cold_seconds": cold_seconds,
+        "patch_seconds": patch_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_probes_per_second": probes / cold_seconds if cold_seconds else None,
+        "patch_probes_per_second": probes / patch_seconds if patch_seconds else None,
+        "warm_probes_per_second": probes / warm_seconds if warm_seconds else None,
+        "speedup_patch_vs_cold": (
+            cold_seconds / patch_seconds if patch_seconds else None
+        ),
+        "speedup_warm_vs_cold": (
+            cold_seconds / warm_seconds if warm_seconds else None
+        ),
+        "improved": warm_seconds < cold_seconds,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tiny", action="store_true", help="CI-sized workload")
-    parser.add_argument("--output", default="BENCH_PR6.json", help="JSON output path")
+    parser.add_argument("--output", default="BENCH_PR7.json", help="JSON output path")
     parser.add_argument("--seed", type=int, default=2020)
     args = parser.parse_args()
 
     if args.tiny:
         tasks, layer, cores, repeats = 96, 8, 8, 3
         fixedpoint_tasks = 64
+        structural_probes = 24
     else:
         tasks, layer, cores, repeats = 400, 16, 16, 3
         fixedpoint_tasks = 256
+        structural_probes = 64
 
     workload = fixed_ls_workload(tasks, layer, core_count=cores, seed=args.seed)
     base = workload.to_problem()
@@ -213,11 +308,14 @@ def main() -> int:
     ).to_problem()
     fixedpoint = measure_fixedpoint(fp_problem, repeats=repeats)
     tracing = measure_tracing_overhead(fp_problem, repeats=repeats)
+    structural = measure_structural(
+        fp_problem, repeats=repeats, probe_limit=structural_probes
+    )
 
     document = {
         "format": "repro-bench-snapshot",
         "version": 1,
-        "pr": 6,
+        "pr": 7,
         "profile": "tiny" if args.tiny else "full",
         "workload": {
             "generator": "fixed-LS",
@@ -231,6 +329,7 @@ def main() -> int:
         "sensitivity": sensitivity,
         "fixedpoint": fixedpoint,
         "tracing": tracing,
+        "structural": structural,
     }
     output = Path(args.output)
     output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
@@ -262,6 +361,18 @@ def main() -> int:
             on=tracing["enabled_seconds"],
             spans=tracing["spans_per_run"],
             est=tracing["estimated_disabled_overhead"],
+        )
+    )
+    print(
+        "structural: {probes} probes | cold {cold:.3f}s | patch {patch:.3f}s "
+        "(x{sp:.2f}) | warm {warm:.3f}s (x{sw:.2f}, {hits} resumes)".format(
+            probes=structural["probes"],
+            cold=structural["cold_seconds"],
+            patch=structural["patch_seconds"],
+            sp=structural["speedup_patch_vs_cold"],
+            warm=structural["warm_seconds"],
+            sw=structural["speedup_warm_vs_cold"],
+            hits=structural["warm_start_hits"],
         )
     )
     return 0

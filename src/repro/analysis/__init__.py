@@ -29,6 +29,13 @@ from .sensitivity import (
     wcet_sensitivity,
 )
 from .statistics import ScheduleStatistics, interference_cost, schedule_statistics
+from .structure import (
+    StructuralVerdict,
+    StructuralWhatIfResult,
+    edge_grid,
+    remap_grid,
+    structural_what_if,
+)
 
 __all__ = [
     "DeadlineMiss",
@@ -49,6 +56,11 @@ __all__ = [
     "ScheduleStatistics",
     "schedule_statistics",
     "interference_cost",
+    "StructuralVerdict",
+    "StructuralWhatIfResult",
+    "remap_grid",
+    "edge_grid",
+    "structural_what_if",
     "TimingPoint",
     "TimingSeries",
     "ComplexityFit",

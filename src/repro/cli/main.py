@@ -663,6 +663,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
         queue_stats = stats.get("queue") or {}
         cache = runtime_stats.get("cache") or {}
         latency = record.get("latency_ewma_seconds")
+        hit_rate = cache.get("hit_rate")
         rows.append(
             [
                 record["url"],
@@ -677,11 +678,26 @@ def _command_cluster(args: argparse.Namespace) -> int:
                     if cache
                     else "-"
                 ),
+                f"{hit_rate * 100:.0f}%" if hit_rate is not None else "-",
+                str(runtime_stats.get("kernel_compilations", "-")),
+                str(runtime_stats.get("warm_start_hits", "-")),
             ]
         )
     print(
         format_table(
-            ["endpoint", "health", "backend", "workers", "jobs", "latency(ms)", "queued", "cache-hits"],
+            [
+                "endpoint",
+                "health",
+                "backend",
+                "workers",
+                "jobs",
+                "latency(ms)",
+                "queued",
+                "cache-hits",
+                "hit-rate",
+                "compiled",
+                "warm-hits",
+            ],
             rows,
         )
     )

@@ -18,8 +18,15 @@ from .kernel import (
     CompiledProblem,
     OverlayProblem,
     ParamOverlay,
+    PatchedProblem,
+    StructureOverlay,
+    WarmStart,
     compilation_count,
     compile_problem,
+    compute_warm_start,
+    patch_count,
+    patch_problem,
+    structural_dirty_names,
 )
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
@@ -30,8 +37,15 @@ __all__ = [
     "CompiledProblem",
     "ParamOverlay",
     "OverlayProblem",
+    "PatchedProblem",
+    "StructureOverlay",
+    "WarmStart",
     "compile_problem",
     "compilation_count",
+    "compute_warm_start",
+    "patch_count",
+    "patch_problem",
+    "structural_dirty_names",
     "Schedule",
     "ScheduledTask",
     "ScheduleStats",

@@ -44,7 +44,7 @@ from .. import obs
 from ..errors import ConvergenceError
 from ..model import MemoryDemand
 from .interference import IbusCallCounter, interference_from_overlaps
-from .kernel import OverlayProblem, compile_problem
+from .kernel import OverlayProblem, PatchedProblem, compile_problem
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
 
@@ -149,9 +149,61 @@ class FixedPointAnalyzer:
 
         response: List[int] = list(wcet)
         per_bank: List[Dict[int, int]] = [{} for _ in range(n)]
+        # the initial release dates are always derived from the raw WCETs —
+        # a warm seed below swaps only the Jacobi start vector, never the
+        # release-propagation input, so the outer loop sees the exact state
+        # a cold run would
         release = self._propagate_releases(
             topo, pred_offsets, pred_list, min_release, response, n
         )
+
+        warm_hits = 0
+        if isinstance(problem, PatchedProblem) and problem.warm is not None:
+            warm = problem.warm
+            sched = warm.schedule
+            if (
+                sched.algorithm == "fixedpoint"
+                and sched.schedulable
+                and not sched.unscheduled
+                and problem.overlay.is_identity()
+            ):
+                if warm.first_affected_time is None and kernel is problem.parent:
+                    # no-op structural edit on the parent's own kernel: the
+                    # parent schedule *is* this problem's schedule, bit for bit
+                    stats = ScheduleStats(
+                        algorithm="fixedpoint",
+                        outer_iterations=sched.stats.outer_iterations,
+                        inner_iterations=sched.stats.inner_iterations,
+                        ibus_calls=sched.stats.ibus_calls,
+                        wall_time_seconds=_time.perf_counter() - started,
+                        kernel_compilations=compiled,
+                        warm_start_hits=1,
+                    )
+                    return Schedule(
+                        sched.entries(),
+                        algorithm="fixedpoint",
+                        schedulable=True,
+                        stats=stats,
+                        problem_name=problem_name,
+                    )
+                # seed the first response-time sweep from the parent's
+                # converged response times (clamped to the child WCETs; new
+                # tasks start from their WCET).  The Jacobi map is monotone,
+                # so a seed between the WCET bottom and the sweep's least
+                # fixed point converges to that same fixed point in fewer
+                # iterations — entries, verdict and makespan match the cold
+                # run (property-tested); only inner_iterations / ibus_calls
+                # shrink.
+                response = [
+                    max(
+                        wcet[i],
+                        sched.entry(names[i]).response_time
+                        if names[i] in sched
+                        else wcet[i],
+                    )
+                    for i in range(n)
+                ]
+                warm_hits = 1
 
         outer_iterations = 0
         inner_iterations = 0
@@ -240,6 +292,7 @@ class FixedPointAnalyzer:
             ibus_calls=counter.count,
             wall_time_seconds=_time.perf_counter() - started,
             kernel_compilations=compiled,
+            warm_start_hits=warm_hits,
         )
         return Schedule(
             entries,

@@ -42,13 +42,16 @@ from typing import Dict, List, Optional, Tuple, Union
 from .. import obs
 from .events import AnalysisTrace
 from .interference import IbusCallCounter, InterferenceTracker
-from .kernel import OverlayProblem, compile_problem
+from .kernel import OverlayProblem, PatchedProblem, compile_problem
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
 
 __all__ = ["IncrementalAnalyzer", "analyze_incremental"]
 
 _INFINITY = float("inf")
+
+#: sentinel: the warm start can reuse the parent schedule outright (no-op edit)
+_WARM_REUSE = object()
 
 
 class _AliveTask:
@@ -191,29 +194,75 @@ class IncrementalAnalyzer:
         ]
         heapq.heapify(future_heap)
 
-        alive: Dict[int, _AliveTask] = {}
-        entries: List[ScheduledTask] = []
-        opened: List[bool] = [False] * task_count
-        opened_count = 0
-        cursor_steps = 0
-        unschedulable = False
-
         # start the cursor at the earliest minimal release date: nothing can
         # open before it, so the old ``t = 0`` first step was a guaranteed
         # no-op whenever every task releases late
         start = min(min_release)
-        if horizon is not None and start > horizon:
-            # even the first release lies beyond the deadline; mirror the old
-            # behaviour exactly (one no-op cursor step at t = 0, then abort)
-            cursor_steps = 1
-            if self.trace is not None:
-                self.trace.record(
-                    time=0, closed=[], opened=[], alive=[], future_count=task_count
-                )
-            unschedulable = True
-            t: float = _INFINITY
+
+        warm_hits = 0
+        resume = None
+        if (
+            self.trace is None
+            and isinstance(problem, PatchedProblem)
+            and problem.warm is not None
+        ):
+            resume = self._warm_resume(
+                problem, kernel, wcet, demand, horizon, start, counter
+            )
+        if resume is _WARM_REUSE:
+            # no-op structural edit on the parent's own kernel: the parent
+            # schedule *is* this problem's schedule, bit for bit
+            parent_schedule = problem.warm.schedule
+            stats = ScheduleStats(
+                algorithm="incremental",
+                cursor_steps=parent_schedule.stats.cursor_steps,
+                ibus_calls=parent_schedule.stats.ibus_calls,
+                wall_time_seconds=_time.perf_counter() - started,
+                kernel_compilations=compiled,
+                warm_start_hits=1,
+            )
+            return Schedule(
+                parent_schedule.entries(),
+                algorithm="incremental",
+                schedulable=True,
+                stats=stats,
+                problem_name=problem_name,
+            )
+
+        if resume is not None:
+            (
+                entries,
+                alive,
+                pending,
+                core_heads,
+                future_heap,
+                opened,
+                opened_count,
+                cursor_steps,
+                t,
+                unschedulable,
+            ) = resume
+            warm_hits = 1
         else:
-            t = float(start)
+            alive = {}
+            entries = []
+            opened = [False] * task_count
+            opened_count = 0
+            cursor_steps = 0
+            unschedulable = False
+            if horizon is not None and start > horizon:
+                # even the first release lies beyond the deadline; mirror the
+                # old behaviour exactly (one no-op cursor step at t = 0, then
+                # abort)
+                cursor_steps = 1
+                if self.trace is not None:
+                    self.trace.record(
+                        time=0, closed=[], opened=[], alive=[], future_count=task_count
+                    )
+                unschedulable = True
+                t = _INFINITY
+            else:
+                t = float(start)
         loop_started = _time.perf_counter()
         while t < _INFINITY:
             cursor_steps += 1
@@ -325,6 +374,7 @@ class IncrementalAnalyzer:
             ibus_calls=counter.count,
             wall_time_seconds=_time.perf_counter() - started,
             kernel_compilations=compiled,
+            warm_start_hits=warm_hits,
         )
         return Schedule(
             entries,
@@ -333,6 +383,235 @@ class IncrementalAnalyzer:
             unscheduled=never_opened,
             stats=stats,
             problem_name=problem_name,
+        )
+
+    # ------------------------------------------------------------------
+    # structural warm start
+    # ------------------------------------------------------------------
+
+    def _warm_resume(self, problem, kernel, wcet, demand, horizon, start, counter):
+        """Rebuild the cold run's state at the warm start's divergence bound.
+
+        Before ``first_affected_time`` (``T``) the child's execution is in
+        lockstep with the parent's, so the parent schedule determines the
+        prefix exactly: entries finishing by ``T`` are final, tasks whose
+        window straddles ``T`` are alive with trackers fed by their pre-``T``
+        overlaps, and the pre-``T`` cursor steps are replayed from the final
+        windows alone (the cursor never visits a non-final finish date —
+        openings happen only at steps, so a finish chosen as the next step
+        cannot grow afterwards).  Returns ``None`` to run cold,
+        :data:`_WARM_REUSE` for the no-op full-reuse path, or the complete
+        resumable loop state.  Bit-identical to the cold run by construction —
+        property-tested against it across the generator zoo.
+        """
+        warm = problem.warm
+        sched = warm.schedule
+        parent = problem.parent
+        if (
+            sched.algorithm != "incremental"
+            or not sched.schedulable
+            or sched.unscheduled
+            or not problem.overlay.is_identity()
+        ):
+            return None
+        if set(sched.task_names()) != set(parent.names):
+            return None
+        T = warm.first_affected_time
+        if T is None:
+            return _WARM_REUSE if kernel is parent else None
+        if T <= start:
+            return None
+        if horizon is not None and start > horizon:
+            return None
+
+        names = kernel.names
+        index_of = kernel.index_of
+        min_release = kernel.min_release
+        n = kernel.task_count
+        dirty = warm.dirty
+
+        # --- classify the parent prefix -----------------------------------
+        closed: List[ScheduledTask] = []
+        straddling: List[ScheduledTask] = []
+        for entry in sched.entries():
+            if entry.release >= T:
+                continue
+            idx = index_of.get(entry.name)
+            if idx is None or idx in dirty:
+                return None  # inconsistent warm-start metadata; run cold
+            if entry.finish <= T:
+                closed.append(entry)
+            else:
+                straddling.append(entry)
+
+        opened = [False] * n
+        for entry in closed:
+            opened[index_of[entry.name]] = True
+        for entry in straddling:
+            opened[index_of[entry.name]] = True
+        opened_count = len(closed) + len(straddling)
+
+        pred_offsets, dep_offsets = kernel.pred_offsets, kernel.dep_offsets
+        dep_list = kernel.dep_list
+        pending = [pred_offsets[i + 1] - pred_offsets[i] for i in range(n)]
+        for entry in closed:
+            idx = index_of[entry.name]
+            for consumer in dep_list[dep_offsets[idx] : dep_offsets[idx + 1]]:
+                pending[consumer] -= 1
+
+        # opened tasks must form a prefix of each per-core execution order
+        core_heads: List[int] = []
+        heads_total = 0
+        for order in kernel.core_orders:
+            head = 0
+            while head < len(order) and opened[order[head]]:
+                head += 1
+            core_heads.append(head)
+            heads_total += head
+        if heads_total != opened_count:
+            return None
+
+        # --- skeleton replay: recount the pre-T cursor steps ---------------
+        events = sorted(
+            (entry.release, entry.finish, index_of[entry.name])
+            for entry in closed + straddling
+        )
+        opened_sk = [False] * n
+        rel_heap: List[Tuple[int, int]] = [(min_release[i], i) for i in range(n)]
+        heapq.heapify(rel_heap)
+        open_heap: List[int] = []
+        event_index = 0
+        cursor_steps = 0
+        t_sk = start
+        while True:
+            now = t_sk
+            cursor_steps += 1
+            while event_index < len(events) and events[event_index][0] <= now:
+                _release, finish, idx = events[event_index]
+                event_index += 1
+                opened_sk[idx] = True
+                heapq.heappush(open_heap, finish)
+            while open_heap and open_heap[0] <= now:
+                heapq.heappop(open_heap)
+            t_next: float = _INFINITY
+            if open_heap:
+                t_next = open_heap[0]
+            while rel_heap and (
+                rel_heap[0][0] <= now or opened_sk[rel_heap[0][1]]
+            ):
+                heapq.heappop(rel_heap)
+            if rel_heap and rel_heap[0][0] < t_next:
+                t_next = rel_heap[0][0]
+            if t_next >= T:
+                break
+            if horizon is not None and t_next > horizon:
+                return None  # the cold run aborts on the horizon before T
+            t_sk = int(t_next)
+
+        # --- rebuild the alive set (cold insertion order: release, core) ---
+        platform = kernel.problem.platform
+        arbiter = kernel.problem.arbiter
+        straddling.sort(key=lambda entry: (entry.release, entry.core))
+        sources = sorted(closed + straddling, key=lambda entry: (entry.release, entry.core))
+        alive: Dict[int, _AliveTask] = {}
+        for entry in straddling:
+            idx = index_of[entry.name]
+            tracker = InterferenceTracker(
+                name=entry.name,
+                core=entry.core,
+                demand=demand[idx],
+                arbiter=arbiter,
+                platform=platform,
+                counter=counter,
+            )
+            item = _AliveTask(
+                index=idx,
+                name=entry.name,
+                core=entry.core,
+                release=entry.release,
+                wcet=wcet[idx],
+                tracker=tracker,
+            )
+            # feed chronologically so the tracker state matches the cold run's
+            for src in sources:
+                if src.name == entry.name or src.core == entry.core:
+                    continue
+                if entry.overlaps(src):
+                    item.tracker.add_source(src.name, src.core, demand[index_of[src.name]])
+            alive[idx] = item
+
+        # --- arbiter calls charged to already-closed destinations -----------
+        # chronological sweep over the prefix openings, mirroring the cold
+        # run's pairwise exchange: per overlapping other-core pair, one call
+        # per bank both tasks contend on (alive destinations were recounted
+        # naturally while feeding their trackers above)
+        reserved = kernel.reserved_banks
+        banks_of: Dict[int, List[int]] = {}
+        for src in sources:
+            idx = index_of[src.name]
+            banks_of[idx] = [
+                bank
+                for bank, accesses in demand[idx].items()
+                if accesses > 0 and bank not in reserved
+            ]
+        straddling_names = {entry.name for entry in straddling}
+        extra_calls = 0
+        active: List[ScheduledTask] = []
+        for src in sources:
+            active = [other for other in active if other.finish > src.release]
+            src_idx = index_of[src.name]
+            src_demand = demand[src_idx]
+            for other in active:
+                if other.core == src.core:
+                    continue
+                other_idx = index_of[other.name]
+                other_demand = demand[other_idx]
+                if other.name not in straddling_names:
+                    extra_calls += sum(
+                        1 for bank in banks_of[other_idx] if src_demand[bank] > 0
+                    )
+                if src.name not in straddling_names:
+                    extra_calls += sum(
+                        1 for bank in banks_of[src_idx] if other_demand[bank] > 0
+                    )
+            active.append(src)
+        counter.count += extra_calls
+
+        # --- the resume instant: the cold run's next step after the prefix --
+        t_resume: float = _INFINITY
+        if any(entry.finish == T for entry in closed):
+            # a task closes exactly at T: the cold run visits T
+            t_resume = float(T)
+        for item in alive.values():
+            finish = item.finish
+            if finish < t_resume:
+                t_resume = finish
+        for i in range(n):
+            if not opened[i] and min_release[i] >= T and min_release[i] < t_resume:
+                t_resume = float(min_release[i])
+
+        unschedulable = False
+        if horizon is not None and t_resume != _INFINITY and t_resume > horizon:
+            # the cold run would abort here without visiting t_resume
+            unschedulable = True
+            t_resume = _INFINITY
+
+        entries: List[ScheduledTask] = list(closed)
+        future_heap: List[Tuple[int, int]] = [
+            (min_release[i], i) for i in range(n) if not opened[i]
+        ]
+        heapq.heapify(future_heap)
+        return (
+            entries,
+            alive,
+            pending,
+            core_heads,
+            future_heap,
+            opened,
+            opened_count,
+            cursor_steps,
+            t_resume,
+            unschedulable,
         )
 
 

@@ -100,6 +100,9 @@ class ScheduleStats:
     #: analyzer was handed a plain problem and compiled it, 0 when it reused a
     #: precompiled kernel (the delta re-analysis path)
     kernel_compilations: int = 0
+    #: 1 when the analyzer reused a parent solution through a structural
+    #: warm start (prefix replay / seeded sweep), 0 for a cold run
+    warm_start_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -239,6 +242,7 @@ class Schedule:
             ibus_calls=int(stats_data.get("ibus_calls", 0)),
             wall_time_seconds=float(stats_data.get("wall_time_seconds", 0.0)),
             kernel_compilations=int(stats_data.get("kernel_compilations", 0)),
+            warm_start_hits=int(stats_data.get("warm_start_hits", 0)),
         )
         return cls(
             entries=[ScheduledTask.from_dict(record) for record in data.get("entries", [])],

@@ -219,8 +219,15 @@ def run_jobs_on(
         for payload in chunk:
             base = payload.get("base_problem")
             if base is not None:
-                digest_pair = payload.get("split_digests") or []
-                structure_digest = str(digest_pair[0]) if digest_pair else None
+                # structural payloads name their factoring key explicitly (the
+                # *parent* digest — their own structure half describes the
+                # edited problem); overlay payloads factor on their own half
+                structure_digest = payload.get("base_structure_digest")
+                if structure_digest is None:
+                    digest_pair = payload.get("split_digests") or []
+                    structure_digest = str(digest_pair[0]) if digest_pair else None
+                else:
+                    structure_digest = str(structure_digest)
                 if structure_digest is not None:
                     structures.setdefault(structure_digest, base)
                     payload = {
@@ -228,6 +235,19 @@ def run_jobs_on(
                         for key, value in payload.items()
                         if key != "base_problem"
                     }
+            warm = payload.get("warm_start")
+            base_digest = payload.get("base_structure_digest")
+            if (
+                isinstance(warm, dict)
+                and isinstance(warm.get("schedule"), dict)
+                and base_digest
+            ):
+                # every probe of a structural generation carries the same
+                # parent schedule: ship it once per chunk, referenced by key
+                schedule = warm["schedule"]
+                key = f"warm:{base_digest}:{schedule.get('algorithm', '')}"
+                structures.setdefault(key, schedule)
+                payload = {**payload, "warm_start": {**warm, "schedule": key}}
             stripped.append(payload)
         future = pool.submit(_run_chunk, stripped, structures or None, traceparent)
         pending[future] = [payload["index"] for payload in stripped]

@@ -53,7 +53,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
-from ..core import AnalysisProblem, CompiledProblem, OverlayProblem, Schedule
+from ..core import (
+    AnalysisProblem,
+    CompiledProblem,
+    OverlayProblem,
+    PatchedProblem,
+    Schedule,
+    WarmStart,
+)
 from ..core.analyzer import analyze, get_algorithm, register_algorithm
 from ..errors import AnalysisError, EngineError
 from ..model import graph_to_dict, mapping_to_dict
@@ -355,6 +362,32 @@ def problem_digest(problem: Union[AnalysisProblem, OverlayProblem]) -> str:
     return _combine_digests(*split_problem_digests(problem))
 
 
+def _warm_start_from_payload(
+    warm_data: Any,
+    base_digest: Optional[str],
+    structures: Optional[Mapping[str, Any]],
+) -> Optional[WarmStart]:
+    """Rebuild a structural job's warm-start bundle from its payload.
+
+    The executor may have factored the (chunk-wide) parent schedule out of
+    the payload into the structure table under a ``warm:`` key; a string
+    ``schedule`` entry is that reference.  A missing or unresolvable bundle
+    degrades to ``None`` — the job then runs cold, which is always correct.
+    """
+    if not isinstance(warm_data, Mapping):
+        return None
+    sched_data = warm_data.get("schedule")
+    if isinstance(sched_data, str):
+        sched_data = structures.get(sched_data) if structures is not None else None
+    if not isinstance(sched_data, Mapping):
+        return None
+    return WarmStart(
+        schedule=Schedule.from_dict(sched_data),
+        dirty=frozenset(int(index) for index in warm_data.get("dirty", ())),
+        first_affected_time=warm_data.get("first_affected_time"),
+    )
+
+
 def _rebuild_problem(problem_data: Mapping[str, Any], arbiter: Any) -> AnalysisProblem:
     """Worker-side problem reconstruction with the live-arbiter override.
 
@@ -452,8 +485,18 @@ class AnalysisJob:
         :func:`repro.engine.executor.run_jobs_on`) so N same-structure probes
         pay for one base payload, and the worker memoizes the compiled kernel
         per structure digest.
+
+        A structural-delta job (a :class:`~repro.core.kernel.PatchedProblem`)
+        ships its *parent* problem under ``base_problem``, the edit under
+        ``structure_delta`` and the parent's structure digest under
+        ``base_structure_digest`` — the factoring key, since the job's own
+        ``split_digests[0]`` describes the *edited* structure.  The parent's
+        warm-start bundle (parent schedule + dirty set + divergence bound)
+        rides along under ``warm_start`` so workers resume instead of
+        re-analyzing from scratch; both the parent kernel and the patched
+        child kernel are seeded into the same-process memo.
         """
-        from ..io.json_io import overlay_to_dict, problem_to_dict
+        from ..io.json_io import overlay_to_dict, problem_to_dict, structure_delta_to_dict
 
         payload: Dict[str, Any] = {
             "index": self.index,
@@ -461,7 +504,28 @@ class AnalysisJob:
             "split_digests": list(self.split_digests),
             "algorithm_function": _portable_algorithm(self.algorithm),
         }
-        if isinstance(self.problem, OverlayProblem):
+        if isinstance(self.problem, PatchedProblem):
+            parent = self.problem.parent
+            base = parent.problem
+            base_digest = _kernel_structure_digest(parent)
+            payload["base_problem"] = problem_to_dict(base)
+            payload["base_structure_digest"] = base_digest
+            payload["structure_delta"] = structure_delta_to_dict(
+                self.problem.delta, name=self.problem.name
+            )
+            payload["arbiter"] = base.arbiter
+            warm = self.problem.warm
+            if warm is not None:
+                payload["warm_start"] = {
+                    "schedule": warm.schedule.to_dict(),
+                    "dirty": sorted(warm.dirty),
+                    "first_affected_time": warm.first_affected_time,
+                }
+            # same-process workers reuse both live kernels: the parent for
+            # sibling probes of the same generation, the child for this job
+            _kernel_memo_put(base_digest, parent)
+            _kernel_memo_put(self.structure_digest, self.problem.kernel)
+        elif isinstance(self.problem, OverlayProblem):
             base = self.problem.kernel.problem
             payload["base_problem"] = problem_to_dict(base)
             payload["overlay"] = overlay_to_dict(self.problem)
@@ -483,10 +547,12 @@ class AnalysisJob:
         """Rebuild a job from :meth:`to_payload` output (in a worker process).
 
         ``structures`` is the chunk's structure table: base-problem documents
-        keyed by structure digest, referenced by overlay payloads whose own
-        ``base_problem`` entry was factored out by the executor.
+        keyed by structure digest (and factored warm-start schedules keyed by
+        ``warm:``-prefixed entries), referenced by overlay and structural
+        payloads whose own ``base_problem`` entry was factored out by the
+        executor.
         """
-        from ..io.json_io import overlay_from_dict
+        from ..io.json_io import overlay_from_dict, structure_delta_from_dict
 
         try:
             function = payload.get("algorithm_function")
@@ -500,6 +566,39 @@ class AnalysisJob:
                 if isinstance(split, (list, tuple)) and len(split) == 2
                 else None
             )
+            delta_data = payload.get("structure_delta")
+            if delta_data is not None:
+                base_digest = payload.get("base_structure_digest")
+                base_digest = None if base_digest is None else str(base_digest)
+                parent = _kernel_memo_get(base_digest)
+                if parent is None:
+                    problem_data = payload.get("base_problem")
+                    if problem_data is None and structures is not None and base_digest:
+                        problem_data = structures.get(base_digest)
+                    if problem_data is None:
+                        raise EngineError(
+                            "structural job payload carries no base problem and "
+                            "no matching chunk structure entry"
+                        )
+                    base = _rebuild_problem(problem_data, payload.get("arbiter"))
+                    parent = _kernel_for_structure(base_digest, base)
+                delta, probe_name = structure_delta_from_dict(delta_data)
+                warm = _warm_start_from_payload(
+                    payload.get("warm_start"), base_digest, structures
+                )
+                child = _kernel_memo_get(split_pair[0] if split_pair else None)
+                problem: Union[AnalysisProblem, OverlayProblem] = PatchedProblem(
+                    parent, delta, name=probe_name, kernel=child, warm=warm
+                )
+                if child is None and split_pair:
+                    # sibling probes carrying the same edit reuse this compile
+                    _kernel_memo_put(split_pair[0], problem.kernel)
+                return cls(
+                    problem=problem,
+                    algorithm=str(payload["algorithm"]),
+                    index=int(payload["index"]),
+                    _split=split_pair,
+                )
             overlay_data = payload.get("overlay")
             if overlay_data is not None:
                 # memo first: a chunk of same-structure probes parses and

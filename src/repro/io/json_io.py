@@ -23,11 +23,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..arbiter import create_arbiter
 from ..core import AnalysisProblem, Schedule
-from ..core.kernel import KEEP_HORIZON, CompiledProblem, OverlayProblem, ParamOverlay
+from ..core.kernel import (
+    KEEP_HORIZON,
+    CompiledProblem,
+    OverlayProblem,
+    ParamOverlay,
+    PatchedProblem,
+    StructureOverlay,
+)
 from ..errors import ModelError, SerializationError
 from ..model import (
     MemoryDemand,
@@ -43,6 +50,9 @@ __all__ = [
     "problem_from_dict",
     "overlay_to_dict",
     "overlay_from_dict",
+    "structure_delta_to_dict",
+    "structure_delta_from_dict",
+    "patched_from_dict",
     "save_problem",
     "load_problem",
     "save_schedule",
@@ -59,7 +69,41 @@ _PROBLEM_FORMAT = "repro-problem"
 _SCHEDULE_FORMAT = "repro-schedule"
 _BATCH_FORMAT = "repro-batch"
 _OVERLAY_FORMAT = "repro-overlay"
+_STRUCTURE_DELTA_FORMAT = "repro-structure-delta"
 _VERSION = 1
+
+#: every key an overlay record may carry — anything else is a wire-format
+#: error (a version-skewed client must fail loudly, not silently lose fields
+#: and poison digest-keyed cache entries)
+_OVERLAY_KEYS = frozenset(
+    {"format", "version", "name", "wcet", "accesses", "has_horizon", "horizon"}
+)
+
+#: keys a structure-delta record may carry, per delta kind (beyond the
+#: envelope keys shared by every kind)
+_DELTA_ENVELOPE_KEYS = frozenset({"format", "version", "name", "kind"})
+_DELTA_KIND_KEYS = {
+    "noop": frozenset(),
+    "add_task": frozenset(
+        {"task", "wcet", "core", "accesses", "min_release", "deadline", "position"}
+    ),
+    "remove_task": frozenset({"task"}),
+    "add_edge": frozenset({"producer", "consumer", "volume"}),
+    "remove_edge": frozenset({"producer", "consumer"}),
+    "remap_task": frozenset({"task", "core", "position"}),
+}
+
+
+def _reject_unknown_keys(
+    data: Dict[str, Any], allowed: "frozenset[str]", context: str
+) -> None:
+    """Raise a clean wire-format error when ``data`` carries foreign keys."""
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise SerializationError(
+            f"{context} carries unknown key(s) {', '.join(map(repr, unknown))}; "
+            "a version-skewed peer must be upgraded, not silently truncated"
+        )
 
 
 def problem_to_dict(problem: AnalysisProblem) -> Dict[str, Any]:
@@ -137,12 +181,13 @@ def overlay_from_dict(data: Dict[str, Any], kernel: CompiledProblem) -> OverlayP
     order of the base graph — which the ``repro-problem`` format preserves,
     so base + overlays round-trip the wire consistently.
 
-    :raises SerializationError: on a foreign document, mismatched vector
-        lengths or malformed values.
+    :raises SerializationError: on a foreign document, unknown keys,
+        mismatched vector lengths or malformed values.
     """
     if not isinstance(data, dict) or data.get("format") != _OVERLAY_FORMAT:
         found = data.get("format") if isinstance(data, dict) else type(data).__name__
         raise SerializationError(f"not a {_OVERLAY_FORMAT} document (format={found!r})")
+    _reject_unknown_keys(data, _OVERLAY_KEYS, f"{_OVERLAY_FORMAT} record")
     try:
         wcet = data.get("wcet")
         accesses = data.get("accesses")
@@ -170,6 +215,151 @@ def overlay_from_dict(data: Dict[str, Any], kernel: CompiledProblem) -> OverlayP
         raise SerializationError(f"invalid overlay record: {exc}") from exc
     except (AttributeError, KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"invalid overlay record: {exc}") from exc
+
+
+def structure_delta_to_dict(
+    delta: StructureOverlay, *, name: Optional[str] = None
+) -> Dict[str, Any]:
+    """Serialize a structural delta (one edit against a base problem).
+
+    The wire form of the structural re-analysis path: a batch of same-parent
+    probes ships one ``repro-problem`` base document plus one of these records
+    per probe.  Only the fields the delta's ``kind`` uses are emitted;
+    ``name`` labels the probe (the patched problem's name).
+    """
+    record: Dict[str, Any] = {
+        "format": _STRUCTURE_DELTA_FORMAT,
+        "version": _VERSION,
+        "kind": delta.kind,
+    }
+    if name is not None:
+        record["name"] = name
+    kind = delta.kind
+    if kind in ("add_task", "remove_task", "remap_task"):
+        record["task"] = delta.task
+    if kind == "add_task":
+        record["wcet"] = delta.wcet
+        record["core"] = delta.core
+        if delta.demand is not None:
+            record["accesses"] = {
+                str(bank): count for bank, count in delta.demand.items()
+            }
+        if delta.min_release:
+            record["min_release"] = delta.min_release
+        if delta.deadline is not None:
+            record["deadline"] = delta.deadline
+    if kind in ("add_edge", "remove_edge"):
+        record["producer"] = delta.producer
+        record["consumer"] = delta.consumer
+    if kind == "add_edge" and delta.volume:
+        record["volume"] = delta.volume
+    if kind in ("add_task", "remap_task"):
+        if kind == "remap_task":
+            record["core"] = delta.core
+        if delta.position is not None:
+            record["position"] = delta.position
+    return record
+
+
+def structure_delta_from_dict(
+    data: Dict[str, Any],
+) -> "Tuple[StructureOverlay, Optional[str]]":
+    """Deserialize ``(delta, probe name)`` from a structure-delta record.
+
+    Unknown and extra keys are rejected outright — the record keys a
+    digest-addressed cache, so a field this reader would silently drop means
+    the sender speaks a newer dialect and the digests no longer agree.
+
+    :raises SerializationError: on a foreign document, unknown kind or keys,
+        or malformed values.
+    """
+    if not isinstance(data, dict) or data.get("format") != _STRUCTURE_DELTA_FORMAT:
+        found = data.get("format") if isinstance(data, dict) else type(data).__name__
+        raise SerializationError(
+            f"not a {_STRUCTURE_DELTA_FORMAT} document (format={found!r})"
+        )
+    kind = data.get("kind")
+    allowed = _DELTA_KIND_KEYS.get(str(kind)) if kind is not None else None
+    if allowed is None:
+        raise SerializationError(
+            f"unknown structure-delta kind {kind!r}; "
+            f"expected one of {', '.join(sorted(_DELTA_KIND_KEYS))}"
+        )
+    _reject_unknown_keys(
+        data,
+        _DELTA_ENVELOPE_KEYS | allowed,
+        f"{_STRUCTURE_DELTA_FORMAT} record (kind={kind})",
+    )
+    name = data.get("name")
+    try:
+        if kind == "noop":
+            delta = StructureOverlay.noop()
+        elif kind == "add_task":
+            accesses = data.get("accesses")
+            delta = StructureOverlay.add_task(
+                str(data["task"]),
+                wcet=int(data["wcet"]),
+                core=int(data["core"]),
+                demand=(
+                    None
+                    if accesses is None
+                    else MemoryDemand(
+                        {int(bank): int(count) for bank, count in accesses.items()}
+                    )
+                ),
+                min_release=int(data.get("min_release", 0)),
+                deadline=(
+                    None if data.get("deadline") is None else int(data["deadline"])
+                ),
+                position=(
+                    None if data.get("position") is None else int(data["position"])
+                ),
+            )
+        elif kind == "remove_task":
+            delta = StructureOverlay.remove_task(str(data["task"]))
+        elif kind == "add_edge":
+            delta = StructureOverlay.add_edge(
+                str(data["producer"]),
+                str(data["consumer"]),
+                volume=int(data.get("volume", 0)),
+            )
+        elif kind == "remove_edge":
+            delta = StructureOverlay.remove_edge(
+                str(data["producer"]), str(data["consumer"])
+            )
+        else:  # remap_task — the kind set was validated above
+            delta = StructureOverlay.remap_task(
+                str(data["task"]),
+                int(data["core"]),
+                position=(
+                    None if data.get("position") is None else int(data["position"])
+                ),
+            )
+    except ModelError as exc:
+        raise SerializationError(f"invalid structure-delta record: {exc}") from exc
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid structure-delta record: {exc}") from exc
+    return delta, None if name is None else str(name)
+
+
+def patched_from_dict(
+    data: Dict[str, Any],
+    parent: CompiledProblem,
+    *,
+    parent_schedule: Optional[Schedule] = None,
+) -> PatchedProblem:
+    """Deserialize a structure-delta record into a patched problem.
+
+    The structural counterpart of :func:`overlay_from_dict`: the record's
+    delta is applied to the already-compiled ``parent`` kernel (sharing its
+    untouched tables), and ``parent_schedule`` — when given — warm-starts the
+    analyzers from the parent's solution.
+
+    :raises SerializationError: for wire-format problems;
+        model/mapping/platform errors from applying the delta propagate as-is.
+    """
+    delta, name = structure_delta_from_dict(data)
+    return PatchedProblem(parent, delta, name=name, parent_schedule=parent_schedule)
 
 
 def save_problem(problem: AnalysisProblem, path: PathLike) -> Path:

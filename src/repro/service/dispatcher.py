@@ -45,6 +45,17 @@ still spreads across the fleet; each sub-batch occupies one in-flight slot
 and fails over as a unit.  Plain jobs keep the historical one-job-per-
 ``POST /analyze`` path.
 
+Jobs whose problem is a :class:`~repro.core.PatchedProblem` (a parent kernel
+plus a *structure* edit — how structural what-if generations are built) are
+grouped by parent-kernel identity instead and shipped as *structural
+sub-batches*: one ``POST /batch`` request carrying the parent
+``repro-problem`` document once plus one ``repro-structure-delta`` record per
+probe.  The receiving server compiles the parent once, analyses it first and
+warm-starts every probe from its own parent schedule (warm bundles never
+cross the wire).  The same unit-level failover applies, and a 4xx rejection
+of the request itself — a pre-structural-wire server — falls back to one
+``POST /analyze`` per probe with the patched problem materialized.
+
 Wire-format limits
 ------------------
 Problems travel as ``repro-problem`` JSON documents: the arbiter crosses the
@@ -73,7 +84,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..arbiter import create_arbiter
-from ..core import AnalysisProblem, OverlayProblem, Schedule
+from ..core import AnalysisProblem, OverlayProblem, PatchedProblem, Schedule
 from ..engine.executor import ProgressCallback, ProgressEvent, _summarize
 from ..engine.jobs import AnalysisJob, _arbiter_signature
 from ..errors import BatchExecutionError, ServiceError
@@ -554,6 +565,59 @@ class ClusterDispatcher:
             f"gave up after {self.retries + 1} endpoint attempt(s): {last_error}"
         )
 
+    def _dispatch_structure(
+        self, jobs: Sequence[AnalysisJob]
+    ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
+        """Run one same-parent structural sub-batch as a single request.
+
+        Mirrors :meth:`_dispatch_delta`: the unit occupies one endpoint slot,
+        fails over as a unit on endpoint errors (the server recomputes the
+        parent schedule wherever the unit lands, so a retried unit stays
+        bit-identical), reports server-side per-probe failures per local
+        position, and falls back to per-job ``POST /analyze`` dispatch — with
+        each patched problem materialized into a full document — when the
+        request itself is rejected by a server that predates the structural
+        wire form.
+        """
+        base = jobs[0].problem
+        assert isinstance(base, PatchedProblem)
+        wire_error = _arbiter_wire_error(base.parent.problem)
+        if wire_error is not None:
+            raise _JobError(wire_error)
+        probes = [job.problem for job in jobs]
+        algorithm = jobs[0].algorithm
+        attempts = self.retries + 1
+        last_error: Optional[ServiceError] = None
+        while attempts > 0:
+            endpoint = self._select()
+            started = time.monotonic()
+            try:
+                schedules = endpoint.client.analyze_many_structures(
+                    probes, algorithm=algorithm
+                )
+            except BatchExecutionError as exc:
+                self._release(endpoint, ok=True, latency=time.monotonic() - started)
+                return (
+                    list(exc.results),
+                    {int(index): str(message) for index, message in exc.failures.items()},
+                )
+            except ServiceError as exc:
+                self._release(endpoint, ok=False)
+                if not _is_endpoint_error(exc):
+                    return self._dispatch_unit_per_job(jobs)
+                self._quarantine(endpoint)
+                last_error = exc
+                attempts -= 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - a malformed response, not an outage
+                self._release(endpoint, ok=False)
+                raise _JobError(f"{type(exc).__name__}: {exc}") from exc
+            self._release(endpoint, ok=True, latency=time.monotonic() - started)
+            return list(schedules), {}
+        raise _JobError(
+            f"gave up after {self.retries + 1} endpoint attempt(s): {last_error}"
+        )
+
     def _dispatch_unit_per_job(
         self, jobs: Sequence[AnalysisJob]
     ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
@@ -576,8 +640,10 @@ class ClusterDispatcher:
     def _dispatch_unit(
         self, jobs: Sequence[AnalysisJob]
     ) -> Tuple[List[Optional[Schedule]], Dict[int, str]]:
-        """Run one work unit: a delta sub-batch, or a single plain job."""
+        """Run one work unit: a structural or delta sub-batch, or a plain job."""
         with obs.span("cluster.unit", jobs=len(jobs)):
+            if isinstance(jobs[0].problem, PatchedProblem):
+                return self._dispatch_structure(jobs)
             if len(jobs) == 1 and not isinstance(jobs[0].problem, OverlayProblem):
                 return [self._dispatch_one(jobs[0])], {}
             return self._dispatch_delta(jobs)
@@ -588,17 +654,24 @@ class ClusterDispatcher:
         Plain jobs dispatch one-per-request; overlay jobs are grouped by
         (shared kernel, algorithm) in first-seen order and chunked to at
         most ``delta_batch`` probes per unit so one large same-structure
-        generation still fans out across the fleet.
+        generation still fans out across the fleet.  Structural jobs group
+        by (shared *parent* kernel, algorithm) the same way — their own
+        (patched) kernels are all distinct, but siblings of one parent share
+        the parent document and the server-side parent schedule.
         """
         units: List[List[int]] = []
-        groups: Dict[Tuple[int, str], List[int]] = {}
+        groups: Dict[Tuple[str, int, str], List[int]] = {}
         for position, job in enumerate(jobs):
-            if isinstance(job.problem, OverlayProblem):
+            if isinstance(job.problem, PatchedProblem):
+                groups.setdefault(
+                    ("structure", id(job.problem.parent), job.algorithm), []
+                ).append(position)
+            elif isinstance(job.problem, OverlayProblem):
                 # keyed by kernel *identity*: digest-equal kernels compiled
                 # separately stay in separate units, so every unit's probes
                 # share one kernel object (what the delta wire form ships)
                 groups.setdefault(
-                    (id(job.problem.kernel), job.algorithm), []
+                    ("overlay", id(job.problem.kernel), job.algorithm), []
                 ).append(position)
             else:
                 units.append([position])

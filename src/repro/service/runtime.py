@@ -99,6 +99,9 @@ class RuntimeStats:
     #: and the interesting invariant is that warm overlay-based searches
     #: leave it flat)
     kernel_compilations: int = 0
+    #: jobs that resumed from a parent schedule instead of analyzing cold
+    #: (accumulated from each result's ``ScheduleStats.warm_start_hits``)
+    warm_start_hits: int = 0
     #: per-endpoint routing snapshots (``remote`` backend only, else None)
     endpoints: Optional[List[Dict[str, Any]]] = None
     #: per-job latency histogram (cumulative Prometheus buckets; see
@@ -124,6 +127,7 @@ class RuntimeStats:
             "latency_ewma_seconds": self.latency_ewma_seconds,
             "cache": dict(self.cache),
             "kernel_compilations": self.kernel_compilations,
+            "warm_start_hits": self.warm_start_hits,
             **(
                 {"endpoints": [dict(record) for record in self.endpoints]}
                 if self.endpoints is not None
@@ -252,6 +256,7 @@ class EngineRuntime:
         self._batches = 0
         self._jobs_completed = 0
         self._jobs_failed = 0
+        self._warm_start_hits = 0
         self._cond = threading.Condition()
 
     # ------------------------------------------------------------------
@@ -401,6 +406,9 @@ class EngineRuntime:
             self._jobs_completed += len(completed)
             self._jobs_failed += len(jobs) - len(completed)
             for schedule in completed:
+                self._warm_start_hits += int(
+                    getattr(schedule.stats, "warm_start_hits", 0) or 0
+                )
                 # per-job latency as measured inside the worker, not the batch
                 # wall clock — pool queueing must not pollute the EWMA
                 observed = float(schedule.stats.wall_time_seconds)
@@ -430,6 +438,7 @@ class EngineRuntime:
                 latency_ewma_seconds=self._latency_ewma,
                 cache=self.cache.stats.to_dict(),
                 kernel_compilations=_kernel_compilations(),
+                warm_start_hits=self._warm_start_hits,
                 endpoints=(
                     self.dispatcher.stats()["endpoints"]
                     if self.dispatcher is not None

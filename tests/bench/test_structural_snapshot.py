@@ -1,0 +1,30 @@
+"""The structural measurement of the CI perf snapshot stays truthful.
+
+Loads ``scripts/bench_snapshot.py`` and runs ``measure_structural`` at a
+micro size: the three modes (cold rebuild, kernel patch, warm resume) must
+agree bit-identically — the function raises otherwise — and the reported
+counters must be internally consistent.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.generators import fixed_ls_workload
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_snapshot.py"
+_spec = importlib.util.spec_from_file_location("bench_snapshot", _SCRIPT)
+bench_snapshot = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_snapshot)
+
+
+def test_measure_structural_reports_consistent_counters():
+    problem = fixed_ls_workload(24, 4, core_count=4, seed=7).to_problem()
+    report = bench_snapshot.measure_structural(problem, repeats=1, probe_limit=8)
+    assert report["probes"] == 8
+    assert 0 <= report["warm_start_hits"] <= report["probes"]
+    for key in ("cold_seconds", "patch_seconds", "warm_seconds"):
+        assert report[key] > 0.0
+    assert report["speedup_warm_vs_cold"] == (
+        report["cold_seconds"] / report["warm_seconds"]
+    )
+    assert report["improved"] == (report["warm_seconds"] < report["cold_seconds"])
