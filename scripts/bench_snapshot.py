@@ -40,10 +40,17 @@ Measures, on one deterministic layer-by-layer workload:
    All three produce bit-identical verdicts (asserted); the snapshot
    records the per-mode throughput and the warm-resume count.
 
-Writes a JSON document (default ``BENCH_PR7.json``) so CI finally records
+5. **Vectorized backend speedups** (PR 9) — the same fixed-point analysis
+   run through the pure-Python oracle and the NumPy vector backend (asserted
+   bit-identical before any speedup is reported), plus one overlay
+   *generation* evaluated as a serial python loop vs one batched
+   ``analyze_generation`` 2-D pass.  Without NumPy the vector fields stay
+   null and the snapshot still runs end to end.
+
+Writes a JSON document (default ``BENCH_PR9.json``) so CI finally records
 perf data points over time::
 
-    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR7.json
+    PYTHONPATH=src python scripts/bench_snapshot.py --tiny --output BENCH_PR9.json
 
 ``--tiny`` shrinks the workload for CI runners; the numbers are then only
 good for trajectory, not for absolute claims.  Exit code 0 unless the two
@@ -73,9 +80,12 @@ from repro.analysis.sensitivity import scale_memory_demand  # noqa: E402
 from repro.core import (  # noqa: E402
     PatchedProblem,
     analyze_fixedpoint,
+    analyze_generation,
     analyze_incremental,
     compilation_count,
     compile_problem,
+    generation_pass_count,
+    numpy_available,
     patch_problem,
 )
 from repro.errors import ReproError  # noqa: E402
@@ -143,20 +153,103 @@ def measure_sensitivity(problem, *, max_factor, tolerance, repeats):
 
 
 def measure_fixedpoint(problem, *, repeats):
-    """Wall time + counters of one fixed-point analysis (interval sweep)."""
-    seconds, schedule = _best_of(repeats, lambda: analyze_fixedpoint(problem))
-    return {
+    """Python-oracle vs vector-backend cost of one fixed-point analysis.
+
+    Asserts bit-identity (entries, verdict and every iteration counter)
+    before reporting any speedup — a diverging fast path would be a
+    correctness bug, not a perf result.  Without NumPy only the python
+    numbers are reported.
+    """
+    seconds, schedule = _best_of(
+        repeats, lambda: analyze_fixedpoint(problem, backend="python")
+    )
+    inner = schedule.stats.inner_iterations
+    document = {
         "seconds": seconds,
-        "inner_iterations": schedule.stats.inner_iterations,
+        "inner_iterations": inner,
         "outer_iterations": schedule.stats.outer_iterations,
         "ibus_calls": schedule.stats.ibus_calls,
-        "seconds_per_inner_iteration": (
-            seconds / schedule.stats.inner_iterations
-            if schedule.stats.inner_iterations
-            else None
-        ),
+        "seconds_per_inner_iteration": seconds / inner if inner else None,
         "makespan": schedule.makespan,
+        "vector_available": numpy_available(),
+        "vector_seconds": None,
+        "vector_seconds_per_inner_iteration": None,
+        "vector_speedup": None,
     }
+    if not numpy_available():
+        return document
+    vector_seconds, vector_schedule = _best_of(
+        repeats, lambda: analyze_fixedpoint(problem, backend="vector")
+    )
+    if (
+        vector_schedule.to_dict()["entries"] != schedule.to_dict()["entries"]
+        or vector_schedule.schedulable != schedule.schedulable
+        or vector_schedule.stats.inner_iterations != inner
+        or vector_schedule.stats.outer_iterations != schedule.stats.outer_iterations
+        or vector_schedule.stats.ibus_calls != schedule.stats.ibus_calls
+    ):
+        raise SystemExit(
+            "BUG: vector fixed-point schedule diverged from the python oracle"
+        )
+    document["vector_seconds"] = vector_seconds
+    document["vector_seconds_per_inner_iteration"] = (
+        vector_seconds / inner if inner else None
+    )
+    document["vector_speedup"] = (
+        seconds / vector_seconds if vector_seconds else None
+    )
+    return document
+
+
+def measure_generation(problem, *, probes, repeats):
+    """Serial python loop vs one batched generation pass over wcet probes."""
+    kernel = compile_problem(problem)
+    factors = [0.5 + 1.5 * i / max(probes - 1, 1) for i in range(probes)]
+    generation = [
+        kernel.with_overlay(kernel.scaled_wcet_overlay(factor)) for factor in factors
+    ]
+
+    def run_serial():
+        return [analyze_fixedpoint(p, backend="python") for p in generation]
+
+    serial_seconds, serial_schedules = _best_of(repeats, run_serial)
+    document = {
+        "probes": probes,
+        "serial_seconds": serial_seconds,
+        "serial_probes_per_second": (
+            probes / serial_seconds if serial_seconds else None
+        ),
+        "vector_available": numpy_available(),
+        "batched_seconds": None,
+        "batched_probes_per_second": None,
+        "speedup": None,
+        "generation_passes": None,
+    }
+    if not numpy_available():
+        return document
+    passes_before = generation_pass_count()
+    batched_seconds, batched_schedules = _best_of(
+        repeats, lambda: analyze_generation(generation, "fixedpoint", backend="vector")
+    )
+    passes = generation_pass_count() - passes_before
+    for serial, batched in zip(serial_schedules, batched_schedules):
+        if (
+            serial.to_dict()["entries"] != batched.to_dict()["entries"]
+            or serial.schedulable != batched.schedulable
+            or serial.stats.inner_iterations != batched.stats.inner_iterations
+            or serial.stats.ibus_calls != batched.stats.ibus_calls
+        ):
+            raise SystemExit(
+                "BUG: batched generation schedule diverged from the serial oracle"
+            )
+    document["batched_seconds"] = batched_seconds
+    document["batched_probes_per_second"] = (
+        probes / batched_seconds if batched_seconds else None
+    )
+    document["speedup"] = serial_seconds / batched_seconds if batched_seconds else None
+    document["generation_passes_per_run"] = passes / repeats
+    document["generation_passes"] = passes
+    return document
 
 
 def measure_tracing_overhead(problem, *, repeats, noop_calls=100_000):
@@ -280,7 +373,9 @@ def measure_structural(problem, *, repeats, probe_limit):
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tiny", action="store_true", help="CI-sized workload")
-    parser.add_argument("--output", default="BENCH_PR7.json", help="JSON output path")
+    parser.add_argument("--output", default="BENCH_PR9.json", help="JSON output path")
+    # one fixed seed drives every workload: the whole snapshot is
+    # deterministic, so two runs on one machine are comparable numbers
     parser.add_argument("--seed", type=int, default=2020)
     args = parser.parse_args()
 
@@ -288,10 +383,12 @@ def main() -> int:
         tasks, layer, cores, repeats = 96, 8, 8, 3
         fixedpoint_tasks = 64
         structural_probes = 24
+        generation_probes = 8
     else:
         tasks, layer, cores, repeats = 400, 16, 16, 3
         fixedpoint_tasks = 256
         structural_probes = 64
+        generation_probes = 16
 
     workload = fixed_ls_workload(tasks, layer, core_count=cores, seed=args.seed)
     base = workload.to_problem()
@@ -307,6 +404,9 @@ def main() -> int:
         fixedpoint_tasks, layer, core_count=cores, seed=args.seed
     ).to_problem()
     fixedpoint = measure_fixedpoint(fp_problem, repeats=repeats)
+    generation = measure_generation(
+        fp_problem, probes=generation_probes, repeats=repeats
+    )
     tracing = measure_tracing_overhead(fp_problem, repeats=repeats)
     structural = measure_structural(
         fp_problem, repeats=repeats, probe_limit=structural_probes
@@ -315,7 +415,8 @@ def main() -> int:
     document = {
         "format": "repro-bench-snapshot",
         "version": 1,
-        "pr": 7,
+        "pr": 9,
+        "analysis_backend_available": numpy_available(),
         "profile": "tiny" if args.tiny else "full",
         "workload": {
             "generator": "fixed-LS",
@@ -328,6 +429,7 @@ def main() -> int:
         },
         "sensitivity": sensitivity,
         "fixedpoint": fixedpoint,
+        "generation": generation,
         "tracing": tracing,
         "structural": structural,
     }
@@ -347,13 +449,31 @@ def main() -> int:
         )
     )
     print(
-        "fixedpoint: {seconds:.3f}s | {inner} inner iterations | "
+        "fixedpoint: python {seconds:.3f}s | {inner} inner iterations | "
         "{ibus} IBUS calls".format(
             seconds=fixedpoint["seconds"],
             inner=fixedpoint["inner_iterations"],
             ibus=fixedpoint["ibus_calls"],
         )
     )
+    if fixedpoint["vector_seconds"] is not None:
+        print(
+            "fixedpoint: vector {seconds:.3f}s | speedup x{speedup:.2f} "
+            "(bit-identical)".format(
+                seconds=fixedpoint["vector_seconds"],
+                speedup=fixedpoint["vector_speedup"],
+            )
+        )
+    if generation["batched_seconds"] is not None:
+        print(
+            "generation: {probes} probes | serial {serial:.3f}s | one batched "
+            "pass {batched:.3f}s | speedup x{speedup:.2f}".format(
+                probes=generation["probes"],
+                serial=generation["serial_seconds"],
+                batched=generation["batched_seconds"],
+                speedup=generation["speedup"],
+            )
+        )
     print(
         "tracing: disabled {off:.3f}s | enabled {on:.3f}s "
         "({spans} spans) | est. disabled overhead {est:.4%}".format(

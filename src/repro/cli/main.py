@@ -632,7 +632,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"serving on {server.url}", flush=True)
     print(
         f"runtime: backend={stats.backend} workers={stats.workers} "
-        f"cache={cache_text} algorithm={args.algorithm}",
+        f"cache={cache_text} algorithm={args.algorithm} "
+        f"analysis-backend={stats.analysis_backend}",
         file=sys.stderr,
         flush=True,
     )

@@ -31,6 +31,18 @@ from .kernel import (
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
 from .validation import interference_is_exact, schedule_violations, validate_schedule
+from .vector import (
+    BACKEND_CHOICES,
+    BACKEND_ENV,
+    analyze_generation,
+    default_backend,
+    generation_pass_count,
+    generation_supported,
+    numpy_available,
+    resolve_backend,
+    vector_supported,
+    vector_sweep_count,
+)
 
 __all__ = [
     "AnalysisProblem",
@@ -70,4 +82,14 @@ __all__ = [
     "interference_is_exact",
     "ScheduleComparison",
     "compare_schedules",
+    "BACKEND_CHOICES",
+    "BACKEND_ENV",
+    "analyze_generation",
+    "default_backend",
+    "generation_pass_count",
+    "generation_supported",
+    "numpy_available",
+    "resolve_backend",
+    "vector_supported",
+    "vector_sweep_count",
 ]

@@ -65,7 +65,10 @@ def get_algorithm(name: str) -> AlgorithmFunction:
 
 
 def analyze(
-    problem: Union[AnalysisProblem, OverlayProblem], algorithm: str = INCREMENTAL
+    problem: Union[AnalysisProblem, OverlayProblem],
+    algorithm: str = INCREMENTAL,
+    *,
+    backend: Optional[str] = None,
 ) -> Schedule:
     """Run the named algorithm on ``problem`` and return its :class:`Schedule`.
 
@@ -78,19 +81,34 @@ def analyze(
     functions carry a truthy ``kernel_aware`` attribute) consume it directly;
     every other registered algorithm receives the materialized
     :class:`AnalysisProblem`, so plug-ins work unchanged.
+
+    ``backend`` selects the analysis backend (see :mod:`repro.core.vector`):
+    ``None`` defers to ``REPRO_ANALYSIS_BACKEND``; an explicit value is passed
+    through to algorithms that accept one (their registered functions carry a
+    truthy ``accepts_backend`` attribute — the built-ins do) and is an error
+    for plug-ins that do not.
     """
     function = get_algorithm(algorithm)
     if isinstance(problem, OverlayProblem) and not getattr(function, "kernel_aware", False):
         problem = problem.materialize()
+    if backend is not None:
+        if not getattr(function, "accepts_backend", False):
+            raise AnalysisError(
+                f"algorithm {algorithm!r} does not accept a backend selection"
+            )
+        return function(problem, backend=backend)
     return function(problem)
 
 
 def analyze_or_raise(
-    problem: Union[AnalysisProblem, OverlayProblem], algorithm: str = INCREMENTAL
+    problem: Union[AnalysisProblem, OverlayProblem],
+    algorithm: str = INCREMENTAL,
+    *,
+    backend: Optional[str] = None,
 ) -> Schedule:
     """Like :func:`analyze` but raises :class:`~repro.errors.UnschedulableError`
     when the resulting schedule is not schedulable."""
-    schedule = analyze(problem, algorithm)
+    schedule = analyze(problem, algorithm, backend=backend)
     if not schedule.schedulable:
         raise UnschedulableError(
             f"problem {problem.name!r} is unschedulable under the {algorithm!r} analysis",
@@ -98,6 +116,9 @@ def analyze_or_raise(
         )
     return schedule
 
+
+analyze_incremental.accepts_backend = True  # type: ignore[attr-defined]
+analyze_fixedpoint.accepts_backend = True  # type: ignore[attr-defined]
 
 register_algorithm(INCREMENTAL, analyze_incremental)
 register_algorithm(FIXEDPOINT, analyze_fixedpoint)

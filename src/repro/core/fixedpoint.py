@@ -47,6 +47,7 @@ from .interference import IbusCallCounter, interference_from_overlaps
 from .kernel import OverlayProblem, PatchedProblem, compile_problem
 from .problem import AnalysisProblem
 from .schedule import Schedule, ScheduledTask, ScheduleStats
+from .vector import resolve_backend, run_fixedpoint_vector, vector_supported
 
 __all__ = ["FixedPointAnalyzer", "analyze_fixedpoint"]
 
@@ -66,6 +67,14 @@ class FixedPointAnalyzer:
         :class:`~repro.errors.ConvergenceError`, which signals a bug rather
         than an unschedulable input because both iterations are monotone and
         bounded when the horizon check is active.
+    backend:
+        Analysis backend: ``"auto"`` (default, resolved from
+        ``REPRO_ANALYSIS_BACKEND``), ``"vector"`` (the NumPy core of
+        :mod:`repro.core.vector`, required) or ``"python"`` (the reference
+        loops below).  The vector sweep replays the exact iteration structure
+        of the python loops, so both backends produce bit-identical schedules
+        and counters; inputs the vector core cannot run (plug-in arbiters,
+        int64-overflow magnitudes) silently use the python path.
     """
 
     def __init__(
@@ -74,11 +83,13 @@ class FixedPointAnalyzer:
         *,
         max_outer_iterations: Optional[int] = None,
         max_inner_iterations: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.problem = problem
         n = max(problem.task_count, 1)
         self.max_outer_iterations = max_outer_iterations or (4 * n + 16)
         self.max_inner_iterations = max_inner_iterations or (4 * n + 16)
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -178,6 +189,7 @@ class FixedPointAnalyzer:
                         wall_time_seconds=_time.perf_counter() - started,
                         kernel_compilations=compiled,
                         warm_start_hits=1,
+                        backend=sched.stats.backend,
                     )
                     return Schedule(
                         sched.entries(),
@@ -204,6 +216,60 @@ class FixedPointAnalyzer:
                     for i in range(n)
                 ]
                 warm_hits = 1
+
+        if resolve_backend(self.backend) == "vector" and vector_supported(
+            kernel, wcet, demand, horizon
+        ):
+            # hand the (possibly warm-seeded) Jacobi start vector to the
+            # lockstep engine; it replays the exact same iteration sequence
+            # as the loops below, so the result is bit-identical
+            seed = response if warm_hits else None
+            (
+                v_release,
+                v_response,
+                v_per_bank,
+                v_outer,
+                v_inner,
+                v_calls,
+                v_unschedulable,
+            ) = run_fixedpoint_vector(
+                kernel,
+                [wcet],
+                [demand],
+                [horizon],
+                [seed],
+                self.max_outer_iterations,
+                self.max_inner_iterations,
+            )[0]
+            entries = [
+                ScheduledTask(
+                    name=names[i],
+                    core=core_of[i],
+                    release=v_release[i],
+                    wcet=wcet[i],
+                    interference_by_bank=v_per_bank[i],
+                )
+                for i in topo
+            ]
+            stats = ScheduleStats(
+                algorithm="fixedpoint",
+                outer_iterations=v_outer,
+                inner_iterations=v_inner,
+                ibus_calls=v_calls,
+                wall_time_seconds=_time.perf_counter() - started,
+                kernel_compilations=compiled,
+                warm_start_hits=warm_hits,
+                backend="vector",
+                vector_sweeps=v_inner,
+            )
+            return Schedule(
+                entries,
+                algorithm="fixedpoint",
+                schedulable=not v_unschedulable,
+                unscheduled=[],
+                stats=stats,
+                problem_name=problem_name,
+            )
 
         outer_iterations = 0
         inner_iterations = 0
@@ -293,6 +359,7 @@ class FixedPointAnalyzer:
             wall_time_seconds=_time.perf_counter() - started,
             kernel_compilations=compiled,
             warm_start_hits=warm_hits,
+            backend="python",
         )
         return Schedule(
             entries,
@@ -358,9 +425,13 @@ class FixedPointAnalyzer:
         return release
 
 
-def analyze_fixedpoint(problem: Union[AnalysisProblem, OverlayProblem]) -> Schedule:
+def analyze_fixedpoint(
+    problem: Union[AnalysisProblem, OverlayProblem],
+    *,
+    backend: Optional[str] = None,
+) -> Schedule:
     """Convenience wrapper: run :class:`FixedPointAnalyzer` and return the schedule."""
-    return FixedPointAnalyzer(problem).run()
+    return FixedPointAnalyzer(problem, backend=backend).run()
 
 
 #: the registry dispatcher hands OverlayProblems straight through (no

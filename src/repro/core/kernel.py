@@ -40,7 +40,7 @@ problem exactly once.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..errors import AnalysisError, MappingError, ModelError, PlatformError
@@ -133,6 +133,7 @@ class CompiledProblem:
         "bank_tasks",
         "sorted_order",
         "_structure_digest",
+        "_vector_state",
     )
 
     def __init__(self, problem: AnalysisProblem) -> None:
@@ -230,6 +231,9 @@ class CompiledProblem:
             sorted(range(n), key=names.__getitem__)
         )
         self._structure_digest: Optional[str] = None
+        #: write-once cache of the NumPy arrays repro.core.vector derives from
+        #: this kernel (None until the vector backend first analyses it)
+        self._vector_state: Optional[Any] = None
 
     # ------------------------------------------------------------------
 

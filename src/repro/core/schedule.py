@@ -103,6 +103,12 @@ class ScheduleStats:
     #: 1 when the analyzer reused a parent solution through a structural
     #: warm start (prefix replay / seeded sweep), 0 for a cold run
     warm_start_hits: int = 0
+    #: which analysis backend produced the result: "python" for the reference
+    #: loops, "vector" for the NumPy core (empty when the analyzer predates
+    #: backend selection or the field was absent from a serialized schedule)
+    backend: str = ""
+    #: batched Jacobi sweeps executed by the vector backend (0 on the python path)
+    vector_sweeps: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -243,6 +249,8 @@ class Schedule:
             wall_time_seconds=float(stats_data.get("wall_time_seconds", 0.0)),
             kernel_compilations=int(stats_data.get("kernel_compilations", 0)),
             warm_start_hits=int(stats_data.get("warm_start_hits", 0)),
+            backend=str(stats_data.get("backend", "")),
+            vector_sweeps=int(stats_data.get("vector_sweeps", 0)),
         )
         return cls(
             entries=[ScheduledTask.from_dict(record) for record in data.get("entries", [])],

@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..core import Schedule
-from ..errors import BatchExecutionError, EngineError
+from ..core.vector import analyze_generation, generation_supported
+from ..errors import BatchExecutionError, EngineError, ReproError
 from .jobs import AnalysisJob
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "ProgressCallback",
     "START_METHOD_ENV",
     "default_worker_count",
+    "run_generation_batched",
     "run_jobs",
     "run_jobs_on",
     "run_jobs_serial",
@@ -133,6 +135,42 @@ def _run_chunk_inner(
 
 def _chunk(items: Sequence[Any], size: int) -> List[Sequence[Any]]:
     return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def run_generation_batched(
+    jobs: Sequence[AnalysisJob],
+    progress: Optional[ProgressCallback] = None,
+) -> Optional[List[Schedule]]:
+    """One vectorized 2-D pass for an eligible overlay generation, else None.
+
+    Eligible means: every job runs the same algorithm and
+    :func:`repro.core.vector.generation_supported` holds for the problem list
+    (``fixedpoint`` overlay probes sharing one compiled kernel, vector
+    backend resolved).  Such a generation costs one lockstep array pass
+    instead of a worker fan-out — and pays neither pool construction nor
+    payload pickling — with schedules bit-identical to the per-job path.
+    Returns None when the batch is not eligible (or the pass degrades, e.g.
+    on a :class:`~repro.errors.ConvergenceError`): the caller then runs the
+    jobs through its normal path, which also reproduces the per-job failure
+    contract.
+    """
+    if not jobs:
+        return None
+    algorithm = jobs[0].algorithm
+    if any(job.algorithm != algorithm for job in jobs):
+        return None
+    problems = [job.problem for job in jobs]
+    if not generation_supported(problems, algorithm):
+        return None
+    try:
+        results = analyze_generation(problems, algorithm)
+    except ReproError:
+        return None
+    if progress is not None:
+        total = len(jobs)
+        for done, job in enumerate(jobs, start=1):
+            progress(ProgressEvent(done=done, total=total, job_name=job.name))
+    return results
 
 
 def run_jobs_serial(
@@ -334,6 +372,9 @@ def run_jobs(
     total = len(jobs)
     if total == 0:
         return []
+    batched = run_generation_batched(jobs, progress)
+    if batched is not None:
+        return batched
     workers = default_worker_count() if max_workers is None else int(max_workers)
     workers = min(workers, total)
 

@@ -32,6 +32,8 @@ _SERIES: Tuple[Tuple[str, str, str, str, str], ...] = (
     ("runtime", "jobs_since_recycle", "repro_runtime_jobs_since_recycle", "gauge", "Jobs run on the current pool since it was (re)built"),
     ("runtime", "latency_ewma_seconds", "repro_runtime_latency_ewma_seconds", "gauge", "EWMA of per-job analyzer wall time"),
     ("runtime", "kernel_compilations", "repro_runtime_kernel_compilations_total", "counter", "Problem-kernel compilations in the service process"),
+    ("runtime", "vector_sweeps", "repro_runtime_vector_sweeps_total", "counter", "Vectorized Jacobi sweeps executed in the service process"),
+    ("runtime", "generation_passes", "repro_runtime_generation_passes_total", "counter", "Batched overlay-generation passes executed in the service process"),
     # queue
     ("queue", "submitted", "repro_queue_submitted_total", "counter", "Jobs submitted to the queue"),
     ("queue", "completed", "repro_queue_completed_total", "counter", "Queue futures resolved with a schedule"),
@@ -159,6 +161,12 @@ def render_prometheus_metrics(stats: Dict[str, Any]) -> str:
         f'backend="{_escape_label(runtime.get("backend", ""))}",'
         f'algorithm="{_escape_label(server.get("default_algorithm", ""))}"'
     )
+    if runtime.get("analysis_backend"):
+        # stats documents predating the vector backend lack the key; the
+        # label then stays absent instead of rendering as an empty string
+        info_labels += (
+            f',analysis_backend="{_escape_label(runtime.get("analysis_backend"))}"'
+        )
     lines.append("# HELP repro_service_info Static service metadata carried as labels")
     lines.append("# TYPE repro_service_info gauge")
     lines.append(f"repro_service_info{{{info_labels}}} 1")

@@ -51,22 +51,36 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from .. import obs
 from ..core import Schedule
 from ..core.kernel import compilation_count as _kernel_compilations
+from ..core.vector import (
+    generation_pass_count,
+    resolve_backend,
+    vector_sweep_count,
+)
 from ..engine.cache import PathLike, ResultCache
 from ..engine.executor import (
     ProgressCallback,
     _pool_context,
     default_worker_count,
+    run_generation_batched,
     run_jobs_on,
     run_jobs_serial,
 )
 from ..engine.jobs import AnalysisJob
-from ..errors import BatchExecutionError, ServiceError
+from ..errors import AnalysisError, BatchExecutionError, ServiceError
 from .dispatcher import ClusterDispatcher
 
 __all__ = ["BACKENDS", "RuntimeStats", "EngineRuntime"]
 
 #: supported worker-pool backends
 BACKENDS = ("process", "thread", "inline", "remote")
+
+
+def _analysis_backend() -> str:
+    """Resolved process-wide analysis backend for telemetry (never raises)."""
+    try:
+        return resolve_backend(None)
+    except AnalysisError:
+        return "python"
 
 
 @dataclass(frozen=True)
@@ -108,6 +122,14 @@ class RuntimeStats:
     #: :class:`repro.obs.Histogram`), fed from the same in-worker wall times
     #: as the EWMA — None on snapshots taken before the accumulator existed
     latency_histogram: Optional[Dict[str, Any]] = None
+    #: resolved analysis backend of this process (``vector``/``python``; see
+    #: :mod:`repro.core.vector`) — what ``auto`` resolves to, not per-job truth
+    analysis_backend: str = ""
+    #: process-wide vectorized Jacobi sweeps executed so far (like
+    #: ``kernel_compilations``, a process counter rather than a per-runtime one)
+    vector_sweeps: int = 0
+    #: process-wide batched generation passes executed so far
+    generation_passes: int = 0
 
     @property
     def jobs_run(self) -> int:
@@ -128,6 +150,9 @@ class RuntimeStats:
             "cache": dict(self.cache),
             "kernel_compilations": self.kernel_compilations,
             "warm_start_hits": self.warm_start_hits,
+            "analysis_backend": self.analysis_backend,
+            "vector_sweeps": self.vector_sweeps,
+            "generation_passes": self.generation_passes,
             **(
                 {"endpoints": [dict(record) for record in self.endpoints]}
                 if self.endpoints is not None
@@ -377,6 +402,22 @@ class EngineRuntime:
         if not jobs:
             return []
         with obs.span("runtime.batch", backend=self.backend, jobs=len(jobs)):
+            # an eligible overlay generation (same-kernel fixedpoint probes,
+            # vector backend resolved) runs as one in-process 2-D array pass —
+            # no pool acquisition, no payload pickling, bit-identical results.
+            # The running-batch accounting still applies so close() waits.
+            if self.dispatcher is None:
+                with self._cond:
+                    if self._closed:
+                        raise ServiceError("runtime is closed")
+                    self._active += 1
+                try:
+                    batched = run_generation_batched(jobs, progress)
+                finally:
+                    self._release_pool(0)
+                if batched is not None:
+                    self._record(jobs, batched)
+                    return batched
             pool = self._acquire_pool()
             try:
                 if self.dispatcher is not None:
@@ -445,4 +486,7 @@ class EngineRuntime:
                     else None
                 ),
                 latency_histogram=self._latency_histogram.to_dict(),
+                analysis_backend=_analysis_backend(),
+                vector_sweeps=vector_sweep_count(),
+                generation_passes=generation_pass_count(),
             )
