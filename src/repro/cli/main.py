@@ -8,6 +8,7 @@ Sub-commands
 ``search``     design-space search (sensitivity / minimal horizon) with batched probes
 ``serve``      boot the persistent analysis service (warm pool + HTTP JSON API)
 ``cluster``    probe a fleet of analysis servers and report health/telemetry
+``cache``      inspect, migrate and prune the persistent result-cache store
 ``compare``    run both algorithms on a problem file and compare their schedules
 ``figure3``    reproduce one or all panels of Figure 3 of the paper
 ``headline``   reproduce the headline speedup table of Section V
@@ -283,6 +284,41 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--timeout", type=float, default=5.0, help="per-probe timeout in seconds"
     )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect, migrate and prune the persistent result-cache store",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro-rta cache stats ~/.cache/repro\n"
+            "  repro-rta cache migrate ./old-json-cache ./cache.sqlite\n"
+            "  repro-rta cache prune ~/.cache/repro --max-bytes 268435456\n"
+            "\n"
+            "Paths accept the same forms as --cache-dir everywhere: a\n"
+            "directory (SQLite by default, REPRO_CACHE_STORE=json for the\n"
+            "legacy layout), a .sqlite/.db file, or an explicit sqlite://\n"
+            "or json:// URL.  See docs/architecture.md (Cache store)."
+        ),
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="report entries, bytes and hit telemetry of a cache store"
+    )
+    cache_stats.add_argument("path", help="cache directory, database file or store URL")
+    cache_migrate = cache_commands.add_parser(
+        "migrate",
+        help="ingest a legacy JSON cache directory into a SQLite store (idempotent)",
+    )
+    cache_migrate.add_argument("json_dir", help="legacy JSON cache directory to read")
+    cache_migrate.add_argument("database", help="SQLite database (path or sqlite:// URL) to write")
+    cache_migrate.add_argument("--quiet", action="store_true", help="suppress progress output")
+    cache_prune = cache_commands.add_parser(
+        "prune", help="evict least-recently-used entries down to the given budgets"
+    )
+    cache_prune.add_argument("path", help="cache directory, database file or store URL")
+    cache_prune.add_argument("--max-entries", type=int, help="keep at most this many entries")
+    cache_prune.add_argument("--max-bytes", type=int, help="keep at most this many payload bytes")
 
     compare = subparsers.add_parser("compare", help="run both algorithms and compare")
     compare.add_argument("problem", help="problem JSON file")
@@ -679,6 +715,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
                     if cache
                     else "-"
                 ),
+                str(cache.get("disk_entries", "-")),
                 f"{hit_rate * 100:.0f}%" if hit_rate is not None else "-",
                 str(runtime_stats.get("kernel_compilations", "-")),
                 str(runtime_stats.get("warm_start_hits", "-")),
@@ -695,6 +732,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
                 "latency(ms)",
                 "queued",
                 "cache-hits",
+                "entries",
                 "hit-rate",
                 "compiled",
                 "warm-hits",
@@ -707,6 +745,65 @@ def _command_cluster(args: argparse.Namespace) -> int:
         print(f"\n{len(down)} of {len(records)} endpoint(s) DOWN: {', '.join(down)}")
         return 1
     print(f"\nall {len(records)} endpoint(s) healthy")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from ..engine.store import SqliteStore, migrate_json_dir, open_store
+
+    if args.cache_command == "stats":
+        store = open_store(args.path)
+        try:
+            entries = store.entry_count()
+            size = store.byte_count()
+            quarantined = store.quarantine_count()
+            lookups = store.stats.lookups
+            hit_rate = f"{store.stats.hit_rate() * 100:.0f}%" if lookups else "-"
+            rows = [
+                ["backend", store.kind],
+                ["location", str(store.path)],
+                ["entries", str(entries)],
+                ["bytes", str(size)],
+                ["quarantined", str(quarantined)],
+                ["hit-rate", hit_rate],
+            ]
+            print(format_table(["field", "value"], rows))
+        finally:
+            store.close()
+        return 0
+
+    if args.cache_command == "migrate":
+        spec = str(args.database)
+        database = spec[len("sqlite://"):] if spec.startswith("sqlite://") else spec
+        store = SqliteStore(database)
+
+        def on_progress(done: int, total: int) -> None:
+            if not args.quiet:
+                print(f"\r[{done}/{total}] entries migrated   ", end="", file=sys.stderr, flush=True)
+
+        try:
+            migrated = migrate_json_dir(args.json_dir, store, progress=on_progress)
+            entries = store.entry_count()
+        finally:
+            store.close()
+        if not args.quiet:
+            print(file=sys.stderr)
+        # replace semantics make a re-run converge instead of duplicating
+        print(f"migrated {migrated} entr(ies) from {args.json_dir}; store now holds {entries}")
+        return 0
+
+    # prune
+    if args.max_entries is None and args.max_bytes is None:
+        print("error: prune needs --max-entries and/or --max-bytes", file=sys.stderr)
+        return 1
+    store = open_store(args.path)
+    try:
+        evicted = store.prune(max_entries=args.max_entries, max_bytes=args.max_bytes)
+        entries = store.entry_count()
+        size = store.byte_count()
+    finally:
+        store.close()
+    print(f"evicted {evicted} entr(ies); {entries} remain ({size} bytes)")
     return 0
 
 
@@ -757,6 +854,7 @@ _COMMANDS = {
     "search": _command_search,
     "serve": _command_serve,
     "cluster": _command_cluster,
+    "cache": _command_cache,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "headline": _command_headline,

@@ -75,15 +75,34 @@ class ScheduledTask:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScheduledTask":
-        return cls(
-            name=str(data["name"]),
-            core=int(data["core"]),
-            release=int(data["release"]),
-            wcet=int(data["wcet"]),
-            interference_by_bank={
-                int(b): int(v) for b, v in dict(data.get("interference_by_bank", {})).items()
-            },
-        )
+        # hot path: every cache disk hit and every batch-sweep clone decodes
+        # one of these per task.  Bypassing the frozen-dataclass __init__
+        # (object.__setattr__ per field) roughly halves the cost; the
+        # __post_init__ invariants are re-checked explicitly below.
+        name = str(data["name"])
+        release = int(data["release"])
+        wcet = int(data["wcet"])
+        if release < 0:
+            raise ValidationError(f"task {name!r}: negative release date {release}")
+        if wcet <= 0:
+            raise ValidationError(f"task {name!r}: non-positive wcet {wcet}")
+        cleaned = {}
+        for bank, value in data.get("interference_by_bank", {}).items():
+            value = int(value)
+            if value < 0:
+                raise ValidationError(
+                    f"task {name!r}: negative interference {value} on bank {bank}"
+                )
+            if value:
+                cleaned[int(bank)] = value
+        task = object.__new__(cls)
+        set_field = object.__setattr__
+        set_field(task, "name", name)
+        set_field(task, "core", int(data["core"]))
+        set_field(task, "release", release)
+        set_field(task, "wcet", wcet)
+        set_field(task, "interference_by_bank", cleaned)
+        return task
 
 
 @dataclass

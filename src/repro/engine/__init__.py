@@ -5,8 +5,10 @@ throughput-oriented service layer:
 
 * :mod:`repro.engine.jobs` — :class:`AnalysisJob` and the canonical content
   digest that identifies an :class:`~repro.core.AnalysisProblem`;
-* :mod:`repro.engine.cache` — a two-tier (LRU memory + persistent JSON disk)
-  :class:`ResultCache` keyed by digest + algorithm + schema version;
+* :mod:`repro.engine.cache` — a two-tier :class:`ResultCache` (LRU memory
+  over a persistent :mod:`repro.engine.store` backend — WAL-mode SQLite by
+  default, JSON directory as fallback) keyed by digest + algorithm + schema
+  version, with batched ``get_many``/``put_many`` lookups;
 * :mod:`repro.engine.executor` — process-pool fan-out with chunking,
   deterministic result ordering and streaming progress callbacks;
 * :mod:`repro.engine.batch` — the high-level :func:`analyze_many` /
@@ -35,21 +37,27 @@ from .batch import BatchAnalyzer, BatchReport, analyze_many
 from .cache import CacheStats, ResultCache
 from .executor import ProgressCallback, ProgressEvent, default_worker_count, run_jobs
 from .jobs import SCHEMA_VERSION, AnalysisJob, canonical_problem_dict, problem_digest
+from .store import CacheStore, JsonDirStore, SqliteStore, migrate_json_dir, open_store
 
 __all__ = [
     "AnalysisJob",
     "BatchAnalyzer",
     "BatchReport",
     "CacheStats",
+    "CacheStore",
+    "JsonDirStore",
     "ProgressCallback",
     "ProgressEvent",
     "ResultCache",
     "SCHEMA_VERSION",
+    "SqliteStore",
     "analyze_many",
     "canonical_problem_dict",
     "default_cache",
     "default_worker_count",
     "make_cached_algorithm",
+    "migrate_json_dir",
+    "open_store",
     "problem_digest",
     "register_cached_algorithm",
     "run_jobs",
@@ -91,7 +99,7 @@ def make_cached_algorithm(base_algorithm: str, cache: Optional[ResultCache] = No
             return hit
         schedule = analyze(problem, base_algorithm)
         try:
-            store.put(job.cache_key, schedule)
+            store.put(job.cache_key, schedule, split=job.split_digests)
         except CacheError as exc:
             # never discard a computed schedule over a cache failure
             warnings.warn(f"result cache write failed: {exc}", RuntimeWarning, stacklevel=2)

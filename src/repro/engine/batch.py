@@ -160,19 +160,24 @@ class BatchAnalyzer:
         pending: Dict[str, int] = {}  # cache key -> index of the job that computes it
         duplicates: Dict[int, int] = {}  # duplicate job index -> source job index
         hits = 0
+        # one batched lookup for the whole sweep: the memory tier is swept
+        # in-process and the residue hits the persistent store as a single
+        # round trip (one SQLite transaction however large the batch)
+        cached = self.cache.get_many([job.cache_key for job in jobs])
         for job in jobs:
             key = job.cache_key
-            if key in pending:
-                # identical problem already queued in this batch: analyse it once
-                duplicates[job.index] = pending[key]
-                continue
-            hit = self.cache.get(key)
+            hit = cached.get(key)
             if hit is not None:
                 # the digest is content-based: a hit may have been produced
-                # under another problem name, so relabel for this caller
-                hit.problem_name = job.name
-                schedules[job.index] = hit
+                # under another problem name, so relabel for this caller —
+                # every position gets its own copy (schedules are mutable)
+                clone = Schedule.from_dict(hit.to_dict())
+                clone.problem_name = job.name
+                schedules[job.index] = clone
                 hits += 1
+            elif key in pending:
+                # identical problem already queued in this batch: analyse it once
+                duplicates[job.index] = pending[key]
             else:
                 pending[key] = job.index
                 misses.append(job)
@@ -215,21 +220,27 @@ class BatchAnalyzer:
                     miss_order[position]: message
                     for position, message in exc.failures.items()
                 }
+            fresh_entries = []
             for original_index, schedule in zip(miss_order, fresh):
                 if schedule is None:
                     continue
                 schedules[original_index] = schedule
-                if not cache_broken:
-                    try:
-                        self.cache.put(jobs[original_index].cache_key, schedule)
-                    except CacheError as exc:
-                        # never discard computed results over a cache failure
-                        cache_broken = True
-                        warnings.warn(
-                            f"result cache writes disabled for this batch: {exc}",
-                            RuntimeWarning,
-                            stacklevel=2,
-                        )
+                job = jobs[original_index]
+                # split digests ride along so the store can index the
+                # structure half (structure-aware eviction / drop_structure)
+                fresh_entries.append((job.cache_key, schedule, job.split_digests))
+            if fresh_entries:
+                try:
+                    # one transaction for the whole batch's fresh results
+                    self.cache.put_many(fresh_entries)
+                except CacheError as exc:
+                    # never discard computed results over a cache failure
+                    cache_broken = True
+                    warnings.warn(
+                        f"result cache writes disabled for this batch: {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         for index, source_index in duplicates.items():
             source = schedules[source_index]
             if source is None:

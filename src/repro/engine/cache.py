@@ -1,10 +1,18 @@
 """Two-tier result cache for the batch-analysis engine.
 
-Tier 1 is a bounded in-memory LRU; tier 2 is an optional persistent on-disk
-JSON store (one file per entry under ``path``).  Keys come from
+Tier 1 is a bounded in-memory LRU; tier 2 is an optional persistent
+:class:`~repro.engine.store.CacheStore` — SQLite by default, with the original
+JSON-directory layout as a fallback (see :mod:`repro.engine.store` for the
+path/URL selection rules).  Keys come from
 :attr:`repro.engine.jobs.AnalysisJob.cache_key`, i.e. problem content digest +
-algorithm + schema version, so a cache directory can be shared between sweeps,
+algorithm + schema version, so a cache path can be shared between sweeps,
 re-runs and even machines: any analysis of identical problem content is a hit.
+
+Lookups and stores are **batched**: :meth:`ResultCache.get_many` /
+:meth:`ResultCache.put_many` resolve a whole probe generation against the
+memory tier and then hit the store once (one SQLite transaction per batch),
+which is what keeps a warm ``POST /batch`` of K cached jobs at O(1) storage
+round trips instead of O(K) file opens.
 
 The cache counts hits and misses (:class:`CacheStats`), which is how the test
 suite proves that a warm re-run of a sweep performs *zero* analyzer
@@ -13,35 +21,20 @@ invocations.
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..core import Schedule
-from ..errors import CacheError, ValidationError
+from ..errors import CacheError
+from .store import CacheStore, open_store
 
 __all__ = ["CacheStats", "ResultCache"]
 
 PathLike = Union[str, Path]
-
-_ENTRY_FORMAT = "repro-cache-entry"
-
-#: suffix appended to quarantined (corrupt) entry files
-_CORRUPT_SUFFIX = ".corrupt"
-
-_HEX_DIGITS = set("0123456789abcdef")
-
-
-def _is_entry_name(stem: str) -> bool:
-    """True for the SHA-256 hex stems the cache itself writes."""
-    return len(stem) == 64 and set(stem) <= _HEX_DIGITS
 
 
 @dataclass
@@ -51,6 +44,10 @@ class CacheStats:
     ``corrupt`` counts disk entries that could not be decoded (truncated JSON
     left by a killed process, tampered envelopes, malformed schedules); each
     is quarantined on first sight and the lookup proceeds as a miss.
+    ``evictions`` counts entries dropped by the size budgets,
+    ``transactions`` counts storage round trips (one per batch on SQLite; one
+    per file touched on the JSON layout), and ``disk_entries``/``disk_bytes``
+    snapshot store occupancy (refreshed by :meth:`ResultCache.stats_dict`).
     """
 
     memory_hits: int = 0
@@ -58,6 +55,10 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
+    transactions: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -77,34 +78,55 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "transactions": self.transactions,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
             "hits": self.hits,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate(),
         }
 
 
-class ResultCache:
-    """LRU memory cache over an optional persistent JSON store.
+#: a job's ``(structure_digest, overlay_digest)`` pair, when the caller has it
+SplitDigests = Optional[Tuple[str, str]]
 
-    ``path=None`` gives a memory-only cache; otherwise entries are also
-    written to ``path`` (created on demand) and survive the process.
-    ``memory_limit`` bounds the number of in-memory entries (the disk tier is
-    unbounded); ``memory_limit=0`` disables the memory tier entirely.
+
+class ResultCache:
+    """LRU memory cache over an optional persistent :class:`CacheStore`.
+
+    ``path=None`` gives a memory-only cache; otherwise entries also go to the
+    store selected by ``path`` (``sqlite://`` / ``json://`` URLs, ``.sqlite``
+    files, or a plain cache directory — SQLite by default, see
+    :mod:`repro.engine.store`) and survive the process.  ``memory_limit``
+    bounds the number of in-memory entries; ``memory_limit=0`` disables the
+    memory tier entirely.  ``max_entries`` / ``max_bytes`` budget the
+    persistent tier: puts that push past a budget evict
+    least-recently-accessed entries in the same transaction.
     """
 
-    def __init__(self, path: Optional[PathLike] = None, *, memory_limit: int = 1024) -> None:
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        *,
+        memory_limit: int = 1024,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if memory_limit < 0:
             raise CacheError(f"memory_limit must be >= 0, got {memory_limit}")
-        self.path = None if path is None else Path(path).expanduser()
         self.memory_limit = int(memory_limit)
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._lock = threading.Lock()
-        if self.path is not None:
-            try:
-                self.path.mkdir(parents=True, exist_ok=True)
-            except OSError as exc:
-                raise CacheError(f"cannot create cache directory {self.path}: {exc}") from exc
+        self.store: Optional[CacheStore] = (
+            None
+            if path is None
+            else open_store(path, self.stats, max_entries=max_entries, max_bytes=max_bytes)
+        )
+        #: resolved filesystem location of the persistent tier (the store's
+        #: directory or database file); ``None`` for a memory-only cache
+        self.path: Optional[Path] = None if self.store is None else self.store.path
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -120,67 +142,152 @@ class ResultCache:
                     self.stats.memory_hits += 1
                     lookup.set(outcome="memory_hit")
                     return Schedule.from_dict(record)
-            loaded = self._read_disk(key)
-            if loaded is not None:
-                record, schedule = loaded
-                with self._lock:
-                    self.stats.disk_hits += 1
-                    self._remember(key, record)
-                lookup.set(outcome="disk_hit")
-                return schedule
+            if self.store is not None:
+                loaded = self.store.get_many([key]).get(key)
+                if loaded is not None:
+                    record, schedule = loaded
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                        self._remember(key, record)
+                    lookup.set(outcome="disk_hit")
+                    return schedule
             with self._lock:
                 self.stats.misses += 1
             lookup.set(outcome="miss")
             return None
 
-    def put(self, key: str, schedule: Schedule) -> None:
-        """Store ``schedule`` under ``key`` in both tiers."""
-        record = schedule.to_dict()
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Schedule]:
+        """Cached schedules for every hit among ``keys`` (one store round trip).
+
+        The memory tier is swept first; only the residue goes to the store, as
+        a single batched lookup.  Every key is counted exactly once as a
+        memory hit, disk hit, or miss.  Duplicate keys count (and cost) once.
+        """
+        keys = list(dict.fromkeys(keys))
+        with obs.span("cache.lookup_many") as lookup:
+            results: Dict[str, Schedule] = {}
+            residue: List[str] = []
+            with self._lock:
+                for key in keys:
+                    record = self._memory.get(key)
+                    if record is not None:
+                        self._memory.move_to_end(key)
+                        self.stats.memory_hits += 1
+                        results[key] = Schedule.from_dict(record)
+                    else:
+                        residue.append(key)
+            disk_hits = 0
+            if residue and self.store is not None:
+                loaded = self.store.get_many(residue)
+                with self._lock:
+                    for key, (record, schedule) in loaded.items():
+                        self.stats.disk_hits += 1
+                        self._remember(key, record)
+                        results[key] = schedule
+                disk_hits = len(loaded)
+            misses = len(keys) - len(results)
+            if misses:
+                with self._lock:
+                    self.stats.misses += misses
+            lookup.set(
+                keys=len(keys),
+                memory_hits=len(results) - disk_hits,
+                disk_hits=disk_hits,
+                misses=misses,
+            )
+            return results
+
+    def put(self, key: str, schedule: Schedule, *, split: SplitDigests = None) -> None:
+        """Store ``schedule`` under ``key`` in both tiers.
+
+        ``split`` is the job's ``(structure_digest, overlay_digest)`` pair
+        when known; the SQLite store indexes the structure half so a whole
+        structure's entries can be dropped in one statement.
+        """
+        self.put_many([(key, schedule, split)])
+
+    def put_many(
+        self, items: Sequence[Tuple[str, Schedule, SplitDigests]]
+    ) -> None:
+        """Store a batch of ``(key, schedule, split)`` entries (one transaction)."""
+        if not items:
+            return
+        encoded = [(key, schedule.to_dict(), split) for key, schedule, split in items]
         with self._lock:
-            self._remember(key, record)
-            self.stats.stores += 1
-        self._write_disk(key, record)
+            for key, record, _split in encoded:
+                self._remember(key, record)
+            self.stats.stores += len(encoded)
+        if self.store is not None:
+            self.store.put_many(encoded)
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is cached (does not touch the hit/miss counters)."""
         with self._lock:
             if key in self._memory:
                 return True
-        return self.path is not None and self._entry_path(key).exists()
+        return self.store is not None and self.store.contains(key)
+
+    def drop_structure(self, structure_digest: str) -> int:
+        """Invalidate every persistent entry of one structure digest.
+
+        One indexed ``DELETE`` on the SQLite store (O(n) envelope scan on the
+        JSON layout).  The memory tier does not track split digests, so it is
+        dropped wholesale — conservative, but never stale.  Returns the number
+        of persistent entries removed.
+        """
+        if self.store is None:
+            return 0
+        with self._lock:
+            self._memory.clear()
+        return self.store.drop_structure(structure_digest)
+
+    def prune(
+        self, *, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        """Evict LRU persistent entries past the given budgets; returns count."""
+        if self.store is None:
+            return 0
+        return self.store.prune(max_entries=max_entries, max_bytes=max_bytes)
 
     def clear(self, *, disk: bool = True) -> None:
-        """Drop the memory tier and (optionally) delete on-disk entries.
+        """Drop the memory tier and (optionally) every persistent entry.
 
-        Only files that look like cache entries (64-hex-char SHA-256 stem) are
-        deleted — including quarantined ``.corrupt`` ones — so pointing the
+        Quarantined entries are dropped too.  The JSON store only deletes
+        files it wrote itself (64-hex-char SHA-256 stems), so pointing the
         cache at a directory that also holds user JSON files never destroys
         them.
         """
         with self._lock:
             self._memory.clear()
-        if disk and self.path is not None:
-            for entry in list(self.path.glob("*.json")) + list(
-                self.path.glob(f"*.json{_CORRUPT_SUFFIX}")
-            ):
-                stem = entry.name.split(".", 1)[0]
-                if not _is_entry_name(stem):
-                    continue
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
+        if disk and self.store is not None:
+            self.store.clear()
+
+    def stats_dict(self) -> Dict[str, float]:
+        """:meth:`CacheStats.to_dict` with fresh ``disk_entries``/``disk_bytes``.
+
+        Cheap aggregates on SQLite; lazily re-sampled on the JSON layout (a
+        full directory scan, throttled to once per few seconds).
+        """
+        if self.store is not None:
+            entries = self.store.entry_count()
+            size = self.store.byte_count()
+            with self._lock:
+                self.stats.disk_entries = entries
+                self.stats.disk_bytes = size
+        return self.stats.to_dict()
+
+    def close(self) -> None:
+        """Release the persistent store's resources (idempotent)."""
+        if self.store is not None:
+            self.store.close()
 
     def __len__(self) -> int:
         """Number of distinct cached entries across both tiers."""
         with self._lock:
-            names = {
-                hashlib.sha256(key.encode("utf-8")).hexdigest() for key in self._memory
-            }
-        if self.path is not None:
-            names.update(
-                entry.stem for entry in self.path.glob("*.json") if _is_entry_name(entry.stem)
-            )
-        return len(names)
+            keys = set(self._memory)
+        if self.store is not None:
+            keys.update(self.store.keys())
+        return len(keys)
 
     # ------------------------------------------------------------------
     # internals
@@ -193,96 +300,3 @@ class ResultCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_limit:
             self._memory.popitem(last=False)
-
-    def _entry_path(self, key: str) -> Path:
-        assert self.path is not None
-        filename = hashlib.sha256(key.encode("utf-8")).hexdigest()
-        return self.path / f"{filename}.json"
-
-    def _read_disk(self, key: str) -> Optional[Tuple[Dict[str, object], Schedule]]:
-        """Validated (record, schedule) pair for ``key``, or ``None`` on a miss.
-
-        Corruption of any kind — unparsable JSON, a foreign envelope, a
-        malformed schedule — quarantines the entry and reads as a miss.
-        """
-        if self.path is None:
-            return None
-        entry = self._entry_path(key)
-        try:
-            text = entry.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
-        except OSError:
-            return None  # unreadable (permissions, I/O): a miss, but not corrupt
-        try:
-            document = json.loads(text)
-        except json.JSONDecodeError:
-            # truncated/garbled entry, e.g. left by a killed process: without
-            # quarantine it would shadow the digest and surface again on every
-            # later lookup — move it aside, count it, and report a miss
-            self._mark_corrupt(entry, text)
-            return None
-        if (
-            not isinstance(document, dict)
-            or document.get("format") != _ENTRY_FORMAT
-            or document.get("key") != key
-        ):
-            self._mark_corrupt(entry, text)
-            return None
-        record = document.get("schedule")
-        if not isinstance(record, dict):
-            self._mark_corrupt(entry, text)
-            return None
-        # a tampered entry can carry a malformed schedule even when the
-        # envelope validates; checked here, while the raw text is still in
-        # hand, so quarantining can verify the file was not rewritten since
-        try:
-            schedule = Schedule.from_dict(record)
-        except (AttributeError, KeyError, TypeError, ValueError, ValidationError):
-            self._mark_corrupt(entry, text)
-            return None
-        return record, schedule
-
-    def _mark_corrupt(self, entry: Path, observed: str) -> None:
-        """Quarantine a corrupt entry file and count it in the statistics.
-
-        ``observed`` is the raw text judged corrupt.  Another process sharing
-        the store may have atomically rewritten the entry (recompute + put)
-        between our read and now, so the file is re-read and left alone if its
-        content changed — quarantining it then would evict a healthy entry.
-        """
-        with self._lock:
-            self.stats.corrupt += 1
-        try:
-            if entry.read_text(encoding="utf-8") != observed:
-                return  # concurrently replaced; the new entry may be healthy
-        except OSError:
-            return  # gone or unreadable: nothing left to quarantine
-        try:
-            os.replace(entry, entry.with_name(entry.name + _CORRUPT_SUFFIX))
-        except OSError:
-            try:
-                entry.unlink()
-            except OSError:
-                pass  # read-only store: the entry stays, but the miss already counted
-
-    def _write_disk(self, key: str, record: Dict[str, object]) -> None:
-        if self.path is None:
-            return
-        document = {"format": _ENTRY_FORMAT, "key": key, "schedule": record}
-        entry = self._entry_path(key)
-        # atomic replace so concurrent readers never see a half-written entry
-        try:
-            handle = tempfile.NamedTemporaryFile(
-                mode="w",
-                encoding="utf-8",
-                dir=str(self.path),
-                prefix=entry.stem,
-                suffix=".tmp",
-                delete=False,
-            )
-            with handle:
-                json.dump(document, handle)
-            os.replace(handle.name, entry)
-        except OSError as exc:
-            raise CacheError(f"cannot write cache entry {entry}: {exc}") from exc

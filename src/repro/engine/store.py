@@ -1,0 +1,1062 @@
+"""Persistent cache stores behind :class:`~repro.engine.ResultCache`.
+
+The cache's disk tier is a pluggable :class:`CacheStore` with two
+implementations:
+
+* :class:`SqliteStore` — the production backend: one WAL-mode SQLite database
+  holding every entry as a row keyed by the full cache key **and** the PR 5
+  split digests ``(structure, overlay)``.  Batched :meth:`~CacheStore.get_many`
+  / :meth:`~CacheStore.put_many` run as **one transaction per batch** (the
+  JSON layout pays one ``open``/``read``/``parse`` syscall round per key), an
+  index on the structure half makes "drop every overlay entry of this
+  structure" a single ``DELETE``, and size budgets (``max_entries`` /
+  ``max_bytes``) evict least-recently-accessed rows inside the put
+  transaction.  Corrupt rows are quarantined into a ``quarantine`` table with
+  the same read-as-a-miss semantics as the JSON store's ``.corrupt`` rename.
+* :class:`JsonDirStore` — the original one-JSON-file-per-entry layout,
+  kept as a fully supported fallback (zero-dependency inspection with any
+  text editor, trivially rsync-able) and as the migration source.
+
+:func:`open_store` selects the implementation from the cache path:
+
+========================  =====================================================
+``sqlite:///path/to.db``  SQLite database at that path
+``json://path/to/dir``    JSON directory store at that path
+``path/to/file.sqlite``   SQLite database (``.sqlite`` / ``.sqlite3`` / ``.db``)
+``path/to/dir``           directory: the default backend (``REPRO_CACHE_STORE``
+                          env var, ``sqlite`` unless set to ``json``) — SQLite
+                          keeps its database at ``dir/cache.sqlite`` and
+                          one-shot-migrates any pre-existing JSON entry files
+========================  =====================================================
+
+so ``cache_dir`` arguments everywhere stay backward-compatible: pointing a new
+build at an old JSON cache directory transparently ingests the old entries.
+
+Every store shares one :class:`~repro.engine.cache.CacheStats` object with its
+owning cache and feeds the ``corrupt`` / ``evictions`` / ``transactions``
+counters, so ``/stats`` and ``/metrics`` report storage behaviour without a
+second bookkeeping layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import marshal
+import os
+import sqlite3
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core import Schedule
+from ..errors import CacheError, ValidationError
+
+__all__ = [
+    "STORE_BACKEND_ENV",
+    "SQLITE_SCHEMA_VERSION",
+    "RECORD_FORMAT",
+    "CacheStore",
+    "JsonDirStore",
+    "SqliteStore",
+    "open_store",
+    "migrate_json_dir",
+]
+
+PathLike = Union[str, Path]
+
+#: environment variable selecting the default backend for directory paths
+STORE_BACKEND_ENV = "REPRO_CACHE_STORE"
+
+#: bump when the SQLite layout changes — an old database is then rebuilt
+#: (entries dropped) instead of misread, mirroring the JSON SCHEMA_VERSION rule
+SQLITE_SCHEMA_VERSION = 1
+
+#: serialization tag of the SQLite ``record`` column.  Records are stored as
+#: :mod:`marshal` blobs: data-only on load (unlike pickle, a corrupted or
+#: tampered blob cannot execute code) and about twice as fast as JSON text to
+#: revive — the dominant per-row cost of a warm batched lookup.  The marshal
+#: wire format is python-version-dependent, so the tag is kept in ``meta``
+#: and a mismatch rebuilds the entries like a schema bump (it is a cache).
+RECORD_FORMAT = "marshal:%d.%d:%d" % (
+    sys.version_info.major,
+    sys.version_info.minor,
+    marshal.version,
+)
+
+#: database filename used when a *directory* selects the SQLite backend
+SQLITE_DB_NAME = "cache.sqlite"
+
+_ENTRY_FORMAT = "repro-cache-entry"
+
+#: suffix appended to quarantined (corrupt) JSON entry files
+_CORRUPT_SUFFIX = ".corrupt"
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+#: exceptions that mean "this schedule record is malformed", i.e. corrupt
+_SCHEDULE_ERRORS = (AttributeError, KeyError, TypeError, ValueError, ValidationError)
+
+
+def _is_entry_name(stem: str) -> bool:
+    """True for the SHA-256 hex stems the JSON store itself writes."""
+    return len(stem) == 64 and set(stem) <= _HEX_DIGITS
+
+
+def _decode_schedule(record: object) -> Optional[Schedule]:
+    """Schedule for a raw record dict, or ``None`` when the record is corrupt."""
+    if not isinstance(record, dict):
+        return None
+    try:
+        return Schedule.from_dict(record)
+    except _SCHEDULE_ERRORS:
+        return None
+
+
+def _loads_record(blob: object) -> object:
+    """Revive a marshal record blob; ``None`` when the blob is corrupt.
+
+    Marshal only reconstructs plain data (a tampered blob cannot execute
+    code); any truncation, garbage, or legacy text row surfaces as one of
+    the caught errors and reads as corruption.
+    """
+    if not isinstance(blob, bytes):
+        return None
+    try:
+        return marshal.loads(blob)
+    except (EOFError, ValueError, TypeError):
+        return None
+
+
+class CacheStore:
+    """Persistent key → schedule-record store (the cache's disk tier).
+
+    Implementations share one contract: :meth:`get_many` validates every entry
+    it returns (corrupt ones are quarantined, counted in the shared stats and
+    reported as misses), :meth:`put_many` is atomic per entry (a concurrent
+    reader never sees a half-written record), and both are safe under
+    multi-process sharing of the same path.
+
+    ``stats`` is the owning cache's :class:`~repro.engine.cache.CacheStats`;
+    stores feed its ``corrupt``, ``evictions`` and ``transactions`` counters
+    (``transactions`` counts storage round trips: one per batch on SQLite, one
+    per file touched on the JSON layout — the telemetry behind the "a warm
+    batch of K cached jobs costs O(1) transactions, not O(K)" property).
+    """
+
+    #: implementation tag (``"sqlite"`` / ``"json"``) surfaced in telemetry
+    kind: str = "abstract"
+
+    def __init__(self, stats: Optional[object] = None) -> None:
+        from .cache import CacheStats  # cycle-free: cache imports this module lazily
+
+        self.stats = stats if stats is not None else CacheStats()
+        self._lock = threading.Lock()
+
+    # -- counters ------------------------------------------------------
+
+    def _count(self, *, transactions: int = 0, corrupt: int = 0, evictions: int = 0) -> None:
+        with self._lock:
+            self.stats.transactions += transactions
+            self.stats.corrupt += corrupt
+            self.stats.evictions += evictions
+
+    # -- interface -----------------------------------------------------
+
+    def get_many(
+        self, keys: Sequence[str]
+    ) -> Dict[str, Tuple[Dict[str, object], Schedule]]:
+        """Validated ``{key: (record, schedule)}`` for every present key.
+
+        Absent keys are simply missing from the result; corrupt entries are
+        quarantined, counted, and also missing (the caller books the miss).
+        """
+        raise NotImplementedError
+
+    def fetch_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, object]]:
+        """Raw ``{key: record}`` without schedule reconstruction.
+
+        The storage primitive under :meth:`get_many`: retrieves stored
+        records and validates them at the storage level (unparsable JSON and
+        foreign envelopes are quarantined and read as misses) but does not
+        rebuild :class:`Schedule` objects.  Migration and replication tooling
+        work at this level, and it is what a store's lookup throughput
+        measures — schedule decoding costs the same on every backend.
+        """
+        raise NotImplementedError
+
+    def put_many(
+        self,
+        items: Sequence[Tuple[str, Dict[str, object], Optional[Tuple[str, str]]]],
+    ) -> None:
+        """Store ``(key, record, split_digests)`` entries; atomic per entry.
+
+        ``split_digests`` is the job's ``(structure, overlay)`` digest pair
+        when the caller knows it (the SQLite backend indexes the structure
+        half for :meth:`drop_structure`); ``None`` degrades gracefully.
+        """
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Every stored key (test/diagnostic helper; O(n))."""
+        raise NotImplementedError
+
+    def drop_structure(self, structure_digest: str) -> int:
+        """Delete every entry of one structure digest; returns the count."""
+        raise NotImplementedError
+
+    def prune(
+        self, *, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        """Evict least-recently-accessed entries past the budgets; returns count."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Delete every entry — including quarantined ones."""
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        raise NotImplementedError
+
+    def byte_count(self) -> int:
+        """Stored payload bytes (JSON: file bytes; SQLite: record blob bytes)."""
+        raise NotImplementedError
+
+    def quarantine_count(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class JsonDirStore(CacheStore):
+    """One JSON file per entry under ``path`` (the original disk layout).
+
+    Entry files are named by the SHA-256 of the cache key, so the store can
+    share a directory with user files without ever touching them.  Corrupt
+    entries — truncated JSON left by a killed process, foreign envelopes,
+    malformed schedules — are renamed aside with a ``.corrupt`` suffix on
+    first sight and read as misses.
+
+    Batched calls degrade to per-file I/O (``transactions`` counts one per
+    file touched): this layout exists for inspectability and migration, not
+    for production lookup throughput — see :class:`SqliteStore`.
+    """
+
+    kind = "json"
+
+    #: how long a sampled ``byte_count``/``entry_count`` stays fresh: sizing
+    #: the JSON tier means a full directory scan, so telemetry snapshots
+    #: re-sample lazily instead of walking the directory per /stats call
+    SIZE_SAMPLE_SECONDS = 5.0
+
+    def __init__(self, path: PathLike, stats: Optional[object] = None) -> None:
+        super().__init__(stats)
+        self.path = Path(path).expanduser()
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot create cache directory {self.path}: {exc}") from exc
+        self._sampled_at = 0.0
+        self._sampled_sizes: Tuple[int, int] = (0, 0)  # (entries, bytes)
+
+    # -- internals -----------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        filename = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.path / f"{filename}.json"
+
+    def _read_record(self, key: str) -> Optional[Tuple[Dict[str, object], str]]:
+        """Envelope-validated ``(record, raw text)`` for ``key``, or None.
+
+        Storage-level corruption — unparsable JSON, a foreign envelope, a
+        non-record payload — quarantines the entry and reads as a miss.  The
+        raw text rides along so callers doing deeper validation can hand it
+        to :meth:`_mark_corrupt` for the rewrite check.
+        """
+        entry = self._entry_path(key)
+        try:
+            text = entry.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None  # unreadable (permissions, I/O): a miss, but not corrupt
+        self._count(transactions=1)
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            # truncated/garbled entry, e.g. left by a killed process: without
+            # quarantine it would shadow the digest and surface again on every
+            # later lookup — move it aside, count it, and report a miss
+            self._mark_corrupt(entry, text)
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != _ENTRY_FORMAT
+            or document.get("key") != key
+            or not isinstance(document.get("schedule"), dict)
+        ):
+            self._mark_corrupt(entry, text)
+            return None
+        return document["schedule"], text
+
+    def _read_one(self, key: str) -> Optional[Tuple[Dict[str, object], Schedule]]:
+        """Validated (record, schedule) for ``key``, or None on a miss.
+
+        Corruption of any kind — storage-level or a malformed schedule —
+        quarantines the entry and reads as a miss.
+        """
+        loaded = self._read_record(key)
+        if loaded is None:
+            return None
+        record, text = loaded
+        # a tampered entry can carry a malformed schedule even when the
+        # envelope validates; checked here, while the raw text is still in
+        # hand, so quarantining can verify the file was not rewritten since
+        schedule = _decode_schedule(record)
+        if schedule is None:
+            self._mark_corrupt(self._entry_path(key), text)
+            return None
+        return record, schedule
+
+    def _mark_corrupt(self, entry: Path, observed: str) -> None:
+        """Quarantine a corrupt entry file and count it in the statistics.
+
+        ``observed`` is the raw text judged corrupt.  Another process sharing
+        the store may have atomically rewritten the entry (recompute + put)
+        between our read and now, so the file is re-read and left alone if its
+        content changed — quarantining it then would evict a healthy entry.
+        """
+        self._count(corrupt=1)
+        try:
+            if entry.read_text(encoding="utf-8") != observed:
+                return  # concurrently replaced; the new entry may be healthy
+        except OSError:
+            return  # gone or unreadable: nothing left to quarantine
+        try:
+            os.replace(entry, entry.with_name(entry.name + _CORRUPT_SUFFIX))
+        except OSError:
+            try:
+                entry.unlink()
+            except OSError:
+                pass  # read-only store: the entry stays, but the miss already counted
+
+    def _entries(self) -> List[Path]:
+        return [
+            entry for entry in self.path.glob("*.json") if _is_entry_name(entry.stem)
+        ]
+
+    # -- interface -----------------------------------------------------
+
+    def get_many(
+        self, keys: Sequence[str]
+    ) -> Dict[str, Tuple[Dict[str, object], Schedule]]:
+        results: Dict[str, Tuple[Dict[str, object], Schedule]] = {}
+        for key in keys:
+            loaded = self._read_one(key)
+            if loaded is not None:
+                results[key] = loaded
+        return results
+
+    def fetch_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, object]]:
+        results: Dict[str, Dict[str, object]] = {}
+        for key in keys:
+            loaded = self._read_record(key)
+            if loaded is not None:
+                results[key] = loaded[0]
+        return results
+
+    def put_many(
+        self,
+        items: Sequence[Tuple[str, Dict[str, object], Optional[Tuple[str, str]]]],
+    ) -> None:
+        for key, record, split in items:
+            document: Dict[str, object] = {
+                "format": _ENTRY_FORMAT,
+                "key": key,
+                "schedule": record,
+            }
+            if split is not None:
+                # recorded for migration fidelity and offline tooling; the
+                # envelope validator ignores unknown keys, so old readers of a
+                # shared directory keep working
+                document["structure"], document["overlay"] = split
+            entry = self._entry_path(key)
+            # atomic replace so concurrent readers never see a half-written entry
+            try:
+                handle = tempfile.NamedTemporaryFile(
+                    mode="w",
+                    encoding="utf-8",
+                    dir=str(self.path),
+                    prefix=entry.stem,
+                    suffix=".tmp",
+                    delete=False,
+                )
+                with handle:
+                    json.dump(document, handle)
+                os.replace(handle.name, entry)
+            except OSError as exc:
+                raise CacheError(f"cannot write cache entry {entry}: {exc}") from exc
+            self._count(transactions=1)
+
+    def contains(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+    def keys(self) -> List[str]:
+        keys: List[str] = []
+        for entry in self._entries():
+            try:
+                document = json.loads(entry.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(document, dict) and isinstance(document.get("key"), str):
+                keys.append(document["key"])
+        return keys
+
+    def drop_structure(self, structure_digest: str) -> int:
+        """O(n) on this layout: every envelope must be opened and checked."""
+        dropped = 0
+        for entry in self._entries():
+            try:
+                document = json.loads(entry.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(document, dict)
+                and document.get("structure") == structure_digest
+            ):
+                try:
+                    entry.unlink()
+                    dropped += 1
+                except OSError:
+                    pass
+        self._count(evictions=dropped)
+        return dropped
+
+    def prune(
+        self, *, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        """LRU-by-mtime eviction down to the budgets (atime is unreliable)."""
+        if max_entries is None and max_bytes is None:
+            return 0
+        records = []
+        total_bytes = 0
+        for entry in self._entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime, stat.st_size, entry))
+            total_bytes += stat.st_size
+        records.sort()  # oldest first
+        evicted = 0
+        remaining = len(records)
+        for mtime, size, entry in records:
+            over_entries = max_entries is not None and remaining > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            remaining -= 1
+            total_bytes -= size
+            evicted += 1
+        self._count(evictions=evicted)
+        self._sampled_at = 0.0
+        return evicted
+
+    def clear(self) -> None:
+        """Delete this store's own entries (and quarantined ones) only.
+
+        Only files that look like cache entries (64-hex-char SHA-256 stem) are
+        deleted, so pointing the cache at a directory that also holds user
+        JSON files never destroys them.
+        """
+        for entry in list(self.path.glob("*.json")) + list(
+            self.path.glob(f"*.json{_CORRUPT_SUFFIX}")
+        ):
+            stem = entry.name.split(".", 1)[0]
+            if not _is_entry_name(stem):
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        self._sampled_at = 0.0
+
+    def _sample_sizes(self) -> Tuple[int, int]:
+        now = time.monotonic()
+        if now - self._sampled_at < self.SIZE_SAMPLE_SECONDS:
+            return self._sampled_sizes
+        entries = 0
+        total = 0
+        for entry in self._entries():
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        self._sampled_at = now
+        self._sampled_sizes = (entries, total)
+        return self._sampled_sizes
+
+    def entry_count(self) -> int:
+        return self._sample_sizes()[0]
+
+    def byte_count(self) -> int:
+        return self._sample_sizes()[1]
+
+    def quarantine_count(self) -> int:
+        return sum(
+            1
+            for entry in self.path.glob(f"*.json{_CORRUPT_SUFFIX}")
+            if _is_entry_name(entry.name.split(".", 1)[0])
+        )
+
+
+class SqliteStore(CacheStore):
+    """Concurrency-safe SQLite entry store (the production disk tier).
+
+    * **WAL mode** — readers never block the (single) writer and vice versa,
+      which is what lets N server/worker processes share one database file;
+      ``busy_timeout`` plus a bounded retry loop absorbs writer collisions.
+    * **Schema-versioned** — ``PRAGMA user_version`` guards the layout; a
+      database written by an incompatible build is rebuilt (entries dropped),
+      never misread.
+    * **Batched** — :meth:`get_many` is one ``SELECT ... IN`` transaction
+      (plus a last-access ``UPDATE`` when a budget makes LRU order matter);
+      :meth:`put_many` is one ``INSERT OR REPLACE`` transaction that also
+      enforces the size budgets.  ``stats.transactions`` counts one per
+      batch, which is how the test suite proves a warm K-job batch costs
+      O(1) storage round trips.
+    * **Marshal records** — rows hold :mod:`marshal` blobs (see
+      :data:`RECORD_FORMAT`): data-only on load and ~2x faster to revive
+      than JSON text; a python-version change rebuilds the entries via the
+      ``meta`` format tag instead of misreading them.
+    * **Structure-aware** — rows carry the split digests, with an index on
+      the structure half: :meth:`drop_structure` is one indexed ``DELETE``.
+    * **Budgeted** — ``max_entries`` / ``max_bytes`` evict rows in
+      least-recently-accessed order inside the put transaction, so the store
+      never leaves a put over budget.
+    * **Quarantine** — a row whose record fails blob or schedule validation
+      moves to the ``quarantine`` table (same read-as-a-miss + heal-on-put
+      semantics as the JSON store's ``.corrupt`` rename); :meth:`clear`
+      drops quarantined rows too.
+    """
+
+    kind = "sqlite"
+
+    #: bounded retry loop on writer collisions (on top of busy_timeout)
+    BUSY_RETRIES = 5
+    BUSY_BACKOFF_SECONDS = 0.05
+
+    def __init__(
+        self,
+        path: PathLike,
+        stats: Optional[object] = None,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        busy_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(stats)
+        if max_entries is not None and max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise CacheError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.path = Path(path).expanduser()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._db = sqlite3.connect(
+                str(self.path), timeout=float(busy_timeout), check_same_thread=False
+            )
+        except (OSError, sqlite3.Error) as exc:
+            raise CacheError(f"cannot open cache database {self.path}: {exc}") from exc
+        self._db_lock = threading.Lock()  # serialize this process's connection
+        #: monotonically increasing access tick (clock-skew-proof LRU order)
+        self._access = 0
+        try:
+            self._initialize()
+        except sqlite3.Error as exc:
+            raise CacheError(f"cannot initialize cache database {self.path}: {exc}") from exc
+
+    # -- schema --------------------------------------------------------
+
+    def _initialize(self) -> None:
+        with self._db_lock:
+            cursor = self._db.cursor()
+            cursor.execute("PRAGMA journal_mode=WAL")
+            cursor.execute("PRAGMA synchronous=NORMAL")
+            (version,) = cursor.execute("PRAGMA user_version").fetchone()
+            if version not in (0, SQLITE_SCHEMA_VERSION):
+                # an incompatible layout: rebuild rather than misread (the
+                # same contract as the JSON SCHEMA_VERSION digest guard)
+                cursor.execute("DROP TABLE IF EXISTS entries")
+                cursor.execute("DROP TABLE IF EXISTS quarantine")
+                cursor.execute("DROP TABLE IF EXISTS meta")
+            cursor.execute(
+                """
+                CREATE TABLE IF NOT EXISTS entries (
+                    key TEXT PRIMARY KEY,
+                    structure TEXT,
+                    overlay TEXT,
+                    record BLOB NOT NULL,
+                    size INTEGER NOT NULL,
+                    created REAL NOT NULL,
+                    access INTEGER NOT NULL
+                )
+                """
+            )
+            cursor.execute(
+                "CREATE INDEX IF NOT EXISTS entries_structure ON entries(structure)"
+            )
+            cursor.execute(
+                "CREATE INDEX IF NOT EXISTS entries_access ON entries(access)"
+            )
+            cursor.execute(
+                """
+                CREATE TABLE IF NOT EXISTS quarantine (
+                    key TEXT,
+                    record BLOB,
+                    reason TEXT,
+                    quarantined REAL NOT NULL
+                )
+                """
+            )
+            cursor.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            cursor.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION}")
+            # marshal blobs do not survive a python-version change: treat a
+            # record-format mismatch as a cache rebuild, not mass corruption
+            row = cursor.execute(
+                "SELECT value FROM meta WHERE key = 'record-format'"
+            ).fetchone()
+            if row is None or row[0] != RECORD_FORMAT:
+                if cursor.execute("SELECT 1 FROM entries LIMIT 1").fetchone():
+                    cursor.execute("DELETE FROM entries")
+                cursor.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("record-format", RECORD_FORMAT),
+                )
+            row = cursor.execute("SELECT MAX(access) FROM entries").fetchone()
+            self._access = int(row[0] or 0)
+            self._db.commit()
+
+    def _execute(self, operation: Callable[[sqlite3.Cursor], object]) -> object:
+        """Run ``operation`` in one transaction with bounded busy retries."""
+        last_error: Optional[sqlite3.Error] = None
+        for attempt in range(self.BUSY_RETRIES + 1):
+            with self._db_lock:
+                cursor = self._db.cursor()
+                try:
+                    result = operation(cursor)
+                    self._db.commit()
+                    return result
+                except sqlite3.OperationalError as exc:
+                    self._db.rollback()
+                    if "locked" not in str(exc) and "busy" not in str(exc):
+                        raise CacheError(f"cache database error: {exc}") from exc
+                    last_error = exc
+                except sqlite3.Error as exc:
+                    self._db.rollback()
+                    raise CacheError(f"cache database error: {exc}") from exc
+            time.sleep(self.BUSY_BACKOFF_SECONDS * (attempt + 1))
+        raise CacheError(
+            f"cache database stayed locked after {self.BUSY_RETRIES} retries: {last_error}"
+        )
+
+    # -- interface -----------------------------------------------------
+
+    def _select_rows(self, keys: List[str]) -> List[Tuple[str, bytes]]:
+        """One ``(key, record-blob)`` select transaction over ``keys``."""
+        # access ticks only feed LRU eviction; without a budget the lookup
+        # stays a pure read — no UPDATE, no write commit, no writer contention
+        refresh_access = self.max_entries is not None or self.max_bytes is not None
+
+        def lookup(cursor: sqlite3.Cursor) -> List[Tuple[str, bytes]]:
+            rows: List[Tuple[str, bytes]] = []
+            # SQLite caps bound parameters (999 on old builds); chunk the IN
+            for start in range(0, len(keys), 500):
+                chunk = keys[start : start + 500]
+                marks = ",".join("?" * len(chunk))
+                rows.extend(
+                    cursor.execute(
+                        f"SELECT key, record FROM entries WHERE key IN ({marks})",
+                        chunk,
+                    ).fetchall()
+                )
+            if not refresh_access:
+                return rows
+            self._access += 1
+            tick = self._access
+            for start in range(0, len(rows), 500):
+                chunk = [key for key, _ in rows[start : start + 500]]
+                marks = ",".join("?" * len(chunk))
+                cursor.execute(
+                    f"UPDATE entries SET access = ? WHERE key IN ({marks})",
+                    [tick, *chunk],
+                )
+            return rows
+
+        rows = self._execute(lookup)
+        self._count(transactions=1)
+        return rows
+
+    def get_many(
+        self, keys: Sequence[str]
+    ) -> Dict[str, Tuple[Dict[str, object], Schedule]]:
+        keys = list(dict.fromkeys(keys))
+        if not keys:
+            return {}
+        results: Dict[str, Tuple[Dict[str, object], Schedule]] = {}
+        corrupt: List[Tuple[str, object, str]] = []
+        for key, blob in self._select_rows(keys):
+            record = _loads_record(blob)
+            if not isinstance(record, dict):
+                corrupt.append((key, blob, "invalid record blob"))
+                continue
+            schedule = _decode_schedule(record)
+            if schedule is None:
+                corrupt.append((key, blob, "malformed schedule"))
+                continue
+            results[key] = (record, schedule)
+        if corrupt:
+            self._quarantine_rows(corrupt)
+        return results
+
+    def fetch_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, object]]:
+        keys = list(dict.fromkeys(keys))
+        if not keys:
+            return {}
+        loads = _loads_record  # hot loop: one blob revive per row
+        results: Dict[str, Dict[str, object]] = {}
+        corrupt: List[Tuple[str, object, str]] = []
+        for key, blob in self._select_rows(keys):
+            record = loads(blob)
+            if not isinstance(record, dict):
+                corrupt.append((key, blob, "invalid record blob"))
+                continue
+            results[key] = record
+        if corrupt:
+            self._quarantine_rows(corrupt)
+        return results
+
+    def _quarantine_rows(self, rows: Sequence[Tuple[str, object, str]]) -> None:
+        """Move corrupt rows aside (one transaction) and count them."""
+
+        def quarantine(cursor: sqlite3.Cursor) -> None:
+            now = time.time()
+            for key, blob, reason in rows:
+                # verify the row was not concurrently healed by a put before
+                # quarantining — evicting a fresh healthy entry would be worse
+                # than keeping a corrupt one for one more lookup
+                current = cursor.execute(
+                    "SELECT record FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+                if current is None or current[0] != blob:
+                    continue
+                cursor.execute(
+                    "INSERT INTO quarantine (key, record, reason, quarantined) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, blob, reason, now),
+                )
+                cursor.execute("DELETE FROM entries WHERE key = ?", (key,))
+
+        self._execute(quarantine)
+        self._count(transactions=1, corrupt=len(rows))
+
+    def put_many(
+        self,
+        items: Sequence[Tuple[str, Dict[str, object], Optional[Tuple[str, str]]]],
+    ) -> None:
+        if not items:
+            return
+        now = time.time()
+
+        def store(cursor: sqlite3.Cursor) -> int:
+            self._access += 1
+            tick = self._access
+            for key, record, split in items:
+                blob = marshal.dumps(record)
+                structure, overlay = split if split is not None else (None, None)
+                cursor.execute(
+                    "INSERT OR REPLACE INTO entries "
+                    "(key, structure, overlay, record, size, created, access) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (key, structure, overlay, blob, len(blob), now, tick),
+                )
+            return self._evict_over_budget(
+                cursor, max_entries=self.max_entries, max_bytes=self.max_bytes
+            )
+
+        evicted = int(self._execute(store))
+        self._count(transactions=1, evictions=evicted)
+
+    @staticmethod
+    def _evict_over_budget(
+        cursor: sqlite3.Cursor,
+        *,
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+    ) -> int:
+        """Delete LRU rows until within the budgets (same transaction)."""
+        if max_entries is None and max_bytes is None:
+            return 0
+        count, total = cursor.execute(
+            "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM entries"
+        ).fetchone()
+        over_entries = max_entries is not None and count > max_entries
+        over_bytes = max_bytes is not None and total > max_bytes
+        if not (over_entries or over_bytes):
+            return 0
+        victims: List[str] = []
+        for key, size in cursor.execute(
+            "SELECT key, size FROM entries ORDER BY access ASC, rowid ASC"
+        ):
+            if not (
+                (max_entries is not None and count > max_entries)
+                or (max_bytes is not None and total > max_bytes)
+            ):
+                break
+            victims.append(key)
+            count -= 1
+            total -= size
+        for start in range(0, len(victims), 500):
+            chunk = victims[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            cursor.execute(f"DELETE FROM entries WHERE key IN ({marks})", chunk)
+        return len(victims)
+
+    def contains(self, key: str) -> bool:
+        def check(cursor: sqlite3.Cursor) -> bool:
+            return (
+                cursor.execute(
+                    "SELECT 1 FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+                is not None
+            )
+
+        return bool(self._execute(check))
+
+    def keys(self) -> List[str]:
+        def read(cursor: sqlite3.Cursor) -> List[str]:
+            return [key for (key,) in cursor.execute("SELECT key FROM entries")]
+
+        return list(self._execute(read))
+
+    def drop_structure(self, structure_digest: str) -> int:
+        """One indexed DELETE: the split-digest payoff of the PR 5 key layout."""
+
+        def drop(cursor: sqlite3.Cursor) -> int:
+            cursor.execute(
+                "DELETE FROM entries WHERE structure = ?", (structure_digest,)
+            )
+            return cursor.rowcount
+
+        dropped = int(self._execute(drop))
+        self._count(transactions=1, evictions=dropped)
+        return dropped
+
+    def prune(
+        self, *, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        def do_prune(cursor: sqlite3.Cursor) -> int:
+            return self._evict_over_budget(
+                cursor, max_entries=max_entries, max_bytes=max_bytes
+            )
+
+        evicted = int(self._execute(do_prune))
+        self._count(transactions=1, evictions=evicted)
+        return evicted
+
+    def clear(self) -> None:
+        def wipe(cursor: sqlite3.Cursor) -> None:
+            cursor.execute("DELETE FROM entries")
+            cursor.execute("DELETE FROM quarantine")
+
+        self._execute(wipe)
+        self._count(transactions=1)
+
+    def entry_count(self) -> int:
+        def count(cursor: sqlite3.Cursor) -> int:
+            return int(cursor.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+
+        return int(self._execute(count))
+
+    def byte_count(self) -> int:
+        def total(cursor: sqlite3.Cursor) -> int:
+            return int(
+                cursor.execute(
+                    "SELECT COALESCE(SUM(size), 0) FROM entries"
+                ).fetchone()[0]
+            )
+
+        return int(self._execute(total))
+
+    def quarantine_count(self) -> int:
+        def count(cursor: sqlite3.Cursor) -> int:
+            return int(cursor.execute("SELECT COUNT(*) FROM quarantine").fetchone()[0])
+
+        return int(self._execute(count))
+
+    # -- migration -----------------------------------------------------
+
+    _MIGRATED_META_KEY = "migrated-json-dir"
+
+    def auto_migrate_json_dir(self, directory: PathLike) -> int:
+        """One-shot ingestion of a legacy JSON cache directory.
+
+        Called when a *directory* cache path selects the SQLite backend: the
+        first open against an old JSON cache pulls every valid entry file into
+        the database, then records the fact in the ``meta`` table so later
+        opens skip the scan.  The JSON files are left untouched (they remain
+        valid for a ``json://`` fallback or an rsync to another machine).
+        """
+
+        def already(cursor: sqlite3.Cursor) -> bool:
+            return (
+                cursor.execute(
+                    "SELECT 1 FROM meta WHERE key = ?", (self._MIGRATED_META_KEY,)
+                ).fetchone()
+                is not None
+            )
+
+        if bool(self._execute(already)):
+            return 0
+        migrated = migrate_json_dir(directory, self)
+
+        def mark(cursor: sqlite3.Cursor) -> None:
+            cursor.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (self._MIGRATED_META_KEY, str(migrated)),
+            )
+
+        self._execute(mark)
+        return migrated
+
+    def close(self) -> None:
+        with self._db_lock:
+            try:
+                self._db.close()
+            except sqlite3.Error:
+                pass
+
+
+def migrate_json_dir(
+    directory: PathLike,
+    store: CacheStore,
+    *,
+    batch_size: int = 512,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> int:
+    """Ingest every valid JSON entry file of ``directory`` into ``store``.
+
+    Idempotent: entries are written with replace semantics, so a re-run
+    converges to the same database.  Invalid files (corrupt JSON, foreign
+    envelopes, malformed schedules) are skipped, never deleted.  Returns the
+    number of entries ingested; ``progress(done, total)`` streams migration
+    progress for the CLI.
+    """
+    directory = Path(directory).expanduser()
+    entry_files = sorted(
+        entry for entry in directory.glob("*.json") if _is_entry_name(entry.stem)
+    )
+    total = len(entry_files)
+    migrated = 0
+    batch: List[Tuple[str, Dict[str, object], Optional[Tuple[str, str]]]] = []
+    for position, entry in enumerate(entry_files, start=1):
+        try:
+            document = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != _ENTRY_FORMAT
+            or not isinstance(document.get("key"), str)
+        ):
+            continue
+        record = document.get("schedule")
+        if _decode_schedule(record) is None:
+            continue
+        structure = document.get("structure")
+        overlay = document.get("overlay")
+        split = (
+            (str(structure), str(overlay))
+            if isinstance(structure, str) and isinstance(overlay, str)
+            else None
+        )
+        batch.append((document["key"], record, split))
+        if len(batch) >= batch_size:
+            store.put_many(batch)
+            migrated += len(batch)
+            batch = []
+            if progress is not None:
+                progress(position, total)
+    if batch:
+        store.put_many(batch)
+        migrated += len(batch)
+    if progress is not None:
+        progress(total, total)
+    return migrated
+
+
+def _default_backend() -> str:
+    backend = (os.environ.get(STORE_BACKEND_ENV) or "sqlite").strip().lower()
+    if backend not in ("sqlite", "json"):
+        raise CacheError(
+            f"unknown {STORE_BACKEND_ENV}={backend!r}; choose 'sqlite' or 'json'"
+        )
+    return backend
+
+
+def open_store(
+    path: PathLike,
+    stats: Optional[object] = None,
+    *,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> CacheStore:
+    """Open the right :class:`CacheStore` for ``path`` (see module docs).
+
+    ``sqlite://`` / ``json://`` URL prefixes force a backend; a ``.sqlite`` /
+    ``.sqlite3`` / ``.db`` suffix selects SQLite at that file; any other path
+    is a cache *directory* whose backend comes from the ``REPRO_CACHE_STORE``
+    environment variable (default ``sqlite``, database at
+    ``dir/cache.sqlite``, with a one-shot migration of legacy JSON entries).
+    ``max_entries`` / ``max_bytes`` size budgets apply to the SQLite backend
+    (the JSON store only prunes on demand).
+    """
+    spec = str(path)
+    if spec.startswith("sqlite://"):
+        return SqliteStore(
+            spec[len("sqlite://") :], stats, max_entries=max_entries, max_bytes=max_bytes
+        )
+    if spec.startswith("json://"):
+        return JsonDirStore(spec[len("json://") :], stats)
+    resolved = Path(spec).expanduser()
+    if resolved.suffix.lower() in (".sqlite", ".sqlite3", ".db"):
+        return SqliteStore(
+            resolved, stats, max_entries=max_entries, max_bytes=max_bytes
+        )
+    if _default_backend() == "json":
+        return JsonDirStore(resolved, stats)
+    try:
+        resolved.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise CacheError(f"cannot create cache directory {resolved}: {exc}") from exc
+    store = SqliteStore(
+        resolved / SQLITE_DB_NAME, stats, max_entries=max_entries, max_bytes=max_bytes
+    )
+    store.auto_migrate_json_dir(resolved)
+    return store

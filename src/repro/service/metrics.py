@@ -55,8 +55,16 @@ _CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
     ("misses", "repro_cache_misses_total", "Result-cache misses"),
     ("stores", "repro_cache_stores_total", "Schedules stored into the result cache"),
     ("corrupt", "repro_cache_corrupt_total", "Corrupt disk cache entries quarantined"),
+    ("evictions", "repro_cache_evictions_total", "Cache entries evicted by the size budgets"),
+    ("transactions", "repro_cache_transactions_total", "Persistent-store round trips (one per batch on SQLite)"),
     ("hits", "repro_cache_hits_total", "Result-cache hits (memory + disk)"),
     ("lookups", "repro_cache_lookups_total", "Result-cache lookups (hits + misses)"),
+)
+
+#: point-in-time occupancy of the persistent store (refreshed per /stats call)
+_CACHE_GAUGES: Tuple[Tuple[str, str, str], ...] = (
+    ("disk_entries", "repro_cache_disk_entries", "Entries resident in the persistent cache store"),
+    ("disk_bytes", "repro_cache_disk_bytes", "Payload bytes resident in the persistent cache store"),
 )
 
 #: (section, key, metric name, help) for the latency histograms — serialized
@@ -132,6 +140,8 @@ def render_prometheus_metrics(stats: Dict[str, Any]) -> str:
     cache = runtime.get("cache") or {}
     for key, name, help_text in _CACHE_SERIES:
         emit(name, "counter", help_text, [("", cache.get(key))])
+    for key, name, help_text in _CACHE_GAUGES:
+        emit(name, "gauge", help_text, [("", cache.get(key))])
     emit(
         "repro_cache_hit_rate",
         "gauge",

@@ -477,7 +477,7 @@ class EngineRuntime:
                 recycle_after=self.recycle_after,
                 jobs_since_recycle=self._pool_jobs,
                 latency_ewma_seconds=self._latency_ewma,
-                cache=self.cache.stats.to_dict(),
+                cache=self.cache.stats_dict(),
                 kernel_compilations=_kernel_compilations(),
                 warm_start_hits=self._warm_start_hits,
                 endpoints=(

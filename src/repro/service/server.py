@@ -196,10 +196,14 @@ class AnalysisServer:
                         # hand the server-side spans back to the caller so one
                         # cluster search stitches into a single trace
                         response = {**response, "trace": tracer.span_dicts()}
-                self._reply(status, response)
+                # log before replying: once the client sees the response it
+                # may issue its next request, and that handler thread must
+                # find this record already written (keeps the JSONL stream in
+                # request order)
                 duration = time.perf_counter() - started
                 service._request_histogram.observe(duration)
                 service._log_request(method, path, status, duration, tracer)
+                self._reply(status, response)
 
             def _evaluate(self, method: str, path: str) -> Tuple[int, Any]:
                 """Route and run one request; always returns (status, body)."""

@@ -1,0 +1,90 @@
+"""Tests for the ``repro-rta cache`` store-maintenance subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro import analyze
+from repro.cli import main
+from repro.engine import ResultCache
+from repro.engine.store import SqliteStore
+
+
+def _fill(path, schedule, count, prefix="key"):
+    cache = ResultCache(path=path)
+    cache.put_many(
+        [(f"{prefix}-{index}", schedule, ("s", f"o-{index}")) for index in range(count)]
+    )
+    cache.close()
+
+
+class TestCacheStats:
+    def test_reports_entries_and_bytes(self, tmp_path, diamond_problem, capsys):
+        schedule = analyze(diamond_problem)
+        # .sqlite suffix pins the backend so the assertion below holds even
+        # when REPRO_CACHE_STORE=json is exported (the CI fallback leg)
+        _fill(tmp_path / "cache.sqlite", schedule, 3)
+        assert main(["cache", "stats", str(tmp_path / "cache.sqlite")]) == 0
+        output = capsys.readouterr().out
+        assert "sqlite" in output
+        assert "entries" in output and "3" in output
+        assert "bytes" in output
+        assert "quarantined" in output
+
+    def test_json_store_reported_too(self, tmp_path, diamond_problem, capsys):
+        schedule = analyze(diamond_problem)
+        _fill(f"json://{tmp_path / 'cache'}", schedule, 2)
+        assert main(["cache", "stats", f"json://{tmp_path / 'cache'}"]) == 0
+        output = capsys.readouterr().out
+        assert "json" in output
+        assert "2" in output
+
+
+class TestCacheMigrate:
+    def test_migrates_with_progress_and_is_idempotent(self, tmp_path, diamond_problem, capsys):
+        schedule = analyze(diamond_problem)
+        _fill(f"json://{tmp_path / 'legacy'}", schedule, 4)
+        database = tmp_path / "cache.sqlite"
+        assert main(["cache", "migrate", str(tmp_path / "legacy"), str(database)]) == 0
+        captured = capsys.readouterr()
+        assert "migrated 4" in captured.out
+        assert "[4/4]" in captured.err  # progress streamed to stderr
+        # idempotent re-run: replace semantics converge to the same store
+        assert main(["cache", "migrate", str(tmp_path / "legacy"), str(database), "--quiet"]) == 0
+        assert "store now holds 4" in capsys.readouterr().out
+        store = SqliteStore(database)
+        try:
+            assert store.entry_count() == 4
+            restored = store.get_many(["key-0"])["key-0"][1]
+            assert restored.to_dict() == schedule.to_dict()
+        finally:
+            store.close()
+
+
+class TestCachePrune:
+    def test_prune_reports_evicted_and_exits_zero(self, tmp_path, diamond_problem, capsys):
+        schedule = analyze(diamond_problem)
+        _fill(tmp_path / "cache", schedule, 8)
+        code = main(["cache", "prune", str(tmp_path / "cache"), "--max-entries", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "evicted 5" in output
+        assert "3 remain" in output
+
+    def test_prune_by_bytes(self, tmp_path, diamond_problem, capsys):
+        schedule = analyze(diamond_problem)
+        record_size = len(json.dumps(schedule.to_dict(), separators=(",", ":")))
+        _fill(tmp_path / "cache", schedule, 6)
+        budget = record_size * 2 + 1
+        assert main(["cache", "prune", str(tmp_path / "cache"), "--max-bytes", str(budget)]) == 0
+        assert "4 remain" not in capsys.readouterr().out  # 2 fit the budget
+        store = SqliteStore(tmp_path / "cache" / "cache.sqlite")
+        try:
+            assert store.byte_count() <= budget
+        finally:
+            store.close()
+
+    def test_prune_without_budgets_errors(self, tmp_path, capsys):
+        (tmp_path / "cache").mkdir()
+        assert main(["cache", "prune", str(tmp_path / "cache")]) == 1
+        assert "needs --max-entries" in capsys.readouterr().err

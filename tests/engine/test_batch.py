@@ -251,10 +251,10 @@ def test_cache_write_failure_does_not_discard_results(tmp_path, monkeypatch):
 
     analyzer = BatchAnalyzer(max_workers=1, cache=tmp_path / "cache")
 
-    def broken_put(key, schedule):
+    def broken_put_many(items):
         raise CacheError("disk full")
 
-    monkeypatch.setattr(analyzer.cache, "put", broken_put)
+    monkeypatch.setattr(analyzer.cache, "put_many", broken_put_many)
     with pytest.warns(RuntimeWarning, match="cache writes disabled"):
         report = analyzer.run(_sweep(3))
     assert report.computed == 3
@@ -268,7 +268,7 @@ def test_cached_algorithm_survives_cache_write_failure(diamond_problem, monkeypa
 
     cache = ResultCache()
 
-    def broken_put(key, schedule):
+    def broken_put(key, schedule, *, split=None):
         raise CacheError("disk full")
 
     monkeypatch.setattr(cache, "put", broken_put)

@@ -1,4 +1,9 @@
-"""Tests for the two-tier result cache."""
+"""Tests for the two-tier result cache.
+
+The default persistent backend is now SQLite (see ``tests/engine/test_store.py``
+for store-level coverage); the tests below that poke at entry *files* select
+the JSON-directory layout explicitly with a ``json://`` path.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +12,8 @@ import json
 import pytest
 
 from repro import analyze
-from repro.engine import AnalysisJob, ResultCache
+from repro.engine import AnalysisJob, JsonDirStore, ResultCache, SqliteStore
+from repro.engine.store import STORE_BACKEND_ENV
 from repro.errors import CacheError
 
 
@@ -19,6 +25,11 @@ def job(diamond_problem):
 @pytest.fixture
 def schedule(diamond_problem):
     return analyze(diamond_problem)
+
+
+def _json_cache(tmp_path, **kwargs) -> ResultCache:
+    """Cache explicitly on the JSON-directory store at tmp_path/cache."""
+    return ResultCache(path=f"json://{tmp_path / 'cache'}", **kwargs)
 
 
 def test_memory_hit_and_miss_counters(job, schedule):
@@ -35,11 +46,26 @@ def test_memory_hit_and_miss_counters(job, schedule):
     assert cache.stats.hit_rate() == 0.5
 
 
-def test_disk_round_trip(tmp_path, job, schedule):
-    warm = ResultCache(path=tmp_path / "cache")
+def test_directory_path_defaults_to_sqlite_store(tmp_path, monkeypatch):
+    monkeypatch.delenv(STORE_BACKEND_ENV, raising=False)
+    cache = ResultCache(path=tmp_path / "cache")
+    assert isinstance(cache.store, SqliteStore)
+    assert cache.path == tmp_path / "cache" / "cache.sqlite"
+
+
+def test_json_url_selects_json_store(tmp_path):
+    cache = _json_cache(tmp_path)
+    assert isinstance(cache.store, JsonDirStore)
+    assert cache.path == tmp_path / "cache"
+
+
+@pytest.mark.parametrize("layout", ["sqlite", "json"])
+def test_disk_round_trip(tmp_path, job, schedule, layout):
+    path = (tmp_path / "cache") if layout == "sqlite" else f"json://{tmp_path / 'cache'}"
+    warm = ResultCache(path=path)
     warm.put(job.cache_key, schedule)
     # a brand-new cache instance (fresh memory tier) must hit on disk
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = ResultCache(path=path)
     restored = cold.get(job.cache_key)
     assert restored is not None
     assert cold.stats.disk_hits == 1
@@ -78,37 +104,69 @@ def test_memory_limit_zero_disables_memory_tier(tmp_path, job, schedule):
     assert cache.stats.memory_hits == 0
 
 
+def test_get_many_counts_each_key_once(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    results = cache.get_many([job.cache_key, "absent", job.cache_key])
+    assert set(results) == {job.cache_key}
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.lookups == 2  # duplicates count (and cost) once
+
+
+def test_get_many_promotes_disk_hits(tmp_path, job, schedule):
+    warm = ResultCache(path=tmp_path / "cache")
+    warm.put(job.cache_key, schedule)
+    cold = ResultCache(path=tmp_path / "cache")
+    first = cold.get_many([job.cache_key])
+    assert first[job.cache_key].to_dict() == schedule.to_dict()
+    assert cold.stats.disk_hits == 1
+    again = cold.get_many([job.cache_key])
+    assert again[job.cache_key].to_dict() == schedule.to_dict()
+    assert cold.stats.memory_hits == 1
+
+
+def test_put_many_batch_round_trip(tmp_path, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    items = [(f"key-{index}", schedule, None) for index in range(8)]
+    cache.put_many(items)
+    assert cache.stats.stores == 8
+    cold = ResultCache(path=tmp_path / "cache")
+    results = cold.get_many([key for key, _, _ in items])
+    assert len(results) == 8
+
+
 def test_malformed_schedule_in_valid_envelope_is_a_miss(tmp_path, job, schedule):
     """Valid JSON + valid envelope but a broken schedule record must not crash get()."""
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     document = json.loads(entry.read_text(encoding="utf-8"))
     document["schedule"]["entries"] = [{"name": "broken"}]  # missing required fields
     entry.write_text(json.dumps(document), encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
     assert cold.stats.misses == 1
 
 
 def test_corrupt_disk_entry_is_a_miss(tmp_path, job, schedule):
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     for entry in (tmp_path / "cache").glob("*.json"):
         entry.write_text("{ not json", encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
     assert cold.stats.misses == 1
 
 
 def test_truncated_entry_is_quarantined_and_counted(tmp_path, job, schedule):
     """A half-written entry (killed process) must not shadow the digest forever."""
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     text = entry.read_text(encoding="utf-8")
     entry.write_text(text[: len(text) // 2], encoding="utf-8")  # truncate mid-document
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
     assert cold.stats.corrupt == 1
     assert cold.stats.to_dict()["corrupt"] == 1
@@ -117,17 +175,17 @@ def test_truncated_entry_is_quarantined_and_counted(tmp_path, job, schedule):
     assert entry.with_name(entry.name + ".corrupt").exists()
     # ... so a recompute-and-store round trip fully heals the digest
     cold.put(job.cache_key, schedule)
-    fresh = ResultCache(path=tmp_path / "cache")
+    fresh = _json_cache(tmp_path)
     assert fresh.get(job.cache_key) is not None
     assert fresh.stats.corrupt == 0
 
 
 def test_corrupt_entry_counted_once_not_per_lookup(tmp_path, job, schedule):
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     for entry in (tmp_path / "cache").glob("*.json"):
         entry.write_text("{ not json", encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     for _ in range(3):
         assert cold.get(job.cache_key) is None
     assert cold.stats.corrupt == 1  # quarantined on first sight
@@ -136,26 +194,26 @@ def test_corrupt_entry_counted_once_not_per_lookup(tmp_path, job, schedule):
 
 def test_malformed_schedule_is_quarantined(tmp_path, job, schedule):
     """A valid envelope carrying a broken schedule is corrupt too."""
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     document = json.loads(entry.read_text(encoding="utf-8"))
     document["schedule"]["entries"] = [{"name": "broken"}]
     entry.write_text(json.dumps(document), encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
     assert cold.stats.corrupt == 1
     assert not entry.exists()
 
 
 def test_disk_hit_deserializes_the_schedule_once(tmp_path, job, schedule, monkeypatch):
-    """The validation pass in _read_disk is the deserialization — not a second one."""
-    import repro.engine.cache as cache_module
+    """The store's validation pass is the deserialization — not a second one."""
+    import repro.engine.store as store_module
 
-    warm = ResultCache(path=tmp_path / "cache")
+    warm = _json_cache(tmp_path)
     warm.put(job.cache_key, schedule)
     calls = []
-    real_from_dict = cache_module.Schedule.from_dict
+    real_from_dict = store_module.Schedule.from_dict
 
     class CountingSchedule:
         @staticmethod
@@ -163,33 +221,33 @@ def test_disk_hit_deserializes_the_schedule_once(tmp_path, job, schedule, monkey
             calls.append(1)
             return real_from_dict(record)
 
-    monkeypatch.setattr(cache_module, "Schedule", CountingSchedule)
-    cold = ResultCache(path=tmp_path / "cache")
+    monkeypatch.setattr(store_module, "Schedule", CountingSchedule)
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is not None
     assert len(calls) == 1
 
 
 def test_concurrently_rewritten_entry_is_not_quarantined(tmp_path, job, schedule):
     """Quarantine must not evict an entry another process rewrote in the meantime."""
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     # simulate the race: a reader judged some (now stale) content corrupt
     # after a writer already replaced the file with this healthy entry
-    cache._mark_corrupt(entry, "{ the truncated text the reader saw")
+    cache.store._mark_corrupt(entry, "{ the truncated text the reader saw")
     assert entry.exists()  # the healthy entry was left alone
     assert not entry.with_name(entry.name + ".corrupt").exists()
     assert cache.stats.corrupt == 1  # the corrupt sighting is still recorded
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is not None
 
 
 def test_clear_removes_quarantined_entries(tmp_path, job, schedule):
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     entry.write_text("{ not json", encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
     quarantined = list((tmp_path / "cache").glob("*.json.corrupt"))
     assert quarantined
@@ -199,18 +257,20 @@ def test_clear_removes_quarantined_entries(tmp_path, job, schedule):
 
 def test_key_collision_guard(tmp_path, job, schedule):
     """An entry whose recorded key mismatches the lookup key is ignored."""
-    cache = ResultCache(path=tmp_path / "cache")
+    cache = _json_cache(tmp_path)
     cache.put(job.cache_key, schedule)
     entry = next((tmp_path / "cache").glob("*.json"))
     document = json.loads(entry.read_text(encoding="utf-8"))
     document["key"] = "someone-else"
     entry.write_text(json.dumps(document), encoding="utf-8")
-    cold = ResultCache(path=tmp_path / "cache")
+    cold = _json_cache(tmp_path)
     assert cold.get(job.cache_key) is None
 
 
-def test_clear(tmp_path, job, schedule):
-    cache = ResultCache(path=tmp_path / "cache")
+@pytest.mark.parametrize("layout", ["sqlite", "json"])
+def test_clear(tmp_path, job, schedule, layout):
+    path = (tmp_path / "cache") if layout == "sqlite" else f"json://{tmp_path / 'cache'}"
+    cache = ResultCache(path=path)
     cache.put(job.cache_key, schedule)
     cache.clear()
     assert len(cache) == 0
@@ -223,7 +283,7 @@ def test_clear_never_deletes_foreign_json_files(tmp_path, job, schedule):
     directory.mkdir()
     foreign = directory / "my-problem.json"
     foreign.write_text('{"precious": true}', encoding="utf-8")
-    cache = ResultCache(path=directory)
+    cache = ResultCache(path=f"json://{directory}")
     cache.put(job.cache_key, schedule)
     assert len(cache) == 1  # foreign file is not counted as an entry
     cache.clear()
@@ -239,6 +299,30 @@ def test_negative_memory_limit_rejected():
 def test_tilde_in_cache_path_is_expanded(tmp_path, monkeypatch):
     """cache='~/...' (the documented idiom) must not create a literal '~' dir."""
     monkeypatch.setenv("HOME", str(tmp_path))
+    monkeypatch.delenv(STORE_BACKEND_ENV, raising=False)
     cache = ResultCache(path="~/.cache/repro-test")
-    assert cache.path == tmp_path / ".cache" / "repro-test"
-    assert cache.path.is_dir()
+    assert cache.path == tmp_path / ".cache" / "repro-test" / "cache.sqlite"
+    assert cache.path.parent.is_dir()
+
+
+def test_stats_dict_reports_disk_occupancy(tmp_path, job, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put(job.cache_key, schedule)
+    stats = cache.stats_dict()
+    assert stats["disk_entries"] == 1
+    assert stats["disk_bytes"] > 0
+
+
+def test_drop_structure_invalidates_only_that_structure(tmp_path, schedule):
+    cache = ResultCache(path=tmp_path / "cache")
+    cache.put_many(
+        [
+            ("key-a1", schedule, ("structure-a", "overlay-1")),
+            ("key-a2", schedule, ("structure-a", "overlay-2")),
+            ("key-b1", schedule, ("structure-b", "overlay-1")),
+        ]
+    )
+    assert cache.drop_structure("structure-a") == 2
+    assert not cache.contains("key-a1")
+    assert not cache.contains("key-a2")
+    assert cache.contains("key-b1")

@@ -1,0 +1,340 @@
+"""Tests for the persistent cache stores (SQLite + JSON-directory backends)."""
+
+from __future__ import annotations
+
+import json
+import marshal
+import sqlite3
+
+import pytest
+
+from repro import analyze
+from repro.engine import ResultCache
+from repro.engine.cache import CacheStats
+from repro.engine.store import (
+    SQLITE_SCHEMA_VERSION,
+    STORE_BACKEND_ENV,
+    JsonDirStore,
+    SqliteStore,
+    migrate_json_dir,
+    open_store,
+)
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def record(diamond_problem):
+    return analyze(diamond_problem).to_dict()
+
+
+def _entries(count, record, structure="structure-0"):
+    return [(f"key-{index}", record, (structure, f"overlay-{index}")) for index in range(count)]
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+
+class TestOpenStore:
+    def test_sqlite_url(self, tmp_path):
+        store = open_store(f"sqlite://{tmp_path / 'c.db'}")
+        assert isinstance(store, SqliteStore)
+
+    def test_json_url(self, tmp_path):
+        store = open_store(f"json://{tmp_path / 'cache'}")
+        assert isinstance(store, JsonDirStore)
+
+    @pytest.mark.parametrize("suffix", [".sqlite", ".sqlite3", ".db"])
+    def test_database_suffix_selects_sqlite(self, tmp_path, suffix):
+        store = open_store(tmp_path / f"cache{suffix}")
+        assert isinstance(store, SqliteStore)
+        assert store.path == tmp_path / f"cache{suffix}"
+
+    def test_directory_defaults_to_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_BACKEND_ENV, raising=False)
+        store = open_store(tmp_path / "cache")
+        assert isinstance(store, SqliteStore)
+        assert store.path == tmp_path / "cache" / "cache.sqlite"
+
+    def test_env_var_selects_json_for_directories(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV, "json")
+        store = open_store(tmp_path / "cache")
+        assert isinstance(store, JsonDirStore)
+
+    def test_unknown_backend_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV, "etcd")
+        with pytest.raises(CacheError, match="REPRO_CACHE_STORE"):
+            open_store(tmp_path / "cache")
+
+
+# ----------------------------------------------------------------------
+# SQLite store behaviour
+# ----------------------------------------------------------------------
+
+
+class TestSqliteStore:
+    def test_round_trip(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many([("key-1", record, ("s", "o"))])
+        loaded = store.get_many(["key-1"])
+        got_record, schedule = loaded["key-1"]
+        assert got_record == record
+        assert schedule.to_dict() == record
+
+    def test_fetch_many_returns_raw_records(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats)
+        store.put_many(_entries(8, record))
+        fetched = store.fetch_many([f"key-{index}" for index in range(8)] + ["missing"])
+        assert set(fetched) == {f"key-{index}" for index in range(8)}
+        assert fetched["key-0"] == record  # raw dict, no Schedule revival
+        assert stats.transactions == 2  # one put batch + one fetch batch
+
+    def test_fetch_many_quarantines_corrupt_blobs(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats)
+        store.put_many([("key-1", record, None)])
+        with store._db_lock:
+            store._db.execute("UPDATE entries SET record = x'00ff00' WHERE key = 'key-1'")
+            store._db.commit()
+        assert store.fetch_many(["key-1"]) == {}
+        assert stats.corrupt == 1
+        assert store.quarantine_count() == 1
+
+    def test_batched_calls_are_one_transaction_each(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats)
+        store.put_many(_entries(64, record))
+        assert stats.transactions == 1
+        store.get_many([f"key-{index}" for index in range(64)])
+        assert stats.transactions == 2
+
+    def test_survives_reopen(self, tmp_path, record):
+        SqliteStore(tmp_path / "c.db").put_many(_entries(4, record))
+        store = SqliteStore(tmp_path / "c.db")
+        assert store.entry_count() == 4
+        assert len(store.get_many([f"key-{index}" for index in range(4)])) == 4
+
+    def test_schema_version_mismatch_rebuilds(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many(_entries(3, record))
+        store.close()
+        with sqlite3.connect(tmp_path / "c.db") as db:
+            db.execute(f"PRAGMA user_version = {SQLITE_SCHEMA_VERSION + 1}")
+        reopened = SqliteStore(tmp_path / "c.db")
+        assert reopened.entry_count() == 0  # rebuilt, never misread
+
+    def test_corrupt_row_is_quarantined_and_counted_once(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats)
+        store.put_many([("key-1", record, None)])
+        with store._db_lock:
+            store._db.execute(
+                "UPDATE entries SET record = '{ not json' WHERE key = 'key-1'"
+            )
+            store._db.commit()
+        assert store.get_many(["key-1"]) == {}
+        assert stats.corrupt == 1
+        assert store.quarantine_count() == 1
+        assert store.entry_count() == 0
+        # second lookup: the row is gone, so a plain miss — counted once
+        assert store.get_many(["key-1"]) == {}
+        assert stats.corrupt == 1
+
+    def test_malformed_schedule_row_is_corrupt_too(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats)
+        store.put_many([("key-1", record, None)])
+        with store._db_lock:
+            store._db.execute(
+                """UPDATE entries SET record = '{"entries": "nope"}' WHERE key = 'key-1'"""
+            )
+            store._db.commit()
+        assert store.get_many(["key-1"]) == {}
+        assert stats.corrupt == 1
+        assert store.quarantine_count() == 1
+
+    def test_put_heals_a_quarantined_key(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many([("key-1", record, None)])
+        with store._db_lock:
+            store._db.execute("UPDATE entries SET record = 'garbage' WHERE key = 'key-1'")
+            store._db.commit()
+        assert store.get_many(["key-1"]) == {}
+        store.put_many([("key-1", record, None)])
+        assert store.get_many(["key-1"])["key-1"][0] == record
+
+    def test_clear_drops_quarantined_rows(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many([("key-1", record, None)])
+        with store._db_lock:
+            store._db.execute("UPDATE entries SET record = 'garbage' WHERE key = 'key-1'")
+            store._db.commit()
+        store.get_many(["key-1"])
+        assert store.quarantine_count() == 1
+        store.clear()
+        assert store.quarantine_count() == 0
+        assert store.entry_count() == 0
+
+    def test_drop_structure_is_structure_scoped(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many(_entries(5, record, structure="structure-a"))
+        store.put_many([("other", record, ("structure-b", "o"))])
+        assert store.drop_structure("structure-a") == 5
+        assert store.entry_count() == 1
+        assert "other" in store.get_many(["other"])
+
+    def test_max_entries_evicts_lru_at_put_time(self, tmp_path, record):
+        stats = CacheStats()
+        store = SqliteStore(tmp_path / "c.db", stats, max_entries=4)
+        store.put_many(_entries(4, record))
+        store.get_many(["key-0"])  # refresh key-0: it must survive the eviction
+        store.put_many([("key-new", record, None)])
+        assert store.entry_count() == 4
+        assert stats.evictions == 1
+        kept = set(store.keys())
+        assert "key-0" in kept and "key-new" in kept
+
+    def test_max_bytes_budget_holds_under_fill(self, tmp_path, record):
+        size = len(marshal.dumps(record))
+        budget = size * 10 + size // 2
+        store = SqliteStore(tmp_path / "c.db", max_bytes=budget)
+        for start in range(0, 64, 8):
+            store.put_many([(f"key-{start + i}", record, None) for i in range(8)])
+            assert store.byte_count() <= budget  # holds after every put batch
+        assert store.entry_count() <= 10
+
+    def test_occupancy_aggregates(self, tmp_path, record):
+        store = SqliteStore(tmp_path / "c.db")
+        store.put_many(_entries(3, record))
+        assert store.entry_count() == 3
+        assert store.byte_count() == 3 * len(marshal.dumps(record))
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            SqliteStore(tmp_path / "c.db", max_entries=0)
+        with pytest.raises(CacheError):
+            SqliteStore(tmp_path / "c.db", max_bytes=0)
+
+
+def test_sqlite_eviction_keeps_store_within_max_bytes_under_50k_fill(tmp_path, record):
+    """Acceptance: a 50k-entry fill never leaves the store over its byte budget."""
+    size = len(marshal.dumps(record))
+    budget = size * 1000  # room for ~1000 of the 50k entries
+    store = SqliteStore(tmp_path / "c.db", max_bytes=budget)
+    total = 50_000
+    batch = 2_048
+    written = 0
+    while written < total:
+        count = min(batch, total - written)
+        store.put_many(
+            [
+                (f"fill-{written + index}", record, ("fill", f"o-{written + index}"))
+                for index in range(count)
+            ]
+        )
+        written += count
+        assert store.byte_count() <= budget  # invariant after every put batch
+    assert store.entry_count() <= budget // size
+    # the survivors are the most recently written tail, and they read back intact
+    survivors = store.keys()
+    assert all(int(key.split("-")[1]) >= total - 2 * batch for key in survivors)
+    loaded = store.get_many(survivors[:16])
+    assert all(value[0] == record for value in loaded.values())
+
+
+# ----------------------------------------------------------------------
+# migration
+# ----------------------------------------------------------------------
+
+
+class TestMigration:
+    def test_migrate_json_dir_ingests_valid_entries(self, tmp_path, record, diamond_problem):
+        legacy = ResultCache(path=f"json://{tmp_path / 'legacy'}")
+        schedule = analyze(diamond_problem)
+        for index in range(6):
+            legacy.put(f"key-{index}", schedule, split=("s", f"o-{index}"))
+        (tmp_path / "legacy" / "not-an-entry.json").write_text("{}", encoding="utf-8")
+        store = SqliteStore(tmp_path / "c.db")
+        seen = []
+        migrated = migrate_json_dir(
+            tmp_path / "legacy", store, progress=lambda done, total: seen.append((done, total))
+        )
+        assert migrated == 6
+        assert store.entry_count() == 6
+        assert seen[-1] == (6, 6)
+        # split digests survive the migration: structure-scoped ops still work
+        assert store.drop_structure("s") == 6
+
+    def test_migrate_is_idempotent(self, tmp_path, record, diamond_problem):
+        legacy = ResultCache(path=f"json://{tmp_path / 'legacy'}")
+        schedule = analyze(diamond_problem)
+        for index in range(4):
+            legacy.put(f"key-{index}", schedule)
+        store = SqliteStore(tmp_path / "c.db")
+        assert migrate_json_dir(tmp_path / "legacy", store) == 4
+        assert migrate_json_dir(tmp_path / "legacy", store) == 4  # re-run converges
+        assert store.entry_count() == 4
+
+    def test_directory_open_auto_migrates_legacy_entries_once(
+        self, tmp_path, diamond_problem, monkeypatch
+    ):
+        monkeypatch.delenv(STORE_BACKEND_ENV, raising=False)
+        directory = tmp_path / "cache"
+        legacy = ResultCache(path=f"json://{directory}")
+        schedule = analyze(diamond_problem)
+        legacy.put("legacy-key", schedule)
+        # pointing a new (SQLite-defaulted) cache at the old directory ingests it
+        cache = ResultCache(path=directory)
+        assert cache.get("legacy-key") is not None
+        assert cache.stats.disk_hits == 1
+        # the one-shot marker prevents re-scans: deleting the JSON file and
+        # reopening must not lose (or re-find) anything
+        for entry in directory.glob("*.json"):
+            entry.unlink()
+        reopened = ResultCache(path=directory)
+        assert reopened.get("legacy-key") is not None
+
+
+# ----------------------------------------------------------------------
+# JSON store specifics not covered via test_cache.py
+# ----------------------------------------------------------------------
+
+
+class TestJsonDirStore:
+    def test_transactions_count_files_touched(self, tmp_path, record):
+        stats = CacheStats()
+        store = JsonDirStore(tmp_path / "cache", stats)
+        store.put_many([(f"key-{index}", record, None) for index in range(5)])
+        assert stats.transactions == 5  # one per file — the contrast with SQLite
+        store.get_many([f"key-{index}" for index in range(5)])
+        assert stats.transactions == 10
+
+    def test_fetch_many_returns_raw_records(self, tmp_path, record):
+        stats = CacheStats()
+        store = JsonDirStore(tmp_path / "cache", stats)
+        store.put_many([("key-1", record, None)])
+        fetched = store.fetch_many(["key-1", "missing"])
+        assert fetched == {"key-1": record}
+        assert stats.transactions == 2  # one file written + one file read
+
+    def test_prune_evicts_oldest_first(self, tmp_path, record):
+        import os
+        import time
+
+        store = JsonDirStore(tmp_path / "cache")
+        store.put_many([(f"key-{index}", record, None) for index in range(4)])
+        now = time.time()
+        for index in range(4):
+            entry = store._entry_path(f"key-{index}")
+            os.utime(entry, (now - 100 + index, now - 100 + index))
+        assert store.prune(max_entries=2) == 2
+        kept = set(store.keys())
+        assert kept == {"key-2", "key-3"}
+
+    def test_split_digests_recorded_in_envelope(self, tmp_path, record):
+        store = JsonDirStore(tmp_path / "cache", CacheStats())
+        store.put_many([("key-1", record, ("struct", "over"))])
+        assert store.drop_structure("struct") == 1
+        assert store.entry_count() == 0

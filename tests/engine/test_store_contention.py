@@ -1,0 +1,103 @@
+"""Multi-process contention property test for the SQLite cache store.
+
+N ``spawn``-started worker processes hammer one database file with
+overlapping ``put_many``/``get_many`` batches: every worker writes its own
+keyspace slice *and* a shared slice that all workers write concurrently (with
+identical content, as real cache racers do — the same digest always maps to
+the same schedule).  Afterwards the parent asserts
+
+* **no lost writes** — every key every worker claims to have written is
+  present and readable;
+* **no corruption** — nothing was quarantined, WAL recovery left a clean
+  database;
+* **bit-identical readback** — every record read back equals the record
+  written, byte for byte.
+
+This mirrors the spawn-job style of ``tests/engine/test_spawn.py``: the
+worker function is module-level (picklable by reference, importable in a
+spawn child), so the test runs under any start method.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+from repro import analyze
+from repro.engine.store import SqliteStore
+
+WORKERS = 4
+ROUNDS = 12
+SHARED_KEYS = 16
+
+
+def _worker_keys(worker: int, round_index: int) -> list:
+    return [f"own-{worker}-{round_index}-{index}" for index in range(8)]
+
+
+def _hammer_store(db_path: str, worker: int, record: dict, done) -> None:
+    """One contending process: interleaved batched writes and reads."""
+    store = SqliteStore(db_path)
+    try:
+        for round_index in range(ROUNDS):
+            own = _worker_keys(worker, round_index)
+            shared = [f"shared-{index}" for index in range(SHARED_KEYS)]
+            # overlapping put_many: every worker rewrites the shared slice
+            # every round while appending its private slice
+            store.put_many(
+                [(key, record, ("contention", key)) for key in own + shared]
+            )
+            # overlapping get_many across everyone's keyspace: reads race the
+            # other workers' write transactions
+            everyone = shared + [
+                key
+                for other in range(WORKERS)
+                for key in _worker_keys(other, round_index)
+            ]
+            loaded = store.get_many(everyone)
+            for key, (got, _schedule) in loaded.items():
+                if got != record:
+                    done.put((worker, f"non-identical readback for {key}"))
+                    return
+        done.put((worker, None))
+    finally:
+        store.close()
+
+
+def test_concurrent_put_get_many_no_lost_writes_no_corruption(tmp_path, diamond_problem):
+    record = analyze(diamond_problem).to_dict()
+    db_path = str(tmp_path / "contended.sqlite")
+    SqliteStore(db_path).close()  # create the schema before the stampede
+    context = multiprocessing.get_context("spawn")
+    done = context.Queue()
+    processes = [
+        context.Process(target=_hammer_store, args=(db_path, worker, record, done))
+        for worker in range(WORKERS)
+    ]
+    for process in processes:
+        process.start()
+    failures = []
+    for _ in processes:
+        worker, error = done.get(timeout=110)
+        if error is not None:
+            failures.append((worker, error))
+    for process in processes:
+        process.join(timeout=30)
+        assert process.exitcode == 0
+    assert not failures
+
+    store = SqliteStore(db_path)
+    # no lost writes: every claimed key is present ...
+    expected = {f"shared-{index}" for index in range(SHARED_KEYS)}
+    for worker in range(WORKERS):
+        for round_index in range(ROUNDS):
+            expected.update(_worker_keys(worker, round_index))
+    loaded = store.get_many(sorted(expected))
+    assert set(loaded) == expected
+    # ... no corruption: nothing was quarantined, the journal recovered clean
+    assert store.quarantine_count() == 0
+    # ... and readback is bit-identical to what was written
+    canonical = json.dumps(record, sort_keys=True)
+    for key, (got, schedule) in loaded.items():
+        assert json.dumps(got, sort_keys=True) == canonical, key
+        assert schedule.to_dict() == record, key

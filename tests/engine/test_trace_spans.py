@@ -73,18 +73,34 @@ class TestSerialAndCacheSpans:
         assert len(names) == 2
 
     def test_cache_lookup_spans_carry_outcome(self):
-        analyzer = BatchAnalyzer(max_workers=1)
-        problems = _sweep(1)
+        cache = BatchAnalyzer(max_workers=1).cache
         tracer = obs.Tracer()
         with tracer.activate():
-            analyzer.run(problems)
-            analyzer.run(problems)  # warm: served from the memory cache
+            assert cache.get("some-key") is None
+            from repro import analyze
+
+            cache.put("some-key", analyze(_sweep(1)[0]))
+            assert cache.get("some-key") is not None
         outcomes = [
             span.attributes["outcome"]
             for span in tracer.spans
             if span.name == "cache.lookup"
         ]
         assert outcomes == ["miss", "memory_hit"]
+
+    def test_cache_lookup_many_spans_carry_counts(self):
+        analyzer = BatchAnalyzer(max_workers=1)
+        problems = _sweep(1)
+        tracer = obs.Tracer()
+        with tracer.activate():
+            analyzer.run(problems)
+            analyzer.run(problems)  # warm: served from the memory cache
+        lookups = [
+            span.attributes for span in tracer.spans if span.name == "cache.lookup_many"
+        ]
+        assert len(lookups) == 2
+        assert lookups[0]["misses"] == 1 and lookups[0]["memory_hits"] == 0
+        assert lookups[1]["memory_hits"] == 1 and lookups[1]["misses"] == 0
 
     def test_no_spans_collected_when_disabled(self):
         tracer = obs.Tracer()

@@ -41,7 +41,17 @@ class TestRenderer:
             "recycle_after": None,
             "jobs_since_recycle": 8,
             "latency_ewma_seconds": 0.125,
-            "cache": {"memory_hits": 3, "disk_hits": 1, "misses": 8, "stores": 8, "corrupt": 0},
+            "cache": {
+                "memory_hits": 3,
+                "disk_hits": 1,
+                "misses": 8,
+                "stores": 8,
+                "corrupt": 0,
+                "evictions": 2,
+                "transactions": 5,
+                "disk_entries": 6,
+                "disk_bytes": 4096,
+            },
         },
         "queue": {
             "submitted": 9,
@@ -65,6 +75,10 @@ class TestRenderer:
         assert samples["repro_runtime_latency_ewma_seconds"] == 0.125
         assert samples["repro_cache_memory_hits_total"] == 3
         assert samples["repro_cache_misses_total"] == 8
+        assert samples["repro_cache_evictions_total"] == 2
+        assert samples["repro_cache_transactions_total"] == 5
+        assert samples["repro_cache_disk_entries"] == 6
+        assert samples["repro_cache_disk_bytes"] == 4096
         assert samples["repro_queue_submitted_total"] == 9
         assert samples["repro_queue_pending"] == 0
         assert samples["repro_server_requests_total"] == 12
@@ -73,6 +87,9 @@ class TestRenderer:
         text = render_prometheus_metrics(self.STATS)
         assert "# TYPE repro_runtime_jobs_completed_total counter" in text
         assert "# TYPE repro_queue_pending gauge" in text
+        assert "# TYPE repro_cache_transactions_total counter" in text
+        assert "# TYPE repro_cache_disk_entries gauge" in text
+        assert "# TYPE repro_cache_disk_bytes gauge" in text
         assert "# TYPE repro_service_info gauge" in text
 
     def test_info_metric_labels(self):

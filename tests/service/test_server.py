@@ -98,6 +98,45 @@ class TestEndpoints:
         assert stats["runtime"]["cache"]["misses"] == 2
 
 
+class TestWarmBatchTransactionBudget:
+    """Acceptance: a warm ``POST /batch`` of K cached jobs is O(1) transactions."""
+
+    def test_warm_batch_performs_constant_store_transactions(self, tmp_path):
+        from repro.engine import ResultCache
+
+        # memory_limit=0 forces every lookup through the persistent store, so
+        # the transaction counter measures real storage round trips; the
+        # .sqlite suffix pins the SQLite backend (the O(1) budget is its
+        # contract — the JSON fallback touches one file per job)
+        cache = ResultCache(path=tmp_path / "cache.sqlite", memory_limit=0)
+        runtime = EngineRuntime(backend="inline", cache=cache)
+        server = AnalysisServer(runtime, port=0).start()
+        client = ServiceClient(server.url, timeout=30)
+        try:
+            problems = _sweep(8)
+            client.analyze_many(problems)  # cold: compute + one put_many
+            warm_start_txn = cache.stats.transactions
+            warm_start_batches = server.queue.stats().batches
+            schedules = client.analyze_many(problems)  # warm: all K from the store
+            assert len(schedules) == 8
+            assert cache.stats.disk_hits >= 8
+            # the whole K-job batch cost one batched lookup — not O(K)
+            assert cache.stats.transactions - warm_start_txn == 1
+            # and the queue drained the burst as a single batch
+            assert server.queue.stats().batches - warm_start_batches == 1
+        finally:
+            server.close()
+            runtime.close()
+
+    def test_stats_expose_disk_occupancy(self, service):
+        _, client, _ = service
+        client.analyze_many(_sweep(2))
+        stats = client.stats()
+        assert stats["runtime"]["cache"]["disk_entries"] == 2
+        assert stats["runtime"]["cache"]["disk_bytes"] > 0
+        assert stats["runtime"]["cache"]["transactions"] >= 1
+
+
 class TestByteForByteAcceptance:
     def test_service_reproduces_in_process_batch_json_exactly(self, tmp_path):
         """The acceptance criterion: shared cache, identical JSON report."""
